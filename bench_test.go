@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper plus the
+// ablations called out in DESIGN.md. Experiment benches reuse one
+// prepared evaluation (crawl + LLM stages run once); pipeline benches
+// run the full system per iteration at a reduced scale.
+//
+//	go test -bench=. -benchmem
+package borges_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+const (
+	benchScale    = 0.1  // experiment-bench corpus scale
+	pipelineScale = 0.05 // per-iteration full-pipeline scale
+)
+
+var (
+	benchOnce sync.Once
+	benchDS   *borges.Dataset
+	benchEval *borges.Evaluation
+)
+
+func benchData(b *testing.B) (*borges.Dataset, *borges.Evaluation) {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := borges.PrepareEvaluation(context.Background(), ds, borges.NewSimulatedLLM())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS, benchEval = ds, ev
+	})
+	if benchDS == nil {
+		b.Fatal("benchmark corpus failed to initialise")
+	}
+	return benchDS, benchEval
+}
+
+// ---- one bench per paper table / figure ----
+
+func BenchmarkTable3(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table3(); len(t.Rows) == 0 {
+			b.Fatal("empty table3")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table4(); len(t.Rows) == 0 {
+			b.Fatal("empty table4")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table5(); len(t.Rows) == 0 {
+			b.Fatal("empty table5")
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table7(); len(t.Rows) == 0 {
+			b.Fatal("empty table7")
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table8(); len(t.Rows) == 0 {
+			b.Fatal("empty table8")
+		}
+	}
+}
+
+func BenchmarkTable9(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Table9(); len(t.Rows) == 0 {
+			b.Fatal("empty table9")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Figure7(); len(t.Rows) == 0 {
+			b.Fatal("empty figure7")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Figure8(); len(t.Rows) == 0 {
+			b.Fatal("empty figure8")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	_, ev := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := ev.Figure9(); len(t.Rows) == 0 {
+			b.Fatal("empty figure9")
+		}
+	}
+}
+
+// ---- end-to-end and substrate benches ----
+
+func BenchmarkGenerateDataset(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: pipelineScale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runPipeline(b *testing.B, opts borges.Options) *borges.Result {
+	b.Helper()
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: pipelineScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *borges.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = borges.Run(context.Background(), borges.Inputs{
+			WHOIS:     ds.WHOIS,
+			PDB:       ds.PDB,
+			Transport: ds.Web,
+			Provider:  borges.NewSimulatedLLM(),
+		}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkPipelineFull(b *testing.B) { runPipeline(b, borges.Options{}) }
+
+func BenchmarkPipelineKeysOnly(b *testing.B) {
+	f := borges.Features{OIDP: true}
+	runPipeline(b, borges.Options{Features: &f})
+}
+
+func BenchmarkBaselineAS2Org(b *testing.B) {
+	ds, _ := benchData(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := borges.AS2Org(ds.WHOIS); m.NumOrgs() == 0 {
+			b.Fatal("empty mapping")
+		}
+	}
+}
+
+func BenchmarkTheta(b *testing.B) {
+	ds, _ := benchData(b)
+	m := borges.AS2Org(ds.WHOIS)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := borges.Theta(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benches (design choices called out in DESIGN.md) ----
+
+// BenchmarkNERInputFilter measures the LLM-call volume with the numeric
+// dropout filter on (the default): only numeric records reach the model.
+func BenchmarkNERInputFilter(b *testing.B) {
+	benchNERFilter(b, false)
+}
+
+// BenchmarkNERNoInputFilter disables the dropout filter: every record
+// with text reaches the model, multiplying call volume ~6×.
+func BenchmarkNERNoInputFilter(b *testing.B) {
+	benchNERFilter(b, true)
+}
+
+func benchNERFilter(b *testing.B, disable bool) {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: pipelineScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := borges.Features{NotesAka: true}
+	var calls int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := borges.NewSimulatedLLM()
+		_, err := borges.Run(context.Background(), borges.Inputs{
+			WHOIS: ds.WHOIS, PDB: ds.PDB, Transport: ds.Web, Provider: model,
+		}, borges.Options{Features: &f, DisableInputFilter: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = model.IECalls()
+	}
+	b.ReportMetric(float64(calls), "llm-calls/op")
+}
+
+// BenchmarkClassifierStep2 vs BenchmarkClassifierStep1Only measure the
+// favicon decision tree with and without the LLM reclassification step
+// (the paper recovers 38 of 43 step-1 false negatives in step 2).
+func BenchmarkClassifierStep2(b *testing.B)     { benchClassifier(b, false) }
+func BenchmarkClassifierStep1Only(b *testing.B) { benchClassifier(b, true) }
+
+func benchClassifier(b *testing.B, disableStep2 bool) {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: pipelineScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := borges.Features{Favicons: true}
+	var companies int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := borges.Run(context.Background(), borges.Inputs{
+			WHOIS: ds.WHOIS, PDB: ds.PDB, Transport: ds.Web, Provider: borges.NewSimulatedLLM(),
+		}, borges.Options{Features: &f, DisableClassifierStep2: disableStep2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		companies = res.Stats.CompanyGroups
+	}
+	b.ReportMetric(float64(companies), "company-groups/op")
+}

@@ -1,0 +1,312 @@
+// Package borges is the public API of Borges (Better ORGanizations
+// Entities mappingS), a framework for improving AS-to-Organization
+// mappings, reproducing:
+//
+//	Selmo, Carisimo, Bustamante, Alvarez-Hamelin.
+//	"Learning AS-to-Organization Mappings with Borges", IMC 2025.
+//
+// Borges combines organization identifiers from WHOIS (CAIDA AS2Org)
+// and PeeringDB with two learning-based signals: LLM-driven extraction
+// of sibling ASNs from the unstructured PeeringDB notes/aka fields, and
+// web-based inference over the websites networks self-report — redirect
+// chains resolved to final URLs, domain similarity, and shared favicons
+// classified by an LLM. Sibling sets from all features are consolidated
+// transitively into one AS-to-Organization mapping, and mapping quality
+// is quantified with the paper's Organization Factor (θ).
+//
+// # Quick start
+//
+//	ds, _ := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: 0.05})
+//	res, _ := borges.Run(context.Background(), borges.Inputs{
+//		WHOIS:     ds.WHOIS,
+//		PDB:       ds.PDB,
+//		Transport: ds.Web,
+//		Provider:  borges.NewSimulatedLLM(),
+//	}, borges.Options{})
+//	theta, _ := borges.Theta(res.Mapping)
+//
+// Real CAIDA AS2Org and PeeringDB snapshots parse with ParseWHOIS and
+// ParsePeeringDB and drop into Inputs unchanged; pointing Provider at an
+// OpenAI-compatible endpoint (NewOpenAIProvider) and Transport at the
+// real internet (nil, which selects http.DefaultTransport) runs the
+// paper's original configuration.
+package borges
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"github.com/nu-aqualab/borges/internal/apnic"
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/asrank"
+	"github.com/nu-aqualab/borges/internal/baseline"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/core"
+	"github.com/nu-aqualab/borges/internal/eval"
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/llm/openai"
+	"github.com/nu-aqualab/borges/internal/mapdiff"
+	"github.com/nu-aqualab/borges/internal/orgfactor"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/synth"
+	"github.com/nu-aqualab/borges/internal/websim"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// Core identifier and result types.
+type (
+	// ASN is a 32-bit Autonomous System Number.
+	ASN = asnum.ASN
+	// Mapping is a consolidated AS-to-Organization mapping.
+	Mapping = cluster.Mapping
+	// Cluster is one organization in a Mapping.
+	Cluster = cluster.Cluster
+	// SiblingSet is one inferred group of sibling ASNs with provenance.
+	SiblingSet = cluster.SiblingSet
+	// Feature identifies the inference feature that produced a sibling
+	// set (OID_W, OID_P, N&A, R&R, F).
+	Feature = cluster.Feature
+
+	// Features toggles the Borges pipeline features.
+	Features = core.Features
+	// Inputs are the pipeline's data sources and backends.
+	Inputs = core.Inputs
+	// Options tune the pipeline.
+	Options = core.Options
+	// Result is a pipeline run's output: the mapping plus retained
+	// artifacts and corpus statistics.
+	Result = core.Result
+)
+
+// ParseASN parses "AS3356", "asn 3356", or bare digits.
+func ParseASN(s string) (ASN, error) { return asnum.Parse(s) }
+
+// Data sources.
+type (
+	// WHOISSnapshot is a CAIDA AS2Org snapshot (the OID_W source).
+	WHOISSnapshot = whois.Snapshot
+	// WHOISOrg is one WHOIS organization record.
+	WHOISOrg = whois.Org
+	// WHOISASRecord links an ASN to its WHOIS organization.
+	WHOISASRecord = whois.ASRecord
+	// PDBSnapshot is a PeeringDB snapshot (the OID_P, notes/aka, and
+	// website source).
+	PDBSnapshot = peeringdb.Snapshot
+	// PDBOrg is a PeeringDB organization object.
+	PDBOrg = peeringdb.Org
+	// PDBNet is a PeeringDB network object.
+	PDBNet = peeringdb.Net
+	// APNICTable holds per-AS user-population estimates.
+	APNICTable = apnic.Table
+	// APNICRecord is one (ASN, country) population estimate.
+	APNICRecord = apnic.Record
+	// ASRanking is a CAIDA AS-Rank snapshot.
+	ASRanking = asrank.Ranking
+	// WebUniverse is a deterministic simulated web (an
+	// http.RoundTripper) for offline runs and tests.
+	WebUniverse = websim.Universe
+)
+
+// NewWHOISSnapshot returns an empty WHOIS snapshot for a date
+// ("YYYYMMDD").
+func NewWHOISSnapshot(date string) *WHOISSnapshot { return whois.NewSnapshot(date) }
+
+// ParseWHOIS reads a CAIDA AS2Org JSON-lines stream.
+func ParseWHOIS(r io.Reader, date string) (*WHOISSnapshot, error) { return whois.Parse(r, date) }
+
+// WriteWHOIS serializes a WHOIS snapshot in CAIDA AS2Org form.
+func WriteWHOIS(w io.Writer, s *WHOISSnapshot) error { return whois.Write(w, s) }
+
+// NewPDBSnapshot returns an empty PeeringDB snapshot for a date.
+func NewPDBSnapshot(date string) *PDBSnapshot { return peeringdb.NewSnapshot(date) }
+
+// ParsePeeringDB reads a PeeringDB API dump.
+func ParsePeeringDB(r io.Reader, date string) (*PDBSnapshot, error) { return peeringdb.Parse(r, date) }
+
+// WritePeeringDB serializes a PeeringDB snapshot as an API dump.
+func WritePeeringDB(w io.Writer, s *PDBSnapshot) error { return peeringdb.Write(w, s) }
+
+// ParseAPNIC reads the per-AS population CSV.
+func ParseAPNIC(r io.Reader, date string) (*APNICTable, error) { return apnic.Parse(r, date) }
+
+// WriteAPNIC serializes a population table as CSV.
+func WriteAPNIC(w io.Writer, t *APNICTable) error { return apnic.Write(w, t) }
+
+// ParseASRank reads an AS-Rank CSV.
+func ParseASRank(r io.Reader, date string) (*ASRanking, error) { return asrank.Parse(r, date) }
+
+// WriteASRank serializes an AS-Rank snapshot as CSV.
+func WriteASRank(w io.Writer, r *ASRanking) error { return asrank.Write(w, r) }
+
+// NewWebUniverse returns an empty simulated web.
+func NewWebUniverse() *WebUniverse { return websim.New() }
+
+// WriteWebUniverse serializes a simulated web as a JSON-lines manifest.
+func WriteWebUniverse(w io.Writer, u *WebUniverse) error { return websim.WriteManifest(w, u) }
+
+// ReadWebUniverse reconstructs a simulated web from a manifest.
+func ReadWebUniverse(r io.Reader) (*WebUniverse, error) { return websim.ReadManifest(r) }
+
+// LLM providers.
+type (
+	// LLMProvider generates chat completions for the learning-based
+	// stages.
+	LLMProvider = llm.Provider
+	// LLMRequest is a chat-completion request.
+	LLMRequest = llm.Request
+	// LLMMessage is one chat turn (optionally with image attachments).
+	LLMMessage = llm.Message
+	// LLMResponse is a chat completion.
+	LLMResponse = llm.Response
+	// SimulatedLLM is the deterministic offline model.
+	SimulatedLLM = simllm.Model
+	// OpenAIProvider is a complete OpenAI-compatible HTTP client.
+	OpenAIProvider = openai.Client
+)
+
+// Chat roles for LLMMessage.
+const (
+	RoleSystem    = llm.RoleSystem
+	RoleUser      = llm.RoleUser
+	RoleAssistant = llm.RoleAssistant
+)
+
+// NewSimulatedLLM returns the deterministic simulated model used for
+// offline reproduction (same-input ⇒ same-output, like the paper's
+// temperature-0 GPT-4o-mini configuration).
+func NewSimulatedLLM() *SimulatedLLM { return simllm.NewModel() }
+
+// LLMProfile parameterises a simulated model's capabilities — the
+// alternative-model exploration the paper's conclusion proposes.
+type LLMProfile = simllm.Profile
+
+// Built-in simulated-model profiles.
+var (
+	// ProfileGPT4oMini is the paper's configuration.
+	ProfileGPT4oMini = simllm.ProfileGPT4oMini
+	// ProfileLlama models a mid-size open-weights model (English-only
+	// cues, framework icons but no brand logos).
+	ProfileLlama = simllm.ProfileLlama
+	// ProfileSmall models a small distilled model (English-only, no
+	// visual knowledge).
+	ProfileSmall = simllm.ProfileSmall
+)
+
+// NewSimulatedLLMWithProfile returns a simulated model with the given
+// capability profile.
+func NewSimulatedLLMWithProfile(p LLMProfile) *SimulatedLLM {
+	return simllm.NewModelWithProfile(p)
+}
+
+// NewOpenAIProvider returns a chat-completions client for an
+// OpenAI-compatible endpoint. An empty baseURL selects the public
+// OpenAI API.
+func NewOpenAIProvider(baseURL, apiKey string, httpClient *http.Client) LLMProvider {
+	return &llm.Retrying{Inner: &openai.Client{
+		BaseURL: baseURL, APIKey: apiKey, HTTPClient: httpClient,
+	}}
+}
+
+// NewCachingProvider memoizes a provider's completions: identical
+// requests return the stored response without touching the backend.
+// Temperature-0 determinism (the paper's configuration) makes this
+// loss-free; incremental re-runs over updated snapshots only pay for
+// records whose text changed.
+func NewCachingProvider(inner LLMProvider) *llm.Caching { return llm.NewCaching(inner) }
+
+// NewRateLimitedProvider paces a provider below a requests-per-second
+// budget with the given burst capacity, for batch runs against live
+// APIs with per-minute quotas.
+func NewRateLimitedProvider(inner LLMProvider, rps float64, burst int) LLMProvider {
+	return &llm.RateLimited{Inner: inner, RPS: rps, Burst: burst}
+}
+
+// Run executes the Borges pipeline.
+func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
+	return core.Run(ctx, in, opts)
+}
+
+// AllFeatures returns the full Borges feature configuration.
+func AllFeatures() Features { return core.AllFeatures() }
+
+// Baselines.
+
+// AS2Org builds the classic WHOIS-only mapping of Cai et al.
+func AS2Org(w *WHOISSnapshot) *Mapping { return baseline.AS2Org(w) }
+
+// AS2OrgPlus builds the as2org+ mapping (Arturi et al.) in the paper's
+// fully automated benchmark configuration (OID_W + OID_P).
+func AS2OrgPlus(w *WHOISSnapshot, p *PDBSnapshot) *Mapping {
+	return baseline.AS2OrgPlus(w, p, baseline.Config{})
+}
+
+// WriteMapping serializes a mapping as JSON lines (one organization per
+// line with members, name, and feature provenance).
+func WriteMapping(w io.Writer, m *Mapping) error { return cluster.WriteJSONL(w, m) }
+
+// ReadMapping parses a mapping written with WriteMapping.
+func ReadMapping(r io.Reader) (*Mapping, error) { return cluster.ReadJSONL(r) }
+
+// Theta computes the normalised Organization Factor of a mapping
+// (§5.4; 0 = every organization manages one network, → 1 = one
+// organization manages everything).
+func Theta(m *Mapping) (float64, error) { return orgfactor.Theta(m) }
+
+// Synthetic corpus generation.
+type (
+	// DatasetConfig parameterises synthetic corpus generation.
+	DatasetConfig = synth.Config
+	// Dataset is a complete generated corpus with ground truth.
+	Dataset = synth.Dataset
+)
+
+// GenerateDataset builds a seeded, deterministic synthetic corpus
+// calibrated to the paper's July 2024 snapshot statistics. Scale 1.0 is
+// paper scale; ~0.05 generates fast test corpora.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return synth.Generate(cfg) }
+
+// Longitudinal analysis.
+type (
+	// MappingDiff summarises how organizations changed between two
+	// mappings: merges, splits, reshuffles, arrivals, departures.
+	MappingDiff = mapdiff.Report
+	// MappingChange describes one organization's transition.
+	MappingChange = mapdiff.Change
+	// ChangeKind classifies a MappingChange.
+	ChangeKind = mapdiff.ChangeKind
+)
+
+// Change kinds.
+const (
+	ChangeStable    = mapdiff.Stable
+	ChangeMerge     = mapdiff.Merge
+	ChangeSplit     = mapdiff.Split
+	ChangeReshuffle = mapdiff.Reshuffle
+	ChangeAppeared  = mapdiff.Appeared
+	ChangeDeparted  = mapdiff.Departed
+)
+
+// CompareMappings analyses the transition from an older mapping to a
+// newer one — across snapshots (the Figure 1 merger timelines) or
+// across methods over one snapshot (Borges vs AS2Org).
+func CompareMappings(older, newer *Mapping) *MappingDiff {
+	return mapdiff.Compare(older, newer)
+}
+
+// Evaluation harness.
+type (
+	// Evaluation bundles a corpus with pipeline and baseline runs and
+	// regenerates every table and figure of the paper.
+	Evaluation = eval.Data
+	// ResultTable is one rendered experiment result.
+	ResultTable = eval.Table
+)
+
+// PrepareEvaluation runs the pipeline and both baselines over a corpus
+// once; the individual experiments (Table3 … Figure9, or All) are then
+// cheap to regenerate.
+func PrepareEvaluation(ctx context.Context, ds *Dataset, provider LLMProvider) (*Evaluation, error) {
+	return eval.Prepare(ctx, ds, provider)
+}

@@ -1,0 +1,71 @@
+// Command borges-diff compares two mapping files (JSON lines, as
+// written by `borges -format jsonl` or borges.WriteMapping) and reports
+// how organizations changed: merges, splits, reshuffles, arrivals, and
+// departures — the longitudinal view of §7 applied to successive
+// snapshots, or to two methods over one snapshot.
+//
+// Usage:
+//
+//	borges-diff old.jsonl new.jsonl
+//	borges-diff -merges 10 old.jsonl new.jsonl   # show the 10 largest merges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borges-diff: ")
+	merges := flag.Int("merges", 5, "how many of the largest merges to detail")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: borges-diff [-merges N] old.jsonl new.jsonl")
+	}
+
+	older := loadMapping(flag.Arg(0))
+	newer := loadMapping(flag.Arg(1))
+	fmt.Printf("old: %d organizations over %d networks\n", older.NumOrgs(), older.NumASNs())
+	fmt.Printf("new: %d organizations over %d networks\n", newer.NumOrgs(), newer.NumASNs())
+
+	diff := borges.CompareMappings(older, newer)
+	fmt.Println(diff.Summary())
+
+	top := diff.MergesOf()
+	if len(top) > *merges {
+		top = top[:*merges]
+	}
+	for i, m := range top {
+		name := m.Name
+		if name == "" {
+			name = m.Members[0].String()
+		}
+		fmt.Printf("merge %d: %s — %d organizations united (%d networks)\n",
+			i+1, name, len(m.Sources), len(m.Members))
+		for _, src := range m.Sources {
+			srcName := src.Name
+			if srcName == "" {
+				srcName = src.Members[0].String()
+			}
+			fmt.Printf("    ← %s (%d networks)\n", srcName, len(src.Members))
+		}
+	}
+}
+
+func loadMapping(path string) *borges.Mapping {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := borges.ReadMapping(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return m
+}

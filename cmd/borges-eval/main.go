@@ -1,0 +1,84 @@
+// Command borges-eval regenerates every table and figure of the paper's
+// evaluation (§5, §6) over the calibrated synthetic corpus: the
+// per-feature contribution counts (Table 3), the LLM-stage validations
+// (Tables 4 and 5), the Organization Factor grid (Table 6), the
+// population and footprint analyses (Tables 7–9), and the series behind
+// Figures 7–9.
+//
+// Usage:
+//
+//	borges-eval                      # all experiments, paper scale
+//	borges-eval -exp table6          # one experiment
+//	borges-eval -scale 0.1 -format csv -out results/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borges-eval: ")
+
+	seed := flag.Int64("seed", 1, "corpus seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 = paper scale)")
+	exp := flag.String("exp", "all", "experiment id (table3..table9, figure7..figure9, ablation-*, accuracy, 'all', or 'ablations')")
+	format := flag.String("format", "text", "output format: text, csv, or markdown")
+	out := flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+	flag.Parse()
+
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := borges.PrepareEvaluation(context.Background(), ds, borges.NewSimulatedLLM())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tables []*borges.ResultTable
+	switch {
+	case *exp == "all":
+		tables, err = ev.All()
+	case *exp == "ablations":
+		tables, err = ev.Ablations(context.Background())
+	default:
+		var t *borges.ResultTable
+		t, err = ev.ByID(*exp)
+		tables = []*borges.ResultTable{t}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range tables {
+		var body, ext string
+		switch *format {
+		case "csv":
+			body, ext = t.CSV(), "csv"
+		case "markdown", "md":
+			body, ext = t.Markdown(), "md"
+		default:
+			body, ext = t.Render(), "txt"
+		}
+		if *out == "" {
+			fmt.Println(body)
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, t.ID+"."+ext)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

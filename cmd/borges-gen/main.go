@@ -1,0 +1,66 @@
+// Command borges-gen generates a calibrated synthetic corpus — WHOIS
+// (CAIDA AS2Org form), PeeringDB (API-dump form), APNIC populations, and
+// AS-Rank — and writes it to disk together with the simulated web
+// universe (web.jsonl), so a corpus on disk is complete and
+// self-contained.
+//
+// Usage:
+//
+//	borges-gen -seed 1 -scale 1.0 -out ./corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borges-gen: ")
+
+	seed := flag.Int64("seed", 1, "generator seed (determines the whole corpus)")
+	scale := flag.Float64("scale", 1.0, "corpus scale; 1.0 reproduces the paper's snapshot sizes")
+	out := flag.String("out", "corpus", "output directory")
+	flag.Parse()
+
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatalf("write %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close %s: %v", path, err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("as2org.jsonl", func(f *os.File) error { return borges.WriteWHOIS(f, ds.WHOIS) })
+	write("peeringdb.json", func(f *os.File) error { return borges.WritePeeringDB(f, ds.PDB) })
+	write("apnic.csv", func(f *os.File) error { return borges.WriteAPNIC(f, ds.APNIC) })
+	write("asrank.csv", func(f *os.File) error { return borges.WriteASRank(f, ds.ASRank) })
+	write("web.jsonl", func(f *os.File) error { return borges.WriteWebUniverse(f, ds.Web) })
+
+	fmt.Printf("corpus: %d WHOIS ASNs in %d orgs, %d PeeringDB nets in %d orgs, %d APNIC records, %d ranked ASNs\n",
+		ds.WHOIS.NumASNs(), ds.WHOIS.NumOrgs(),
+		ds.PDB.NumNets(), ds.PDB.NumOrgs(),
+		ds.APNIC.Len(), ds.ASRank.Len())
+	fmt.Printf("web universe: %d simulated sites (web.jsonl; also regenerable with -seed %d -scale %g)\n",
+		ds.Web.NumSites(), *seed, *scale)
+}

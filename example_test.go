@@ -1,0 +1,96 @@
+package borges_test
+
+import (
+	"context"
+	"fmt"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+// ExampleRun executes the full pipeline on a small synthetic corpus and
+// verifies the flagship web-inference merger.
+func ExampleRun() {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 7, Scale: 0.02})
+	if err != nil {
+		panic(err)
+	}
+	res, err := borges.Run(context.Background(), borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,
+		Provider:  borges.NewSimulatedLLM(),
+	}, borges.Options{})
+	if err != nil {
+		panic(err)
+	}
+	edgecast, _ := borges.ParseASN("AS15133")
+	limelight, _ := borges.ParseASN("AS22822")
+	fmt.Println("merged via edg.io:", res.Mapping.ClusterOf(edgecast) == res.Mapping.ClusterOf(limelight))
+	// Output:
+	// merged via edg.io: true
+}
+
+// ExampleTheta computes the Organization Factor for the two hypothetical
+// extremes the paper uses to define the metric (§5.4).
+func ExampleTheta() {
+	w := borges.NewWHOISSnapshot("20240701")
+	// Four networks, each its own organization: θ = 0.
+	for i := 1; i <= 4; i++ {
+		id := fmt.Sprintf("ORG-%d", i)
+		w.AddOrg(borges.WHOISOrg{ID: id, Name: id})
+		w.AddAS(borges.WHOISASRecord{ASN: borges.ASN(i), OrgID: id})
+	}
+	theta, _ := borges.Theta(borges.AS2Org(w))
+	fmt.Printf("all singletons: θ = %.2f\n", theta)
+
+	// The same four networks under one organization: θ → 1.
+	one := borges.NewWHOISSnapshot("20240701")
+	one.AddOrg(borges.WHOISOrg{ID: "ORG", Name: "One Org"})
+	for i := 1; i <= 4; i++ {
+		one.AddAS(borges.WHOISASRecord{ASN: borges.ASN(i), OrgID: "ORG"})
+	}
+	theta, _ = borges.Theta(borges.AS2Org(one))
+	fmt.Printf("single organization: θ = %.2f\n", theta)
+	// Output:
+	// all singletons: θ = 0.00
+	// single organization: θ = 0.75
+}
+
+// ExampleCompareMappings diffs a registry-only mapping against one with
+// an acquisition applied.
+func ExampleCompareMappings() {
+	w := borges.NewWHOISSnapshot("d")
+	w.AddOrg(borges.WHOISOrg{ID: "A", Name: "Acquirer"})
+	w.AddOrg(borges.WHOISOrg{ID: "B", Name: "Target"})
+	w.AddAS(borges.WHOISASRecord{ASN: 100, OrgID: "A"})
+	w.AddAS(borges.WHOISASRecord{ASN: 200, OrgID: "B"})
+	before := borges.AS2Org(w)
+
+	p := borges.NewPDBSnapshot("d")
+	p.AddOrg(borges.PDBOrg{ID: 1, Name: "Acquirer"})
+	p.AddNet(borges.PDBNet{ID: 1, OrgID: 1, ASN: 100})
+	p.AddNet(borges.PDBNet{ID: 2, OrgID: 1, ASN: 200})
+	after := borges.AS2OrgPlus(w, p)
+
+	diff := borges.CompareMappings(before, after)
+	fmt.Println(diff.Summary())
+	// Output:
+	// stable=0 merges=1 splits=0 reshuffles=0 appeared=0 departed=0 moved-ASNs=2
+}
+
+// ExampleParseASN shows the accepted spellings, including RFC 5396
+// asdot notation.
+func ExampleParseASN() {
+	for _, s := range []string{"AS3356", "asn 174", "65546", "AS1.10"} {
+		a, err := borges.ParseASN(s)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s → %s (asdot %s)\n", s, a, a.AsDot())
+	}
+	// Output:
+	// AS3356   → AS3356 (asdot 3356)
+	// asn 174  → AS174 (asdot 174)
+	// 65546    → AS65546 (asdot 1.10)
+	// AS1.10   → AS65546 (asdot 1.10)
+}

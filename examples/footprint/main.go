@@ -1,0 +1,50 @@
+// Footprint: reproduce the paper's §6.2 analysis — how Borges expands
+// the recognised country-level footprint of international conglomerates
+// (Table 9), with a drill-down into Digicel, the paper's flagship case
+// (4 → 25 countries).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := borges.PrepareEvaluation(context.Background(), ds, borges.NewSimulatedLLM())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(ev.Table9().Render())
+	fmt.Println(ev.Table8().Render())
+
+	// Digicel drill-down: the union of per-country user estimates over
+	// the consolidated organization.
+	res, err := borges.Run(context.Background(), borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,
+		Provider:  borges.NewSimulatedLLM(),
+	}, borges.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	digicel, _ := borges.ParseASN("AS23520")
+	cluster := res.Mapping.ClusterOf(digicel)
+	if cluster == nil {
+		log.Fatal("Digicel missing from the mapping")
+	}
+	countries := ds.APNIC.CountriesOfSet(cluster.ASNs)
+	fmt.Printf("Digicel consolidated: %d networks, %d countries, %d users\n",
+		cluster.Size(), len(countries), ds.APNIC.UsersOfSet(cluster.ASNs))
+	fmt.Printf("countries: %v\n", countries)
+}

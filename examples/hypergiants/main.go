@@ -1,0 +1,47 @@
+// Hypergiants: reproduce the paper's Figure 9 scenario — how completely
+// each mapping method captures the organizational footprint of the 16
+// largest content platforms, including the Edgecast/Limelight
+// consolidation that only web-based inference can see.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := borges.PrepareEvaluation(context.Background(), ds, borges.NewSimulatedLLM())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fig9 := ev.Figure9()
+	fmt.Println(fig9.Render())
+
+	// Drill into the flagship case: Edgecast's organization before and
+	// after the Limelight consolidation through www.edg.io.
+	res, err := borges.Run(context.Background(), borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,
+		Provider:  borges.NewSimulatedLLM(),
+	}, borges.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edgecast, _ := borges.ParseASN("AS15133")
+	before := borges.AS2Org(ds.WHOIS).ClusterOf(edgecast)
+	after := res.Mapping.ClusterOf(edgecast)
+	fmt.Printf("Edgecast under AS2Org: %d networks\n", before.Size())
+	fmt.Printf("Edgecast under Borges: %d networks (+%d via the edg.io redirect)\n",
+		after.Size(), after.Size()-before.Size())
+}

@@ -1,0 +1,210 @@
+// Mergers: a hand-built reconstruction of the paper's Figure 1 — the
+// Level3 merger/demerger timeline — showing how Borges tracks
+// organizational change across snapshots while the static WHOIS view
+// (AS2Org) stays frozen.
+//
+// The scenario builds one WHOIS snapshot (registries rarely reflect
+// acquisitions) and a per-year PeeringDB snapshot + web universe:
+//
+//	2010  Level3, Global Crossing, CenturyLink, Qwest all independent
+//	2011  Level3 acquires Global Crossing (globalcrossing.com → level3.com)
+//	2017  CenturyLink acquires Level3 (one PeeringDB organization)
+//	2020  rebrand to Lumen (all brand sites redirect to lumen.com)
+//	2022  LATAM spin-off to Cirion (AS-3549's site leaves the redirect web)
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+// The cast. WHOIS keeps them fragmented for the whole timeline, exactly
+// like the real registries do.
+var (
+	level3   = mustASN("AS3356")
+	glbx     = mustASN("AS3549")
+	ctl      = mustASN("AS209")
+	qwest    = mustASN("AS3909")
+	latamASN = mustASN("AS26617")
+)
+
+func mustASN(s string) borges.ASN {
+	a, err := borges.ParseASN(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func buildWHOIS() *borges.WHOISSnapshot {
+	w := borges.NewWHOISSnapshot("static")
+	add := func(oid, name string, asns ...borges.ASN) {
+		w.AddOrg(borges.WHOISOrg{ID: oid, Name: name, Country: "US", Source: "ARIN"})
+		for _, a := range asns {
+			w.AddAS(borges.WHOISASRecord{ASN: a, OrgID: oid, Name: name, Source: "ARIN"})
+		}
+	}
+	add("LVLT-ARIN", "Level 3 Communications", level3)
+	add("GBLX-ARIN", "Global Crossing", glbx)
+	add("CL-ARIN", "CenturyLink", ctl)
+	add("QWEST-ARIN", "Qwest", qwest)
+	add("LATAM-ARIN", "Level 3 LATAM", latamASN)
+	return w
+}
+
+// year describes one snapshot of the evolving web + PeeringDB state.
+type year struct {
+	label string
+	pdb   func() *borges.PDBSnapshot
+	web   func() *borges.WebUniverse
+}
+
+func net(id, orgID int, a borges.ASN, name, site string) borges.PDBNet {
+	return borges.PDBNet{ID: id, OrgID: orgID, ASN: a, Name: name, Website: site}
+}
+
+func timeline() []year {
+	return []year{
+		{
+			label: "2010: four independent operators",
+			pdb: func() *borges.PDBSnapshot {
+				p := borges.NewPDBSnapshot("2010")
+				p.AddOrg(borges.PDBOrg{ID: 1, Name: "Level 3"})
+				p.AddOrg(borges.PDBOrg{ID: 2, Name: "Global Crossing"})
+				p.AddOrg(borges.PDBOrg{ID: 3, Name: "CenturyLink"})
+				p.AddOrg(borges.PDBOrg{ID: 4, Name: "Qwest"})
+				p.AddNet(net(1, 1, level3, "Level 3", "https://www.level3.com"))
+				p.AddNet(net(2, 2, glbx, "Global Crossing", "https://www.globalcrossing.com"))
+				p.AddNet(net(3, 3, ctl, "CenturyLink", "https://www.centurylink.com"))
+				p.AddNet(net(4, 4, qwest, "Qwest", "https://www.qwest.com"))
+				p.AddNet(net(5, 1, latamASN, "Level 3 LATAM", "https://www.level3.com/latam"))
+				return p
+			},
+			web: func() *borges.WebUniverse {
+				u := borges.NewWebUniverse()
+				u.AddSite("www.level3.com", "level3")
+				u.AddSite("www.globalcrossing.com", "glbx")
+				u.AddSite("www.centurylink.com", "ctl")
+				u.AddSite("www.qwest.com", "qwest")
+				return u
+			},
+		},
+		{
+			label: "2011: Level3 acquires Global Crossing",
+			pdb: func() *borges.PDBSnapshot {
+				p := borges.NewPDBSnapshot("2011")
+				p.AddOrg(borges.PDBOrg{ID: 1, Name: "Level 3"})
+				p.AddOrg(borges.PDBOrg{ID: 2, Name: "Global Crossing"})
+				p.AddOrg(borges.PDBOrg{ID: 3, Name: "CenturyLink"})
+				p.AddOrg(borges.PDBOrg{ID: 4, Name: "Qwest"})
+				p.AddNet(net(1, 1, level3, "Level 3", "https://www.level3.com"))
+				// Stale record: still points at the acquired brand.
+				p.AddNet(net(2, 2, glbx, "Global Crossing", "https://www.globalcrossing.com"))
+				p.AddNet(net(3, 3, ctl, "CenturyLink", "https://www.centurylink.com"))
+				p.AddNet(net(4, 4, qwest, "Qwest", "https://www.qwest.com"))
+				p.AddNet(net(5, 1, latamASN, "Level 3 LATAM", "https://www.level3.com/latam"))
+				return p
+			},
+			web: func() *borges.WebUniverse {
+				u := borges.NewWebUniverse()
+				u.AddSite("www.level3.com", "level3")
+				u.RedirectHost("www.globalcrossing.com", "https://www.level3.com/")
+				u.AddSite("www.centurylink.com", "ctl")
+				// Qwest is being consolidated into CenturyLink too.
+				u.RedirectHost("www.qwest.com", "https://www.centurylink.com/")
+				return u
+			},
+		},
+		{
+			label: "2017: CenturyLink acquires Level3 (one PeeringDB org)",
+			pdb: func() *borges.PDBSnapshot {
+				p := borges.NewPDBSnapshot("2017")
+				p.AddOrg(borges.PDBOrg{ID: 3, Name: "CenturyLink"})
+				p.AddNet(net(1, 3, level3, "Level 3", "https://www.level3.com"))
+				p.AddNet(net(2, 3, glbx, "Global Crossing", "https://www.globalcrossing.com"))
+				p.AddNet(net(3, 3, ctl, "CenturyLink", "https://www.centurylink.com"))
+				p.AddNet(net(4, 3, qwest, "Qwest", "https://www.qwest.com"))
+				p.AddNet(net(5, 3, latamASN, "Level 3 LATAM", "https://www.level3.com/latam"))
+				return p
+			},
+			web: func() *borges.WebUniverse {
+				u := borges.NewWebUniverse()
+				u.AddSite("www.centurylink.com", "ctl")
+				u.RedirectHost("www.level3.com", "https://www.centurylink.com/")
+				u.RedirectHost("www.globalcrossing.com", "https://www.level3.com/")
+				u.RedirectHost("www.qwest.com", "https://www.centurylink.com/")
+				return u
+			},
+		},
+		{
+			label: "2022: Lumen rebrand + LATAM spin-off to Cirion",
+			pdb: func() *borges.PDBSnapshot {
+				p := borges.NewPDBSnapshot("2022")
+				p.AddOrg(borges.PDBOrg{ID: 3, Name: "Lumen"})
+				p.AddOrg(borges.PDBOrg{ID: 9, Name: "Cirion"})
+				p.AddNet(net(1, 3, level3, "Lumen AS3356", "https://www.level3.com"))
+				p.AddNet(net(2, 3, glbx, "Lumen AS3549", "https://www.globalcrossing.com"))
+				p.AddNet(net(3, 3, ctl, "Lumen AS209", "https://www.centurylink.com"))
+				p.AddNet(net(4, 3, qwest, "Lumen AS3909", "https://www.qwest.com"))
+				// Demerger: Cirion leaves the Lumen redirect web.
+				p.AddNet(net(5, 9, latamASN, "Cirion", "https://www.ciriontechnologies.com"))
+				return p
+			},
+			web: func() *borges.WebUniverse {
+				u := borges.NewWebUniverse()
+				u.AddSite("www.lumen.com", "lumen")
+				for _, h := range []string{"www.level3.com", "www.globalcrossing.com",
+					"www.centurylink.com", "www.qwest.com"} {
+					u.RedirectHost(h, "https://www.lumen.com/")
+				}
+				u.AddSite("www.ciriontechnologies.com", "cirion")
+				return u
+			},
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	w := buildWHOIS()
+
+	base := borges.AS2Org(w)
+	fmt.Printf("AS2Org (static WHOIS view): %d organizations — it never sees a merger\n\n", base.NumOrgs())
+
+	var prev *borges.Mapping
+	for _, y := range timeline() {
+		res, err := borges.Run(context.Background(), borges.Inputs{
+			WHOIS:     w,
+			PDB:       y.pdb(),
+			Transport: y.web(),
+			Provider:  borges.NewSimulatedLLM(),
+		}, borges.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Mapping.ClusterOf(level3)
+		fmt.Printf("%s\n", y.label)
+		fmt.Printf("  organizations: %d;  Level3's cluster: %v\n", res.Mapping.NumOrgs(), c.ASNs)
+		together := func(a, b borges.ASN) string {
+			if res.Mapping.ClusterOf(a) == res.Mapping.ClusterOf(b) {
+				return "same org"
+			}
+			return "separate"
+		}
+		fmt.Printf("  Level3/GlobalCrossing: %-9s  Level3/CenturyLink: %-9s  Level3/LATAM: %s\n",
+			together(level3, glbx), together(level3, ctl), together(level3, latamASN))
+		// Longitudinal view: what changed since the previous snapshot?
+		if prev != nil {
+			diff := borges.CompareMappings(prev, res.Mapping)
+			fmt.Printf("  vs previous snapshot: %s\n", diff.Summary())
+			for _, m := range diff.MergesOf() {
+				fmt.Printf("    merge → %s unites %d organizations\n", m.Name, len(m.Sources))
+			}
+		}
+		fmt.Println()
+		prev = res.Mapping
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: generate a small synthetic corpus, run the full Borges
+// pipeline against the simulated web and simulated LLM, and inspect the
+// resulting AS-to-Organization mapping.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	borges "github.com/nu-aqualab/borges"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A seeded corpus: WHOIS + PeeringDB snapshots, a simulated web,
+	// APNIC populations, and AS-Rank. Scale 0.05 keeps this fast;
+	// scale 1.0 reproduces the paper's snapshot sizes.
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 42, Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d ASNs in %d WHOIS orgs, %d PeeringDB nets\n",
+		ds.WHOIS.NumASNs(), ds.WHOIS.NumOrgs(), ds.PDB.NumNets())
+
+	// Run the pipeline: organization keys + LLM notes/aka extraction +
+	// web-based inference (redirects, favicons).
+	res, err := borges.Run(context.Background(), borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,                   // swap for nil to crawl the real web
+		Provider:  borges.NewSimulatedLLM(), // swap for NewOpenAIProvider(...)
+	}, borges.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare against the baselines with the Organization Factor.
+	baseTheta, _ := borges.Theta(borges.AS2Org(ds.WHOIS))
+	plusTheta, _ := borges.Theta(borges.AS2OrgPlus(ds.WHOIS, ds.PDB))
+	ourTheta, _ := borges.Theta(res.Mapping)
+	fmt.Printf("Organization Factor: AS2Org %.4f → as2org+ %.4f → Borges %.4f\n",
+		baseTheta, plusTheta, ourTheta)
+
+	// Query the mapping: who are Lumen's siblings?
+	lumen, _ := borges.ParseASN("AS3356")
+	if c := res.Mapping.ClusterOf(lumen); c != nil {
+		fmt.Printf("%s (%s) manages %d networks: %v…\n",
+			c.Name, lumen, c.Size(), c.ASNs[:min(5, len(c.ASNs))])
+	}
+
+	// The Edgecast / Limelight merger is discovered through the web
+	// module — both sites redirect to edg.io.
+	edgecast, _ := borges.ParseASN("AS15133")
+	limelight, _ := borges.ParseASN("AS22822")
+	fmt.Printf("Edgecast and Limelight under one organization: %v\n",
+		res.Mapping.ClusterOf(edgecast) == res.Mapping.ClusterOf(limelight))
+
+	// Print the five largest organizations.
+	fmt.Println("\nlargest organizations:")
+	for i, c := range res.Mapping.Clusters {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-40s %4d networks\n", c.Name, c.Size())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

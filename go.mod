@@ -1,0 +1,3 @@
+module github.com/nu-aqualab/borges
+
+go 1.22

@@ -1,0 +1,191 @@
+// Package apnic models APNIC's per-AS user population estimates
+// (labs.apnic.net), the dataset the paper uses to quantify the eyeball
+// population of access-network organizations (§6.1) and their
+// country-level footprints (§6.2).
+//
+// Each record estimates, for one (ASN, country) pair, the number of
+// Internet users in that country whose traffic originates from that AS.
+// An AS serving several countries appears once per country.
+package apnic
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// Record is one (ASN, country) population estimate.
+type Record struct {
+	ASN asnum.ASN
+	// CC is the ISO 3166-1 alpha-2 country code.
+	CC string
+	// Users is the estimated number of Internet users.
+	Users int64
+	// PctOfCountry is the estimated share of the country's Internet
+	// users served by this AS, in percent (0–100).
+	PctOfCountry float64
+}
+
+// Table is a parsed APNIC population dataset.
+type Table struct {
+	// Date is the estimate date in YYYYMMDD form (e.g. "20240701").
+	Date string
+
+	records []Record
+	byASN   map[asnum.ASN][]int // indexes into records
+}
+
+// NewTable returns an empty table for the given date.
+func NewTable(date string) *Table {
+	return &Table{Date: date, byASN: make(map[asnum.ASN][]int)}
+}
+
+// Add appends one record.
+func (t *Table) Add(r Record) {
+	t.byASN[r.ASN] = append(t.byASN[r.ASN], len(t.records))
+	t.records = append(t.records, r)
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Records returns all records ordered by (ASN, CC).
+func (t *Table) Records() []Record {
+	out := append([]Record(nil), t.records...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].CC < out[j].CC
+	})
+	return out
+}
+
+// UsersOf returns the total estimated users of a across all countries.
+func (t *Table) UsersOf(a asnum.ASN) int64 {
+	var sum int64
+	for _, i := range t.byASN[a] {
+		sum += t.records[i].Users
+	}
+	return sum
+}
+
+// CountriesOf returns the sorted country codes where a has estimated
+// users (> 0).
+func (t *Table) CountriesOf(a asnum.ASN) []string {
+	var out []string
+	for _, i := range t.byASN[a] {
+		if t.records[i].Users > 0 {
+			out = append(out, t.records[i].CC)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsersOfSet returns the total estimated users across a set of ASNs.
+func (t *Table) UsersOfSet(asns []asnum.ASN) int64 {
+	var sum int64
+	for _, a := range asns {
+		sum += t.UsersOf(a)
+	}
+	return sum
+}
+
+// CountriesOfSet returns the sorted set of countries where any ASN in
+// the set has estimated users.
+func (t *Table) CountriesOfSet(asns []asnum.ASN) []string {
+	seen := make(map[string]bool)
+	for _, a := range asns {
+		for _, cc := range t.CountriesOf(a) {
+			seen[cc] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for cc := range seen {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalUsers returns the global estimated user population.
+func (t *Table) TotalUsers() int64 {
+	var sum int64
+	for _, r := range t.records {
+		sum += r.Users
+	}
+	return sum
+}
+
+// ASNs returns all ASNs with at least one record, sorted.
+func (t *Table) ASNs() []asnum.ASN {
+	out := make([]asnum.ASN, 0, len(t.byASN))
+	for a := range t.byASN {
+		out = append(out, a)
+	}
+	asnum.Sort(out)
+	return out
+}
+
+// header is the CSV header for the on-disk format.
+var header = []string{"asn", "cc", "users", "pct_of_country"}
+
+// Parse reads the CSV form (header "asn,cc,users,pct_of_country").
+func Parse(r io.Reader, date string) (*Table, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = len(header)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("apnic: read: %w", err)
+	}
+	if len(rows) == 0 {
+		return NewTable(date), nil
+	}
+	if rows[0][0] != header[0] {
+		return nil, fmt.Errorf("apnic: missing header, got %q", rows[0])
+	}
+	t := NewTable(date)
+	for i, row := range rows[1:] {
+		a, err := asnum.Parse(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("apnic: row %d: %w", i+2, err)
+		}
+		users, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("apnic: row %d: users: %w", i+2, err)
+		}
+		pct, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("apnic: row %d: pct: %w", i+2, err)
+		}
+		t.Add(Record{ASN: a, CC: row[1], Users: users, PctOfCountry: pct})
+	}
+	return t, nil
+}
+
+// Write serializes the table as CSV in deterministic (ASN, CC) order.
+func Write(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("apnic: write header: %w", err)
+	}
+	for _, r := range t.Records() {
+		row := []string{
+			strconv.FormatUint(uint64(r.ASN), 10),
+			r.CC,
+			strconv.FormatInt(r.Users, 10),
+			strconv.FormatFloat(r.PctOfCountry, 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("apnic: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,98 @@
+package apnic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+func sampleTable() *Table {
+	t := NewTable("20240701")
+	t.Add(Record{ASN: 3320, CC: "DE", Users: 24_000_000, PctOfCountry: 32.5})
+	t.Add(Record{ASN: 3320, CC: "AT", Users: 1_000_000, PctOfCountry: 12.0})
+	t.Add(Record{ASN: 6855, CC: "SK", Users: 2_500_000, PctOfCountry: 55.0})
+	t.Add(Record{ASN: 5391, CC: "HR", Users: 1_800_000, PctOfCountry: 60.0})
+	t.Add(Record{ASN: 5391, CC: "BA", Users: 0, PctOfCountry: 0})
+	return t
+}
+
+func TestQueries(t *testing.T) {
+	tab := sampleTable()
+	if got := tab.UsersOf(3320); got != 25_000_000 {
+		t.Errorf("UsersOf(3320) = %d", got)
+	}
+	if got := tab.UsersOf(99999); got != 0 {
+		t.Errorf("UsersOf(unknown) = %d", got)
+	}
+	if got := tab.CountriesOf(3320); len(got) != 2 || got[0] != "AT" || got[1] != "DE" {
+		t.Errorf("CountriesOf(3320) = %v", got)
+	}
+	// Zero-user record must not count as presence.
+	if got := tab.CountriesOf(5391); len(got) != 1 || got[0] != "HR" {
+		t.Errorf("CountriesOf(5391) = %v", got)
+	}
+	set := []asnum.ASN{3320, 6855, 5391}
+	if got := tab.UsersOfSet(set); got != 29_300_000 {
+		t.Errorf("UsersOfSet = %d", got)
+	}
+	cc := tab.CountriesOfSet(set)
+	want := []string{"AT", "DE", "HR", "SK"}
+	if len(cc) != len(want) {
+		t.Fatalf("CountriesOfSet = %v", cc)
+	}
+	for i := range want {
+		if cc[i] != want[i] {
+			t.Fatalf("CountriesOfSet = %v, want %v", cc, want)
+		}
+	}
+	if got := tab.TotalUsers(); got != 29_300_000 {
+		t.Errorf("TotalUsers = %d", got)
+	}
+	if got := tab.ASNs(); len(got) != 3 || got[0] != 3320 {
+		t.Errorf("ASNs = %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tab := sampleTable()
+	var buf bytes.Buffer
+	if err := Write(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "20240701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() || back.TotalUsers() != tab.TotalUsers() {
+		t.Fatalf("round trip changed table: %d/%d records, %d/%d users",
+			back.Len(), tab.Len(), back.TotalUsers(), tab.TotalUsers())
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Write is not deterministic")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"nope,x\n",
+		"asn,cc,users,pct_of_country\nbad,US,5,1.0\n",
+		"asn,cc,users,pct_of_country\n1,US,notanum,1.0\n",
+		"asn,cc,users,pct_of_country\n1,US,5,notafloat\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c), "x"); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+	// Empty input yields an empty table.
+	tab, err := Parse(strings.NewReader(""), "x")
+	if err != nil || tab.Len() != 0 {
+		t.Errorf("empty input: table=%v err=%v", tab, err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package asnum provides the core identifier types shared across Borges:
+// Autonomous System Numbers (ASNs) and organization identifiers from the
+// WHOIS (OID_W) and PeeringDB (OID_P) namespaces.
+//
+// ASNs are 32-bit unsigned integers per RFC 6793. The package accepts the
+// common textual spellings found in operator-maintained data ("AS3356",
+// "as 3356", "ASN3356", bare "3356") and normalizes them.
+package asnum
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is a 32-bit Autonomous System Number (RFC 6793).
+type ASN uint32
+
+// MaxASN is the largest assignable 32-bit ASN.
+const MaxASN ASN = 0xFFFFFFFF
+
+// String renders the ASN in the canonical "AS<number>" form.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
+
+// Uint returns the numeric value.
+func (a ASN) Uint() uint32 { return uint32(a) }
+
+// IsReserved reports whether the ASN falls in a range reserved by IANA
+// (0, 23456 AS_TRANS, private-use 64512–65534, 65535, documentation
+// 64496–64511 and 65536–65551, and private-use 4200000000–4294967294,
+// plus the last 32-bit value). Reserved ASNs are never valid siblings.
+func (a ASN) IsReserved() bool {
+	n := uint32(a)
+	switch {
+	case n == 0:
+		return true
+	case n == 23456: // AS_TRANS
+		return true
+	case n >= 64496 && n <= 64511: // documentation
+		return true
+	case n >= 64512 && n <= 65534: // private use
+		return true
+	case n == 65535:
+		return true
+	case n >= 65536 && n <= 65551: // documentation
+		return true
+	case n >= 4200000000: // private use + reserved tail
+		return true
+	}
+	return false
+}
+
+// Parse parses an ASN from text. It accepts "AS3356", "ASN3356", "as3356",
+// "AS 3356", bare digits, and the RFC 5396 asdot notation for four-byte
+// ASNs ("AS1.10" = 65546). It rejects values that do not fit in 32 bits.
+func Parse(s string) (ASN, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	switch {
+	case strings.HasPrefix(upper, "ASN"):
+		t = strings.TrimSpace(t[3:])
+	case strings.HasPrefix(upper, "AS"):
+		t = strings.TrimSpace(t[2:])
+	}
+	if t == "" {
+		return 0, fmt.Errorf("asnum: empty ASN in %q", s)
+	}
+	if hi, lo, ok := strings.Cut(t, "."); ok {
+		h, err := strconv.ParseUint(hi, 10, 16)
+		if err != nil {
+			return 0, fmt.Errorf("asnum: invalid asdot high part in %q: %w", s, err)
+		}
+		l, err := strconv.ParseUint(lo, 10, 16)
+		if err != nil {
+			return 0, fmt.Errorf("asnum: invalid asdot low part in %q: %w", s, err)
+		}
+		return ASN(h<<16 | l), nil
+	}
+	n, err := strconv.ParseUint(t, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("asnum: invalid ASN %q: %w", s, err)
+	}
+	return ASN(n), nil
+}
+
+// AsDot renders the ASN in RFC 5396 asdot notation: plain decimal below
+// 65536, "high.low" above.
+func (a ASN) AsDot() string {
+	n := uint32(a)
+	if n < 1<<16 {
+		return strconv.FormatUint(uint64(n), 10)
+	}
+	return strconv.FormatUint(uint64(n>>16), 10) + "." + strconv.FormatUint(uint64(n&0xFFFF), 10)
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(s string) ASN {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Sort sorts a slice of ASNs in ascending numeric order.
+func Sort(asns []ASN) {
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+}
+
+// Dedup returns asns sorted with duplicates removed. The input slice is
+// reused as backing storage.
+func Dedup(asns []ASN) []ASN {
+	if len(asns) < 2 {
+		return asns
+	}
+	Sort(asns)
+	out := asns[:1]
+	for _, a := range asns[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// OrgIDKind distinguishes the namespace an organization identifier
+// belongs to. WHOIS identifiers (OID_W) come from RIR allocation records
+// as aggregated by CAIDA AS2Org; PeeringDB identifiers (OID_P) come from
+// the operator-maintained PeeringDB organization objects.
+type OrgIDKind uint8
+
+const (
+	// OrgIDWhois marks an identifier from WHOIS/AS2Org (OID_W).
+	OrgIDWhois OrgIDKind = iota
+	// OrgIDPeeringDB marks an identifier from PeeringDB (OID_P).
+	OrgIDPeeringDB
+)
+
+// String implements fmt.Stringer.
+func (k OrgIDKind) String() string {
+	switch k {
+	case OrgIDWhois:
+		return "OID_W"
+	case OrgIDPeeringDB:
+		return "OID_P"
+	default:
+		return fmt.Sprintf("OrgIDKind(%d)", uint8(k))
+	}
+}
+
+// OrgID is a namespaced organization identifier.
+type OrgID struct {
+	Kind OrgIDKind
+	ID   string
+}
+
+// String renders the identifier with its namespace prefix, e.g.
+// "OID_W:LVLT-ARIN" or "OID_P:907".
+func (o OrgID) String() string { return o.Kind.String() + ":" + o.ID }
+
+// WhoisOrg constructs a WHOIS-namespace org ID.
+func WhoisOrg(id string) OrgID { return OrgID{Kind: OrgIDWhois, ID: id} }
+
+// PDBOrg constructs a PeeringDB-namespace org ID from the numeric
+// PeeringDB organization primary key.
+func PDBOrg(id int) OrgID {
+	return OrgID{Kind: OrgIDPeeringDB, ID: strconv.Itoa(id)}
+}

@@ -1,0 +1,197 @@
+package asnum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ASN
+		wantErr bool
+	}{
+		{"AS3356", 3356, false},
+		{"as3356", 3356, false},
+		{"ASN3356", 3356, false},
+		{"asn 3356", 3356, false},
+		{"AS 3356", 3356, false},
+		{"3356", 3356, false},
+		{" 3356 ", 3356, false},
+		{"AS4294967295", 4294967295, false},
+		{"AS4294967296", 0, true}, // overflows 32 bits
+		{"", 0, true},
+		{"AS", 0, true},
+		{"ASX", 0, true},
+		{"AS-3356", 0, true},
+		{"AS3356x", 0, true},
+		{"3,356", 0, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := ASN(3356).String(); got != "AS3356" {
+		t.Errorf("String() = %q, want AS3356", got)
+	}
+	if got := ASN(0).String(); got != "AS0" {
+		t.Errorf("String() = %q, want AS0", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		a := ASN(n)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsReserved(t *testing.T) {
+	reserved := []ASN{0, 23456, 64496, 64511, 64512, 65000, 65534, 65535,
+		65536, 65551, 4200000000, 4294967294, 4294967295}
+	for _, a := range reserved {
+		if !a.IsReserved() {
+			t.Errorf("%v should be reserved", a)
+		}
+	}
+	public := []ASN{1, 174, 3356, 15169, 23455, 23457, 64495, 65552, 394000, 4199999999}
+	for _, a := range public {
+		if a.IsReserved() {
+			t.Errorf("%v should not be reserved", a)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]ASN{5, 3, 5, 1, 3, 3})
+	want := []ASN{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Dedup = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedup = %v, want %v", got, want)
+		}
+	}
+	if out := Dedup(nil); len(out) != 0 {
+		t.Errorf("Dedup(nil) = %v", out)
+	}
+	if out := Dedup([]ASN{7}); len(out) != 1 || out[0] != 7 {
+		t.Errorf("Dedup([7]) = %v", out)
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(in []uint32) bool {
+		asns := make([]ASN, len(in))
+		seen := map[ASN]bool{}
+		for i, n := range in {
+			asns[i] = ASN(n)
+			seen[ASN(n)] = true
+		}
+		out := Dedup(asns)
+		if len(out) != len(seen) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				return false
+			}
+		}
+		for _, a := range out {
+			if !seen[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrgID(t *testing.T) {
+	w := WhoisOrg("LVLT-ARIN")
+	if w.String() != "OID_W:LVLT-ARIN" {
+		t.Errorf("WhoisOrg.String() = %q", w.String())
+	}
+	p := PDBOrg(907)
+	if p.String() != "OID_P:907" {
+		t.Errorf("PDBOrg.String() = %q", p.String())
+	}
+	if w.Kind == p.Kind {
+		t.Error("kinds should differ")
+	}
+	if k := OrgIDKind(9).String(); k != "OrgIDKind(9)" {
+		t.Errorf("unknown kind String() = %q", k)
+	}
+}
+
+func TestAsDot(t *testing.T) {
+	cases := []struct {
+		asn  ASN
+		want string
+	}{
+		{3356, "3356"},
+		{65535, "65535"},
+		{65536, "1.0"},
+		{65546, "1.10"},
+		{4294967295, "65535.65535"},
+	}
+	for _, c := range cases {
+		if got := c.asn.AsDot(); got != c.want {
+			t.Errorf("AsDot(%d) = %q, want %q", uint32(c.asn), got, c.want)
+		}
+	}
+}
+
+func TestParseAsDot(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ASN
+		wantErr bool
+	}{
+		{"AS1.10", 65546, false},
+		{"1.0", 65536, false},
+		{"as65535.65535", 4294967295, false},
+		{"AS1.65536", 0, true}, // low part overflows 16 bits
+		{"AS65536.1", 0, true}, // high part overflows 16 bits
+		{"AS1.", 0, true},
+		{"AS.5", 0, true},
+		{"AS1.2.3", 0, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Parse(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAsDotRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		a := ASN(n)
+		back, err := Parse("AS" + a.AsDot())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

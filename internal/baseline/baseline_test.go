@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+func fixtureWHOIS() *whois.Snapshot {
+	w := whois.NewSnapshot("20240701")
+	w.AddOrg(whois.Org{ID: "LVLT-ARIN", Name: "Level 3 Parent, LLC", Country: "US", Source: "ARIN"})
+	w.AddOrg(whois.Org{ID: "CL-ARIN", Name: "CenturyLink Communications", Country: "US", Source: "ARIN"})
+	w.AddOrg(whois.Org{ID: "SOLO-RIPE", Name: "Solo Networks", Country: "DE", Source: "RIPE"})
+	w.AddAS(whois.ASRecord{ASN: 3356, OrgID: "LVLT-ARIN", Name: "LEVEL3"})
+	w.AddAS(whois.ASRecord{ASN: 3549, OrgID: "LVLT-ARIN", Name: "LVLT-3549"})
+	w.AddAS(whois.ASRecord{ASN: 209, OrgID: "CL-ARIN", Name: "CENTURYLINK"})
+	w.AddAS(whois.ASRecord{ASN: 64900, OrgID: "SOLO-RIPE", Name: "SOLO"})
+	return w
+}
+
+func fixturePDB() *peeringdb.Snapshot {
+	p := peeringdb.NewSnapshot("20240724")
+	p.AddOrg(peeringdb.Org{ID: 907, Name: "Lumen"})
+	// PeeringDB groups Level3 and CenturyLink under one org (Fig. 3).
+	p.AddNet(peeringdb.Net{ID: 1, OrgID: 907, ASN: 3356, Name: "Lumen"})
+	p.AddNet(peeringdb.Net{ID: 2, OrgID: 907, ASN: 209, Name: "CenturyLink",
+		Notes: "Call us at 555-2024. Established 1968."})
+	return p
+}
+
+func TestAS2Org(t *testing.T) {
+	m := AS2Org(fixtureWHOIS())
+	if m.NumASNs() != 4 || m.NumOrgs() != 3 {
+		t.Fatalf("got %d ASNs / %d orgs", m.NumASNs(), m.NumOrgs())
+	}
+	// WHOIS alone keeps Level3 and CenturyLink separate (Fig. 3 left).
+	if m.ClusterOf(3356) == m.ClusterOf(209) {
+		t.Error("AS2Org must keep 3356 and 209 apart")
+	}
+	if m.ClusterOf(3356) != m.ClusterOf(3549) {
+		t.Error("AS2Org must group 3356 and 3549 (same OID_W)")
+	}
+	if name := m.ClusterOf(3356).Name; name != "Level 3 Parent, LLC" {
+		t.Errorf("cluster name = %q", name)
+	}
+}
+
+func TestAS2OrgPlusMergesViaOIDP(t *testing.T) {
+	m := AS2OrgPlus(fixtureWHOIS(), fixturePDB(), Config{})
+	// PeeringDB org 907 merges the two WHOIS orgs (Fig. 3 right).
+	if m.ClusterOf(3356) != m.ClusterOf(209) {
+		t.Error("as2org+ must merge 3356 and 209 via OID_P")
+	}
+	if m.ClusterOf(3356).Size() != 3 {
+		t.Errorf("merged cluster = %v", m.ClusterOf(3356).ASNs)
+	}
+	// The independent network is untouched.
+	if m.ClusterOf(64900).Size() != 1 {
+		t.Error("solo network should stay solo")
+	}
+	if m.NumASNs() != 4 {
+		t.Errorf("universe = %d", m.NumASNs())
+	}
+}
+
+func TestRegexSiblings(t *testing.T) {
+	// The naive regex grabs ASNs but also phone fragments and years —
+	// the documented as2org+ failure mode.
+	got := RegexSiblings("Siblings AS3549 and ASN 701. Call 555-2024, est. 1968.")
+	want := map[asnum.ASN]bool{3549: true, 701: true, 555: true, 2024: true, 1968: true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("unexpected %v", a)
+		}
+	}
+	// Reserved ASNs are dropped even by the naive path.
+	got = RegexSiblings("AS64512 AS0 AS23456")
+	if len(got) != 0 {
+		t.Errorf("reserved survived: %v", got)
+	}
+	if got := RegexSiblings(""); len(got) != 0 {
+		t.Errorf("empty text: %v", got)
+	}
+}
+
+func TestAS2OrgPlusRegexConfig(t *testing.T) {
+	w := fixtureWHOIS()
+	p := fixturePDB()
+	plain := AS2OrgPlus(w, p, Config{})
+	noisy := AS2OrgPlus(w, p, Config{UseRegexExtraction: true})
+	// The regex path links CenturyLink's record to the fake numbers in
+	// its notes (555, 2024, 1968), inflating the cluster.
+	if noisy.ClusterOf(209).Size() <= plain.ClusterOf(209).Size() {
+		t.Errorf("regex config should inflate: %d vs %d",
+			noisy.ClusterOf(209).Size(), plain.ClusterOf(209).Size())
+	}
+	if noisy.ClusterOf(555) == nil {
+		t.Error("false-positive ASN 555 should be present in the noisy mapping")
+	}
+}

@@ -1,0 +1,241 @@
+package classify
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/favicon"
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+func group(hash string, urlASNs map[string][]asnum.ASN) favicon.Group {
+	g := favicon.Group{Hash: hash, ASNsByURL: urlASNs}
+	for u, asns := range urlASNs {
+		g.URLs = append(g.URLs, u)
+		g.ASNs = append(g.ASNs, asns...)
+	}
+	g.ASNs = asnum.Dedup(g.ASNs)
+	for i := 1; i < len(g.URLs); i++ { // insertion-sort URLs for determinism
+		for j := i; j > 0 && g.URLs[j] < g.URLs[j-1]; j-- {
+			g.URLs[j], g.URLs[j-1] = g.URLs[j-1], g.URLs[j]
+		}
+	}
+	return g
+}
+
+func iconHash(id string) string {
+	sum := sha256.Sum256(websim.FaviconBytes(id))
+	return hex.EncodeToString(sum[:])
+}
+
+func simClassifier() *Classifier {
+	return &Classifier{
+		Provider: simllm.NewModel(),
+		IconSource: func(hash string) []byte {
+			// Invert the known test icons.
+			for _, id := range []string{"brand:claro", "framework:bootstrap", "site:mystery"} {
+				if iconHash(id) == hash {
+					return websim.FaviconBytes(id)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestStep1SameBrandLabel(t *testing.T) {
+	c := simClassifier()
+	g := group("any-hash", map[string][]asnum.ASN{
+		"https://www.orange.es/": {12479},
+		"https://www.orange.pl/": {5617},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionCompany || out.Step != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Name != "orange" {
+		t.Errorf("name = %q", out.Name)
+	}
+}
+
+func TestStep2KnownBrand(t *testing.T) {
+	c := simClassifier()
+	g := group(iconHash("brand:claro"), map[string][]asnum.ASN{
+		"https://www.clarochile.cl/": {27995},
+		"https://www.claropr.com/":   {10396},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionCompany || out.Step != 2 || out.Name != "Claro" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStep2Framework(t *testing.T) {
+	c := simClassifier()
+	g := group(iconHash("framework:bootstrap"), map[string][]asnum.ASN{
+		"https://www.anosbd.com/":     {64501},
+		"https://www.rptechzone.in/":  {64502},
+		"https://bapenda.riau.go.id/": {64503},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionFramework || out.Name != "Bootstrap" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStep2Unknown(t *testing.T) {
+	c := simClassifier()
+	g := group(iconHash("site:mystery"), map[string][]asnum.ASN{
+		"https://www.de-cix.net/":   {1},
+		"https://www.aqaba-ix.com/": {2},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionUnknown || out.Step != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestBlocklistDiscards(t *testing.T) {
+	c := simClassifier()
+	// After removing the facebook URL only one remains → discarded.
+	g := group("h", map[string][]asnum.ASN{
+		"https://www.facebook.com/ispA": {1},
+		"https://real-isp.test/":        {2},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionDiscarded {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestBlocklistDropsASNsOfRemovedURLs(t *testing.T) {
+	c := simClassifier()
+	g := group("h", map[string][]asnum.ASN{
+		"https://www.facebook.com/ispA": {111},
+		"https://www.orange.es/":        {12479},
+		"https://www.orange.pl/":        {5617},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionCompany {
+		t.Fatalf("out = %+v", out)
+	}
+	for _, a := range out.Group.ASNs {
+		if a == 111 {
+			t.Error("ASN behind a blocklisted URL must not survive")
+		}
+	}
+	if len(out.Group.ASNs) != 2 {
+		t.Errorf("ASNs = %v", out.Group.ASNs)
+	}
+}
+
+func TestDisableStep2Ablation(t *testing.T) {
+	c := simClassifier()
+	c.DisableStep2 = true
+	g := group(iconHash("brand:claro"), map[string][]asnum.ASN{
+		"https://www.clarochile.cl/": {27995},
+		"https://www.claropr.com/":   {10396},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Decision != DecisionUnknown || out.Step != 1 {
+		t.Fatalf("ablation out = %+v", out)
+	}
+}
+
+type failingProvider struct{}
+
+func (failingProvider) Complete(context.Context, llm.Request) (llm.Response, error) {
+	return llm.Response{}, errors.New("provider down")
+}
+
+func TestProviderErrorSurfaces(t *testing.T) {
+	c := &Classifier{Provider: failingProvider{}}
+	g := group("h", map[string][]asnum.ASN{
+		"https://a-isp.test/": {1},
+		"https://b-isp.test/": {2},
+	})
+	out := c.Classify(context.Background(), g)
+	if out.Err == nil || out.Decision != DecisionUnknown {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestClassifyAllOrder(t *testing.T) {
+	c := simClassifier()
+	var groups []favicon.Group
+	for i := 0; i < 20; i++ {
+		groups = append(groups, group("h", map[string][]asnum.ASN{
+			"https://www.orange.es/": {asnum.ASN(100 + i)},
+			"https://www.orange.pl/": {asnum.ASN(200 + i)},
+		}))
+	}
+	outs := c.ClassifyAll(context.Background(), groups)
+	if len(outs) != 20 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	for i, o := range outs {
+		if o.Decision != DecisionCompany {
+			t.Errorf("outcome %d = %+v", i, o)
+		}
+		if o.Group.ASNs[0] != asnum.ASN(100+i) {
+			t.Errorf("outcome %d out of order: %v", i, o.Group.ASNs)
+		}
+	}
+}
+
+func TestSiblingSets(t *testing.T) {
+	outcomes := []Outcome{
+		{Decision: DecisionCompany, Name: "Orange",
+			Group: favicon.Group{Hash: "bb", ASNs: []asnum.ASN{1, 2}}},
+		{Decision: DecisionFramework, Name: "Bootstrap",
+			Group: favicon.Group{Hash: "aa", ASNs: []asnum.ASN{3, 4}}},
+		{Decision: DecisionCompany,
+			Group: favicon.Group{Hash: "a0", ASNs: []asnum.ASN{5, 6}}},
+		{Decision: DecisionUnknown,
+			Group: favicon.Group{Hash: "cc", ASNs: []asnum.ASN{7}}},
+	}
+	sets := SiblingSets(outcomes)
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	// Hash order: a0 before bb.
+	if sets[0].Evidence != "favicon a0" || sets[1].Evidence != "Orange" {
+		t.Errorf("evidence = %q, %q", sets[0].Evidence, sets[1].Evidence)
+	}
+	for _, s := range sets {
+		if s.Source != cluster.FeatureFavicon {
+			t.Errorf("source = %v", s.Source)
+		}
+	}
+}
+
+func TestBuildPrompt(t *testing.T) {
+	p := BuildPrompt([]string{"https://a.test/", "https://b.test/"})
+	for _, want := range []string{
+		"Accessing these URLs ['https://a.test/', 'https://b.test/']",
+		"returned the attached favicon",
+		"If it is a subsidiary, provide the parent company's name",
+		"reply 'I don't know'",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if DecisionCompany.String() != "company" || DecisionDiscarded.String() != "discarded" {
+		t.Error("Decision.String broken")
+	}
+	if Decision(42).String() != "Decision(42)" {
+		t.Error("unknown decision")
+	}
+}

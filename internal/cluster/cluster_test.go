@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	u := NewUnionFind()
+	u.Add(1)
+	u.Add(2)
+	u.Add(3)
+	if u.Sets() != 3 {
+		t.Fatalf("Sets() = %d, want 3", u.Sets())
+	}
+	u.Union(1, 2)
+	if u.Sets() != 2 {
+		t.Fatalf("after union Sets() = %d, want 2", u.Sets())
+	}
+	if !u.Same(1, 2) {
+		t.Error("1 and 2 should be in the same set")
+	}
+	if u.Same(1, 3) {
+		t.Error("1 and 3 should not be in the same set")
+	}
+	if got := u.SizeOf(1); got != 2 {
+		t.Errorf("SizeOf(1) = %d, want 2", got)
+	}
+	if got := u.SizeOf(99); got != 0 {
+		t.Errorf("SizeOf(absent) = %d, want 0", got)
+	}
+}
+
+func TestUnionFindIdempotent(t *testing.T) {
+	u := NewUnionFind()
+	u.Union(1, 2)
+	before := u.Sets()
+	u.Union(2, 1)
+	u.Union(1, 2)
+	if u.Sets() != before {
+		t.Errorf("repeated unions changed set count: %d -> %d", before, u.Sets())
+	}
+	u.Add(1) // re-adding must not reset
+	if u.SizeOf(1) != 2 {
+		t.Errorf("re-Add reset the set: size = %d", u.SizeOf(1))
+	}
+}
+
+func TestUnionFindTransitive(t *testing.T) {
+	u := NewUnionFind()
+	u.Union(1, 2)
+	u.Union(3, 4)
+	u.Union(2, 3)
+	for _, pair := range [][2]asnum.ASN{{1, 3}, {1, 4}, {2, 4}} {
+		if !u.Same(pair[0], pair[1]) {
+			t.Errorf("%v and %v should be connected", pair[0], pair[1])
+		}
+	}
+	if u.Sets() != 1 {
+		t.Errorf("Sets() = %d, want 1", u.Sets())
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	u := NewUnionFind()
+	u.UnionAll([]asnum.ASN{10, 20, 30, 40})
+	if u.Sets() != 1 || u.SizeOf(30) != 4 {
+		t.Errorf("UnionAll: sets=%d size=%d", u.Sets(), u.SizeOf(30))
+	}
+	u.UnionAll(nil) // must not panic
+	u.UnionAll([]asnum.ASN{50})
+	if u.Sets() != 2 {
+		t.Errorf("singleton UnionAll: sets=%d, want 2", u.Sets())
+	}
+}
+
+func TestComponentsDeterministic(t *testing.T) {
+	build := func() [][]asnum.ASN {
+		u := NewUnionFind()
+		rng := rand.New(rand.NewSource(7))
+		edges := [][2]asnum.ASN{{1, 2}, {2, 3}, {10, 11}, {20, 21}, {21, 22}, {22, 23}}
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for _, e := range edges {
+			u.Union(e[0], e[1])
+		}
+		u.Add(99)
+		return u.Components()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic component count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("component %d size differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("component %d member %d differs: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	// Ordering: descending size, then smallest member.
+	if len(a[0]) != 4 || a[0][0] != 20 {
+		t.Errorf("first component = %v, want the size-4 {20..23}", a[0])
+	}
+	if len(a[len(a)-1]) != 1 {
+		t.Errorf("last component should be a singleton, got %v", a[len(a)-1])
+	}
+}
+
+// Property: after any sequence of unions, the components partition the
+// element set, and Same agrees with component co-membership.
+func TestUnionFindPartitionProperty(t *testing.T) {
+	f := func(edges [][2]uint16) bool {
+		u := NewUnionFind()
+		for _, e := range edges {
+			u.Union(asnum.ASN(e[0]), asnum.ASN(e[1]))
+		}
+		comps := u.Components()
+		seen := map[asnum.ASN]int{}
+		total := 0
+		for i, c := range comps {
+			for _, a := range c {
+				if _, dup := seen[a]; dup {
+					return false // element in two components
+				}
+				seen[a] = i
+				total++
+			}
+		}
+		if total != u.Len() || len(comps) != u.Sets() {
+			return false
+		}
+		for _, e := range edges {
+			if seen[asnum.ASN(e[0])] != seen[asnum.ASN(e[1])] {
+				return false // edge endpoints split across components
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderConsolidation(t *testing.T) {
+	b := NewBuilder()
+	b.AddUniverse(100, 200, 300, 400, 500)
+	// Two partially overlapping sets from different features must merge.
+	b.Add(SiblingSet{ASNs: []asnum.ASN{100, 200}, Source: FeatureOIDW, Evidence: "ORG-A"})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{200, 300}, Source: FeatureOIDP, Evidence: "pdb:1"})
+	m := b.Build(nil)
+	if m.NumASNs() != 5 {
+		t.Fatalf("NumASNs = %d, want 5", m.NumASNs())
+	}
+	if m.NumOrgs() != 3 { // {100,200,300}, {400}, {500}
+		t.Fatalf("NumOrgs = %d, want 3", m.NumOrgs())
+	}
+	c := m.ClusterOf(200)
+	if c == nil || c.Size() != 3 {
+		t.Fatalf("ClusterOf(200) = %+v", c)
+	}
+	if !c.Features[FeatureOIDW] || !c.Features[FeatureOIDP] {
+		t.Errorf("cluster features = %v, want both OID_W and OID_P", c.Features)
+	}
+	if c.Features[FeatureRR] {
+		t.Error("R&R feature should not be set")
+	}
+	if m.ClusterOf(999) != nil {
+		t.Error("unmapped ASN should return nil cluster")
+	}
+	sib := m.Siblings(100)
+	if len(sib) != 3 || sib[0] != 100 || sib[2] != 300 {
+		t.Errorf("Siblings(100) = %v", sib)
+	}
+	if m.Siblings(12345) != nil {
+		t.Error("Siblings of unmapped ASN should be nil")
+	}
+}
+
+func TestBuilderNamer(t *testing.T) {
+	b := NewBuilder()
+	b.Add(SiblingSet{ASNs: []asnum.ASN{1, 2}, Source: FeatureRR, Evidence: "https://x"})
+	m := b.Build(func(members []asnum.ASN) string {
+		if members[0] == 1 {
+			return "Org One"
+		}
+		return ""
+	})
+	if m.Clusters[0].Name != "Org One" {
+		t.Errorf("Name = %q, want Org One", m.Clusters[0].Name)
+	}
+}
+
+func TestBuilderEmptySets(t *testing.T) {
+	b := NewBuilder()
+	b.Add(SiblingSet{})                                 // ignored
+	b.Add(SiblingSet{ASNs: []asnum.ASN{42}})            // singleton registers
+	b.AddAll([]SiblingSet{{ASNs: []asnum.ASN{42, 43}}}) // AddAll path
+	m := b.Build(nil)
+	if m.NumASNs() != 2 || m.NumOrgs() != 1 {
+		t.Errorf("got %d ASNs / %d orgs, want 2/1", m.NumASNs(), m.NumOrgs())
+	}
+}
+
+func TestMappingSizes(t *testing.T) {
+	b := NewBuilder()
+	b.Add(SiblingSet{ASNs: []asnum.ASN{1, 2, 3}})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{10, 11}})
+	b.AddUniverse(99)
+	sizes := b.Build(nil).Sizes()
+	want := []int{3, 2, 1}
+	if len(sizes) != 3 {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestFeatureString(t *testing.T) {
+	want := map[Feature]string{
+		FeatureOIDW: "OID_W", FeatureOIDP: "OID_P",
+		FeatureNotesAka: "N&A", FeatureRR: "R&R", FeatureFavicon: "F",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if Feature(99).String() != "Feature(99)" {
+		t.Errorf("unknown feature String() = %q", Feature(99).String())
+	}
+}
+
+func BenchmarkUnionFindUnion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := NewUnionFind()
+		for j := 0; j < 1000; j++ {
+			u.Union(asnum.ASN(j), asnum.ASN(j/2))
+		}
+	}
+}
+
+func BenchmarkComponents10k(b *testing.B) {
+	u := NewUnionFind()
+	rng := rand.New(rand.NewSource(1))
+	for j := 0; j < 10000; j++ {
+		u.Union(asnum.ASN(rng.Intn(10000)), asnum.ASN(rng.Intn(10000)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.Components()
+	}
+}

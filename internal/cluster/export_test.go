@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+func exportFixture() *Mapping {
+	b := NewBuilder()
+	b.Add(SiblingSet{ASNs: []asnum.ASN{209, 3356, 3549}, Source: FeatureOIDP})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{3356, 3549}, Source: FeatureRR})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{15133, 22822}, Source: FeatureFavicon})
+	b.AddUniverse(64512 - 20) // a singleton
+	return b.Build(func(members []asnum.ASN) string {
+		if members[0] == 209 {
+			return "Lumen"
+		}
+		return ""
+	})
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	m1 := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumOrgs() != m1.NumOrgs() || m2.NumASNs() != m1.NumASNs() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			m2.NumOrgs(), m2.NumASNs(), m1.NumOrgs(), m1.NumASNs())
+	}
+	// Membership preserved.
+	for _, a := range []asnum.ASN{209, 3356, 3549} {
+		if m2.ClusterOf(a) != m2.ClusterOf(209) {
+			t.Errorf("%v not in Lumen's cluster after round trip", a)
+		}
+	}
+	if m2.ClusterOf(15133) == m2.ClusterOf(209) {
+		t.Error("distinct orgs fused in round trip")
+	}
+	// Name and provenance preserved.
+	c := m2.ClusterOf(209)
+	if c.Name != "Lumen" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if !c.Features[FeatureOIDP] || !c.Features[FeatureRR] {
+		t.Errorf("features lost: %v", c.Features)
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, m2); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ReadJSONL(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.NumOrgs() != m2.NumOrgs() {
+		t.Error("second round trip changed shape")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []string{
+		`{not json}`,
+		`{"org":0,"asns":[]}`,
+		`{"org":0,"asns":[1],"features":["BOGUS"]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSONL(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSONL(%q) should fail", c)
+		}
+	}
+	// Blank lines are tolerated.
+	m, err := ReadJSONL(strings.NewReader("\n\n" + `{"org":0,"asns":[5]}` + "\n"))
+	if err != nil || m.NumASNs() != 1 {
+		t.Errorf("blank-line handling: %v %v", m, err)
+	}
+}
+
+func TestWriteJSONLEmptyMapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, NewBuilder().Build(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty mapping should write nothing, got %q", buf.String())
+	}
+	m, err := ReadJSONL(&buf)
+	if err != nil || m.NumOrgs() != 0 {
+		t.Errorf("empty read: %v %v", m, err)
+	}
+}

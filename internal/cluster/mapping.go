@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// Feature identifies which Borges inference feature produced a sibling
+// set. The names follow Table 3 / Table 6 of the paper.
+type Feature uint8
+
+const (
+	// FeatureOIDW groups ASNs sharing a WHOIS organization ID (AS2Org).
+	FeatureOIDW Feature = iota
+	// FeatureOIDP groups ASNs sharing a PeeringDB organization ID.
+	FeatureOIDP
+	// FeatureNotesAka groups ASNs extracted from notes/aka text by the
+	// LLM-based NER module (§4.2).
+	FeatureNotesAka
+	// FeatureRR groups ASNs whose websites lead (directly or through
+	// refreshes and redirects) to the same final URL (§4.3.2).
+	FeatureRR
+	// FeatureFavicon groups ASNs whose websites share favicons and
+	// brand-consistent domains (§4.3.3).
+	FeatureFavicon
+
+	numFeatures = iota
+)
+
+// NumFeatures is the number of distinct inference features.
+const NumFeatures = int(numFeatures)
+
+// String implements fmt.Stringer using the paper's shorthand.
+func (f Feature) String() string {
+	switch f {
+	case FeatureOIDW:
+		return "OID_W"
+	case FeatureOIDP:
+		return "OID_P"
+	case FeatureNotesAka:
+		return "N&A"
+	case FeatureRR:
+		return "R&R"
+	case FeatureFavicon:
+		return "F"
+	default:
+		return fmt.Sprintf("Feature(%d)", uint8(f))
+	}
+}
+
+// SiblingSet is one inferred group of ASNs under common administration,
+// with the feature that produced it and a short human-readable evidence
+// string (an org ID, a final URL, a favicon hash, …).
+type SiblingSet struct {
+	ASNs     []asnum.ASN
+	Source   Feature
+	Evidence string
+}
+
+// Cluster is one organization in a consolidated mapping.
+type Cluster struct {
+	// ID is the cluster's index in Mapping.Clusters (stable for a given
+	// mapping, not across mappings).
+	ID int
+	// Name is a display name chosen by the builder's namer (may be "").
+	Name string
+	// ASNs are the member networks, sorted ascending.
+	ASNs []asnum.ASN
+	// Features records which features contributed at least one edge
+	// inside this cluster.
+	Features [NumFeatures]bool
+}
+
+// Size returns the number of member networks.
+func (c *Cluster) Size() int { return len(c.ASNs) }
+
+// Mapping is a consolidated AS-to-Organization mapping: a partition of a
+// network universe into organizations.
+type Mapping struct {
+	Clusters []Cluster
+	byASN    map[asnum.ASN]int
+}
+
+// NumOrgs returns the number of organizations.
+func (m *Mapping) NumOrgs() int { return len(m.Clusters) }
+
+// NumASNs returns the number of networks covered.
+func (m *Mapping) NumASNs() int { return len(m.byASN) }
+
+// ClusterOf returns the cluster containing a, or nil if a is unmapped.
+func (m *Mapping) ClusterOf(a asnum.ASN) *Cluster {
+	i, ok := m.byASN[a]
+	if !ok {
+		return nil
+	}
+	return &m.Clusters[i]
+}
+
+// Siblings returns the sorted sibling ASNs of a (including a itself), or
+// nil if a is unmapped.
+func (m *Mapping) Siblings(a asnum.ASN) []asnum.ASN {
+	c := m.ClusterOf(a)
+	if c == nil {
+		return nil
+	}
+	return c.ASNs
+}
+
+// Sizes returns the cluster sizes in descending order.
+func (m *Mapping) Sizes() []int {
+	out := make([]int, len(m.Clusters))
+	for i := range m.Clusters {
+		out[i] = len(m.Clusters[i].ASNs)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Namer chooses a display name for a cluster given its members. It may
+// return "" when no name is known.
+type Namer func(members []asnum.ASN) string
+
+// Builder accumulates sibling sets and consolidates them into a Mapping.
+type Builder struct {
+	uf       *UnionFind
+	universe map[asnum.ASN]bool
+	// featureEdges remembers, per representative-pair merge, which
+	// features touched which ASNs; resolved at Build time by replaying.
+	sets []SiblingSet
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{uf: NewUnionFind(), universe: make(map[asnum.ASN]bool)}
+}
+
+// AddUniverse declares ASNs that must appear in the final mapping even if
+// no sibling set mentions them (they become singletons). The paper's θ
+// computation uses "all networks appearing in the WHOIS records" as the
+// universe (§5.4).
+func (b *Builder) AddUniverse(asns ...asnum.ASN) {
+	for _, a := range asns {
+		b.universe[a] = true
+		b.uf.Add(a)
+	}
+}
+
+// Add records one sibling set. Sets with fewer than one ASN are ignored;
+// singleton sets still register the ASN in the mapping.
+func (b *Builder) Add(s SiblingSet) {
+	if len(s.ASNs) == 0 {
+		return
+	}
+	b.uf.UnionAll(s.ASNs)
+	b.sets = append(b.sets, s)
+}
+
+// AddAll records many sibling sets.
+func (b *Builder) AddAll(sets []SiblingSet) {
+	for _, s := range sets {
+		b.Add(s)
+	}
+}
+
+// Build consolidates everything added so far into a Mapping. The namer,
+// if non-nil, assigns display names. Build may be called repeatedly; each
+// call reflects the current state.
+func (b *Builder) Build(namer Namer) *Mapping {
+	comps := b.uf.Components()
+	m := &Mapping{
+		Clusters: make([]Cluster, len(comps)),
+		byASN:    make(map[asnum.ASN]int, b.uf.Len()),
+	}
+	repTo := make(map[asnum.ASN]int, len(comps))
+	for i, members := range comps {
+		m.Clusters[i] = Cluster{ID: i, ASNs: members}
+		for _, a := range members {
+			m.byASN[a] = i
+		}
+		repTo[b.uf.Find(members[0])] = i
+	}
+	for _, s := range b.sets {
+		ci := repTo[b.uf.Find(s.ASNs[0])]
+		m.Clusters[ci].Features[s.Source] = true
+	}
+	if namer != nil {
+		for i := range m.Clusters {
+			m.Clusters[i].Name = namer(m.Clusters[i].ASNs)
+		}
+	}
+	return m
+}
+
+// Universe returns the declared universe size.
+func (b *Builder) Universe() int { return len(b.universe) }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// naiveMerger is the quadratic set-merging strategy union-find replaces:
+// maintain explicit member sets and, on every union, copy the smaller
+// set into the larger and rewrite its members' index entries.
+type naiveMerger struct {
+	setOf map[asnum.ASN]int
+	sets  map[int]map[asnum.ASN]bool
+	next  int
+}
+
+func newNaiveMerger() *naiveMerger {
+	return &naiveMerger{setOf: map[asnum.ASN]int{}, sets: map[int]map[asnum.ASN]bool{}}
+}
+
+func (n *naiveMerger) add(a asnum.ASN) int {
+	if id, ok := n.setOf[a]; ok {
+		return id
+	}
+	id := n.next
+	n.next++
+	n.setOf[a] = id
+	n.sets[id] = map[asnum.ASN]bool{a: true}
+	return id
+}
+
+func (n *naiveMerger) union(a, b asnum.ASN) {
+	ia, ib := n.add(a), n.add(b)
+	if ia == ib {
+		return
+	}
+	if len(n.sets[ia]) < len(n.sets[ib]) {
+		ia, ib = ib, ia
+	}
+	for m := range n.sets[ib] {
+		n.sets[ia][m] = true
+		n.setOf[m] = ia
+	}
+	delete(n.sets, ib)
+}
+
+func (n *naiveMerger) same(a, b asnum.ASN) bool { return n.setOf[a] == n.setOf[b] }
+
+// TestNaiveAgreesWithUnionFind cross-validates the two implementations
+// on random edge sets.
+func TestNaiveAgreesWithUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		uf := NewUnionFind()
+		nv := newNaiveMerger()
+		for i := 0; i < 300; i++ {
+			a := asnum.ASN(rng.Intn(200))
+			b := asnum.ASN(rng.Intn(200))
+			uf.Union(a, b)
+			nv.union(a, b)
+		}
+		for i := 0; i < 200; i++ {
+			a := asnum.ASN(rng.Intn(200))
+			b := asnum.ASN(rng.Intn(200))
+			if uf.Contains(a) && uf.Contains(b) {
+				if uf.Same(a, b) != nv.same(a, b) {
+					t.Fatalf("trial %d: Same(%v,%v) disagrees", trial, a, b)
+				}
+			}
+		}
+		if uf.Sets() != len(nv.sets) {
+			t.Fatalf("trial %d: set counts disagree: %d vs %d", trial, uf.Sets(), len(nv.sets))
+		}
+	}
+}
+
+// The ablation bench promised in DESIGN.md: union-find vs the naive
+// copy-based merger on a corpus-shaped workload (many overlapping
+// sibling sets over ~30k elements).
+func benchEdges(n int) [][2]asnum.ASN {
+	rng := rand.New(rand.NewSource(7))
+	edges := make([][2]asnum.ASN, n)
+	for i := range edges {
+		// Heavy-tailed: most edges inside small neighbourhoods, a few
+		// long-range merges — like org keys plus web inference.
+		a := asnum.ASN(rng.Intn(30000))
+		b := a + asnum.ASN(1+rng.Intn(4))
+		if rng.Intn(20) == 0 {
+			b = asnum.ASN(rng.Intn(30000))
+		}
+		edges[i] = [2]asnum.ASN{a, b}
+	}
+	return edges
+}
+
+func BenchmarkUnionFindVsNaive_UnionFind(b *testing.B) {
+	edges := benchEdges(30000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := NewUnionFind()
+		for _, e := range edges {
+			uf.Union(e[0], e[1])
+		}
+	}
+}
+
+func BenchmarkUnionFindVsNaive_Naive(b *testing.B) {
+	edges := benchEdges(30000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nv := newNaiveMerger()
+		for _, e := range edges {
+			nv.union(e[0], e[1])
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package core orchestrates the full Borges pipeline (§3, Figure 2):
+// organization keys from WHOIS and PeeringDB, LLM-based sibling
+// extraction from notes/aka, web crawling with refresh-and-redirect
+// resolution, final-URL matching, and favicon classification — then
+// consolidates every feature's sibling sets into one AS-to-Organization
+// mapping by transitive merging.
+//
+// Every feature can be toggled independently, which is how the Table 6
+// ablation grid (all combinations of OID_P, N&A, R&R, and F on top of
+// the WHOIS universe) is produced.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/classify"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/crawler"
+	"github.com/nu-aqualab/borges/internal/favicon"
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/ner"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/urlmatch"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// Features selects which Borges inference features run. OID_W (the
+// WHOIS universe and its organization keys) is always present: it is
+// the compulsory substrate every configuration of Table 6 builds on.
+type Features struct {
+	OIDP     bool
+	NotesAka bool
+	RR       bool
+	Favicons bool
+}
+
+// AllFeatures returns the full Borges configuration.
+func AllFeatures() Features {
+	return Features{OIDP: true, NotesAka: true, RR: true, Favicons: true}
+}
+
+// Label renders the feature set in the paper's Table 6 shorthand, e.g.
+// "OID_P + N&A + R&R + F".
+func (f Features) Label() string {
+	out := ""
+	add := func(s string) {
+		if out != "" {
+			out += " + "
+		}
+		out += s
+	}
+	if f.OIDP {
+		add("OID_P")
+	}
+	if f.NotesAka {
+		add("N&A")
+	}
+	if f.RR {
+		add("R&R")
+	}
+	if f.Favicons {
+		add("F")
+	}
+	if out == "" {
+		return "AS2Org"
+	}
+	return out
+}
+
+// Inputs are the data sources and backends a pipeline run consumes.
+type Inputs struct {
+	// WHOIS is the AS2Org snapshot (required).
+	WHOIS *whois.Snapshot
+	// PDB is the PeeringDB snapshot (required when any PDB-derived
+	// feature is enabled).
+	PDB *peeringdb.Snapshot
+	// Transport serves web requests; http.DefaultTransport when nil.
+	// Simulations inject a websim.Universe.
+	Transport http.RoundTripper
+	// Provider generates LLM completions for the N&A and favicon
+	// stages.
+	Provider llm.Provider
+}
+
+// Options tune the pipeline.
+type Options struct {
+	// Features defaults to AllFeatures when zero; use Ablation to get
+	// an explicit empty set.
+	Features *Features
+	// Crawler overrides crawl options; Transport is always taken from
+	// Inputs.
+	Crawler crawler.Options
+	// LLMConcurrency bounds parallel model calls (default 8).
+	LLMConcurrency int
+	// DisableInputFilter / DisableOutputFilter are the NER ablations.
+	DisableInputFilter  bool
+	DisableOutputFilter bool
+	// DisableClassifierStep2 stops the favicon tree after the
+	// same-brand-label rule.
+	DisableClassifierStep2 bool
+	// FinalURLBlocklist overrides the Appendix D.2 default.
+	FinalURLBlocklist *urlmatch.Blocklist
+	// SubdomainBlocklist overrides the Appendix D.1 default.
+	SubdomainBlocklist *urlmatch.Blocklist
+	// Progress, when non-nil, receives a line per pipeline stage —
+	// what an unattended multi-hour crawl+extract batch logs.
+	Progress func(format string, args ...any)
+}
+
+// progress emits a stage line when a sink is configured.
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// Artifacts are the intermediate products of a run, retained for
+// evaluation and auditing.
+type Artifacts struct {
+	Extractions      []ner.Extraction
+	CrawlResults     []crawler.Result
+	FaviconIndex     *favicon.Index
+	ClassifyOutcomes []classify.Outcome
+
+	OIDWSets    []cluster.SiblingSet
+	OIDPSets    []cluster.SiblingSet
+	NASets      []cluster.SiblingSet
+	RRSets      []cluster.SiblingSet
+	FaviconSets []cluster.SiblingSet
+}
+
+// Stats are the §5.2 corpus statistics of a run.
+type Stats struct {
+	WHOISASNs int
+	WHOISOrgs int
+	PDBNets   int
+	PDBOrgs   int
+
+	NetsWithText    int
+	NumericEntries  int
+	NumericInAka    int
+	NumericInNotes  int
+	ExtractedASNs   int
+	RecordsWithSibs int
+
+	NetsWithWebsite int
+	UniqueURLs      int
+	ReachableURLs   int
+	UniqueFinalURLs int
+	FaviconStats    favicon.Stats
+	CompanyGroups   int
+	FrameworkGroups int
+	UnknownGroups   int
+	DiscardedGroups int
+	Step1Companies  int
+	Step2Companies  int
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Mapping is the consolidated AS-to-Organization mapping over the
+	// full WHOIS universe.
+	Mapping   *cluster.Mapping
+	Artifacts Artifacts
+	Stats     Stats
+}
+
+// Run executes the pipeline.
+func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
+	if in.WHOIS == nil {
+		return nil, fmt.Errorf("core: WHOIS snapshot is required")
+	}
+	feats := AllFeatures()
+	if opts.Features != nil {
+		feats = *opts.Features
+	}
+	needPDB := feats.OIDP || feats.NotesAka || feats.RR || feats.Favicons
+	if needPDB && in.PDB == nil {
+		return nil, fmt.Errorf("core: PeeringDB snapshot is required for features %s", feats.Label())
+	}
+	if (feats.NotesAka || feats.Favicons) && in.Provider == nil {
+		return nil, fmt.Errorf("core: LLM provider is required for features %s", feats.Label())
+	}
+
+	res := &Result{}
+	res.Stats.WHOISASNs = in.WHOIS.NumASNs()
+	res.Stats.WHOISOrgs = in.WHOIS.NumOrgs()
+	if in.PDB != nil {
+		res.Stats.PDBNets = in.PDB.NumNets()
+		res.Stats.PDBOrgs = in.PDB.NumOrgs()
+	}
+
+	opts.progress("universe: %d WHOIS ASNs in %d organizations", res.Stats.WHOISASNs, res.Stats.WHOISOrgs)
+	b := cluster.NewBuilder()
+	b.AddUniverse(in.WHOIS.ASNs()...)
+	res.Artifacts.OIDWSets = in.WHOIS.SiblingSets()
+	b.AddAll(res.Artifacts.OIDWSets)
+
+	if feats.OIDP {
+		res.Artifacts.OIDPSets = in.PDB.SiblingSets()
+		b.AddAll(res.Artifacts.OIDPSets)
+		opts.progress("org keys: %d PeeringDB organizations joined", len(res.Artifacts.OIDPSets))
+	}
+
+	if feats.NotesAka {
+		if err := runNER(ctx, in, opts, res, b); err != nil {
+			return nil, err
+		}
+	}
+
+	if feats.RR || feats.Favicons {
+		if err := runWeb(ctx, in, opts, feats, res, b); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Mapping = b.Build(namer(in))
+	opts.progress("consolidated: %d networks in %d organizations",
+		res.Mapping.NumASNs(), res.Mapping.NumOrgs())
+	return res, nil
+}
+
+// namer prefers WHOIS organization names and falls back to PeeringDB.
+func namer(in Inputs) cluster.Namer {
+	return func(members []asnum.ASN) string {
+		for _, a := range members {
+			if org := in.WHOIS.OrgOf(a); org != nil && org.Name != "" {
+				return org.Name
+			}
+		}
+		if in.PDB != nil {
+			for _, a := range members {
+				if org := in.PDB.OrgOf(a); org != nil && org.Name != "" {
+					return org.Name
+				}
+			}
+		}
+		return ""
+	}
+}
+
+func runNER(ctx context.Context, in Inputs, opts Options, res *Result, b *cluster.Builder) error {
+	records := ner.RecordsFromPDB(in.PDB)
+	res.Stats.NetsWithText = len(records)
+	for _, r := range records {
+		numeric := false
+		if hasDigit(r.Aka) {
+			res.Stats.NumericInAka++
+			numeric = true
+		}
+		if hasDigit(r.Notes) {
+			res.Stats.NumericInNotes++
+			numeric = true
+		}
+		if numeric {
+			res.Stats.NumericEntries++
+		}
+	}
+	ex := &ner.Extractor{
+		Provider:            in.Provider,
+		Concurrency:         opts.LLMConcurrency,
+		DisableInputFilter:  opts.DisableInputFilter,
+		DisableOutputFilter: opts.DisableOutputFilter,
+	}
+	res.Artifacts.Extractions = ex.ExtractAll(ctx, records)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	seen := make(map[asnum.ASN]bool)
+	for _, x := range res.Artifacts.Extractions {
+		if len(x.Siblings) > 0 {
+			res.Stats.RecordsWithSibs++
+			for _, a := range x.Siblings {
+				if !seen[a] {
+					seen[a] = true
+					res.Stats.ExtractedASNs++
+				}
+			}
+		}
+	}
+	res.Artifacts.NASets = ner.SiblingSets(res.Artifacts.Extractions)
+	b.AddAll(res.Artifacts.NASets)
+	opts.progress("notes/aka: %d of %d numeric records yielded %d sibling ASNs",
+		res.Stats.RecordsWithSibs, res.Stats.NumericEntries, res.Stats.ExtractedASNs)
+	return nil
+}
+
+func runWeb(ctx context.Context, in Inputs, opts Options, feats Features, res *Result, b *cluster.Builder) error {
+	copts := opts.Crawler
+	copts.Transport = in.Transport
+	copts.SkipFavicons = !feats.Favicons
+	cr := crawler.New(copts)
+
+	nets := in.PDB.NetsWithWebsite()
+	res.Stats.NetsWithWebsite = len(nets)
+	tasks := make([]crawler.Task, 0, len(nets))
+	uniqueReported := make(map[string]bool)
+	for _, n := range nets {
+		tasks = append(tasks, crawler.Task{ASN: n.ASN, URL: n.Website})
+		if canon, err := urlmatch.Canonicalize(n.Website); err == nil {
+			uniqueReported[canon] = true
+		}
+	}
+	res.Stats.UniqueURLs = len(uniqueReported)
+
+	opts.progress("crawl: resolving %d reported websites (%d unique URLs)",
+		len(tasks), res.Stats.UniqueURLs)
+	res.Artifacts.CrawlResults = cr.CrawlAll(ctx, tasks)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	uniqueFinal := make(map[string]bool)
+	for _, r := range res.Artifacts.CrawlResults {
+		if r.OK {
+			res.Stats.ReachableURLs++
+			uniqueFinal[r.FinalURL] = true
+		}
+	}
+	res.Stats.UniqueFinalURLs = len(uniqueFinal)
+
+	opts.progress("crawl: %d reachable, %d unique final URLs",
+		res.Stats.ReachableURLs, res.Stats.UniqueFinalURLs)
+	if feats.RR {
+		m := urlmatch.NewMatcher(opts.FinalURLBlocklist)
+		res.Artifacts.RRSets = m.SiblingSets(crawler.FinalURLs(res.Artifacts.CrawlResults))
+		b.AddAll(res.Artifacts.RRSets)
+		opts.progress("R&R: %d final-URL groups", len(res.Artifacts.RRSets))
+	}
+
+	if feats.Favicons {
+		idx := favicon.NewIndex()
+		for _, r := range res.Artifacts.CrawlResults {
+			if r.OK {
+				idx.Add(r.FinalURL, r.FaviconHash, r.Task.ASN)
+			}
+		}
+		res.Artifacts.FaviconIndex = idx
+		res.Stats.FaviconStats = idx.Stats()
+
+		cls := &classify.Classifier{
+			Provider:     in.Provider,
+			Blocklist:    opts.SubdomainBlocklist,
+			IconSource:   cr.IconBytes,
+			DisableStep2: opts.DisableClassifierStep2,
+			Concurrency:  opts.LLMConcurrency,
+		}
+		res.Artifacts.ClassifyOutcomes = cls.ClassifyAll(ctx, idx.SharedGroups())
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, o := range res.Artifacts.ClassifyOutcomes {
+			switch o.Decision {
+			case classify.DecisionCompany:
+				res.Stats.CompanyGroups++
+				if o.Step == 1 {
+					res.Stats.Step1Companies++
+				} else {
+					res.Stats.Step2Companies++
+				}
+			case classify.DecisionFramework:
+				res.Stats.FrameworkGroups++
+			case classify.DecisionUnknown:
+				res.Stats.UnknownGroups++
+			case classify.DecisionDiscarded:
+				res.Stats.DiscardedGroups++
+			}
+		}
+		res.Artifacts.FaviconSets = classify.SiblingSets(res.Artifacts.ClassifyOutcomes)
+		b.AddAll(res.Artifacts.FaviconSets)
+		opts.progress("favicons: %d shared groups → %d companies (%d step 1, %d step 2), %d frameworks",
+			len(res.Artifacts.ClassifyOutcomes), res.Stats.CompanyGroups,
+			res.Stats.Step1Companies, res.Stats.Step2Companies, res.Stats.FrameworkGroups)
+	}
+	return nil
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// FeatureMapping consolidates a single feature's sibling sets in
+// isolation, covering only the networks those sets mention. This is the
+// Table 3 per-feature view ("Number of ASes / Number of Orgs" per
+// source).
+func FeatureMapping(sets []cluster.SiblingSet) *cluster.Mapping {
+	b := cluster.NewBuilder()
+	b.AddAll(sets)
+	return b.Build(nil)
+}

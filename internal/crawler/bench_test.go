@@ -1,0 +1,92 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+// chainUniverse builds a redirect chain of the given depth ending in a
+// content page, alternating HTTP redirects and meta refreshes — the
+// worst-case R&R resolution cost.
+func chainUniverse(depth int) (*websim.Universe, string) {
+	u := websim.New()
+	final := fmt.Sprintf("d%d.test", depth)
+	u.AddSite(final, "icon")
+	for i := depth - 1; i >= 0; i-- {
+		host := fmt.Sprintf("d%d.test", i)
+		target := fmt.Sprintf("https://d%d.test/", i+1)
+		if i%2 == 0 {
+			u.RedirectHost(host, target)
+		} else {
+			u.MetaRefreshHost(host, target)
+		}
+	}
+	return u, "https://d0.test/"
+}
+
+// BenchmarkCrawlRedirectDepth measures resolution cost as chains deepen
+// (the ablation DESIGN.md calls out: each meta refresh costs a full
+// page fetch + parse on top of the HTTP round trip).
+func BenchmarkCrawlRedirectDepth(b *testing.B) {
+	for _, depth := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			u, start := chainUniverse(depth)
+			c := New(Options{Transport: u, MaxHops: depth + 2, SkipFavicons: true})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := c.Crawl(context.Background(), Task{ASN: 1, URL: start})
+				if !res.OK || res.Hops != depth {
+					b.Fatalf("res = %+v err=%v", res, res.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrawlAllParallel measures batch throughput over a mixed
+// universe at the crawler's default concurrency.
+func BenchmarkCrawlAllParallel(b *testing.B) {
+	u := websim.New()
+	var tasks []Task
+	for i := 0; i < 200; i++ {
+		host := fmt.Sprintf("site%d.test", i)
+		switch i % 3 {
+		case 0:
+			u.AddSite(host, fmt.Sprintf("icon%d", i))
+		case 1:
+			dst := fmt.Sprintf("site%d.test", i-1)
+			u.RedirectHost(host, "https://"+dst+"/")
+		default:
+			u.AddSite(host, "")
+		}
+		tasks = append(tasks, Task{ASN: asnum.ASN(1000 + i), URL: "https://" + host + "/"})
+	}
+	c := New(Options{Transport: u, SkipFavicons: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := c.CrawlAll(context.Background(), tasks)
+		if len(results) != len(tasks) {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+// BenchmarkMetaRefreshParse isolates the HTML scan.
+func BenchmarkMetaRefreshParse(b *testing.B) {
+	page := `<html><head><title>x</title>
+<meta name="viewport" content="width=device-width">
+<meta http-equiv="refresh" content="0; url=https://target.test/">
+</head><body>redirecting</body></html>`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if MetaRefreshTarget(page) == "" {
+			b.Fatal("no target")
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package crawler implements the web-scraping stage of Borges's
+// web-based inference (§4.3.1). Where the paper drives a Selenium
+// headless browser to load each website referenced in PeeringDB —
+// executing refreshes and redirects ("R&R") to discover the final URL —
+// this crawler follows both HTTP 3xx redirect chains and HTML
+// <meta http-equiv="refresh"> redirects over net/http, records the full
+// chain, and retrieves the final site's favicon (the paper uses Google's
+// Favicon API; here the icon is fetched from the site itself and hashed
+// for identity).
+//
+// The crawler is concurrency-bounded, context-aware, per-host
+// rate-limited, and bounds both redirect-chain length and response body
+// size, as an unattended crawl over operator-supplied URLs must be.
+package crawler
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/urlmatch"
+)
+
+// Task is one crawl unit: a network and its self-reported website.
+type Task struct {
+	ASN asnum.ASN
+	URL string
+}
+
+// Result is the outcome of crawling one task.
+type Result struct {
+	Task Task
+	// OK reports whether a final page was reached with HTTP 200.
+	OK bool
+	// FinalURL is the canonical URL of the last page reached.
+	FinalURL string
+	// Chain holds every URL visited, reported URL first.
+	Chain []string
+	// Hops counts redirects followed (HTTP + meta refresh).
+	Hops int
+	// FaviconHash is the hex SHA-256 of the final site's favicon bytes,
+	// or "" if the site serves none.
+	FaviconHash string
+	// Err describes a failure (unreachable host, redirect loop, …).
+	Err error
+}
+
+// Options configures a Crawler. The zero value is usable: defaults are
+// filled in by New.
+type Options struct {
+	// Transport is the HTTP transport to use. Defaults to
+	// http.DefaultTransport; tests and simulations inject a
+	// websim.Universe here.
+	Transport http.RoundTripper
+	// MaxHops bounds the redirect chain (default 10).
+	MaxHops int
+	// MaxBody bounds how many bytes of a page body are read when
+	// scanning for meta refreshes and favicon links (default 256 KiB).
+	MaxBody int64
+	// Concurrency bounds parallel fetches in CrawlAll (default 16).
+	Concurrency int
+	// PerHostDelay is the minimum interval between two requests to the
+	// same host (default 0; set >0 when crawling real sites).
+	PerHostDelay time.Duration
+	// Timeout bounds each individual HTTP request (default 15s).
+	Timeout time.Duration
+	// SkipFavicons disables retrieval of the final site's favicon
+	// (favicons are fetched by default; skip for R&R-only crawls).
+	SkipFavicons bool
+	// UserAgent is sent with every request.
+	UserAgent string
+}
+
+// Crawler resolves reported URLs to final URLs and favicons.
+type Crawler struct {
+	opts   Options
+	client *http.Client
+
+	mu        sync.Mutex
+	lastHit   map[string]time.Time
+	favCache  map[string]string // final host -> favicon hash
+	iconBytes map[string][]byte // favicon hash -> icon payload
+}
+
+// New returns a Crawler with defaults applied.
+func New(opts Options) *Crawler {
+	if opts.Transport == nil {
+		opts.Transport = http.DefaultTransport
+	}
+	if opts.MaxHops <= 0 {
+		opts.MaxHops = 10
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 256 << 10
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	if opts.UserAgent == "" {
+		opts.UserAgent = "borges-crawler/1.0 (AS-to-Org research)"
+	}
+	return &Crawler{
+		opts: opts,
+		client: &http.Client{
+			Transport: opts.Transport,
+			// Redirects are followed manually so the chain is recorded
+			// and meta refreshes are handled uniformly.
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+			Timeout: opts.Timeout,
+		},
+		lastHit:   make(map[string]time.Time),
+		favCache:  make(map[string]string),
+		iconBytes: make(map[string][]byte),
+	}
+}
+
+func (o Options) faviconsEnabled() bool { return !o.SkipFavicons }
+
+// Crawl resolves one task.
+func (c *Crawler) Crawl(ctx context.Context, t Task) Result {
+	res := Result{Task: t}
+	cur, err := urlmatch.Canonicalize(t.URL)
+	if err != nil {
+		res.Err = fmt.Errorf("crawler: %w", err)
+		return res
+	}
+	seen := make(map[string]bool)
+	for {
+		if ctx.Err() != nil {
+			res.Err = ctx.Err()
+			return res
+		}
+		res.Chain = append(res.Chain, cur)
+		if seen[cur] {
+			res.Err = fmt.Errorf("crawler: redirect loop at %s", cur)
+			res.FinalURL = cur
+			return res
+		}
+		seen[cur] = true
+
+		next, status, body, err := c.fetch(ctx, cur)
+		if err != nil {
+			res.Err = err
+			res.FinalURL = cur
+			return res
+		}
+		if next == "" {
+			res.FinalURL = cur
+			res.OK = status == http.StatusOK
+			if !res.OK {
+				res.Err = fmt.Errorf("crawler: %s returned status %d", cur, status)
+			} else if c.opts.faviconsEnabled() {
+				res.FaviconHash = c.favicon(ctx, cur, body)
+			}
+			return res
+		}
+		if res.Hops++; res.Hops > c.opts.MaxHops {
+			res.Err = fmt.Errorf("crawler: redirect chain exceeds %d hops from %s", c.opts.MaxHops, t.URL)
+			res.FinalURL = cur
+			return res
+		}
+		cur = next
+	}
+}
+
+// fetch GETs a URL. It returns the next URL to follow ("" when cur is
+// final), the HTTP status, and the page body when the page is final.
+func (c *Crawler) fetch(ctx context.Context, cur string) (next string, status int, body string, err error) {
+	c.throttle(urlmatch.Host(cur))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cur, nil)
+	if err != nil {
+		return "", 0, "", fmt.Errorf("crawler: build request: %w", err)
+	}
+	req.Header.Set("User-Agent", c.opts.UserAgent)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", 0, "", fmt.Errorf("crawler: get %s: %w", cur, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			return "", resp.StatusCode, "", fmt.Errorf("crawler: %s: redirect without Location", cur)
+		}
+		abs, err := resolveRef(cur, loc)
+		if err != nil {
+			return "", resp.StatusCode, "", err
+		}
+		return abs, resp.StatusCode, "", nil
+	}
+
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
+	if err != nil {
+		return "", resp.StatusCode, "", fmt.Errorf("crawler: read %s: %w", cur, err)
+	}
+	page := string(raw)
+	if resp.StatusCode == http.StatusOK && isHTML(resp.Header.Get("Content-Type")) {
+		if target := MetaRefreshTarget(page); target != "" {
+			abs, err := resolveRef(cur, target)
+			if err == nil {
+				return abs, resp.StatusCode, "", nil
+			}
+		}
+	}
+	return "", resp.StatusCode, page, nil
+}
+
+func isHTML(contentType string) bool {
+	return strings.Contains(strings.ToLower(contentType), "text/html")
+}
+
+func resolveRef(base, ref string) (string, error) {
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("crawler: parse base %q: %w", base, err)
+	}
+	r, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", fmt.Errorf("crawler: parse redirect target %q: %w", ref, err)
+	}
+	return urlmatch.Canonicalize(b.ResolveReference(r).String())
+}
+
+func (c *Crawler) throttle(host string) {
+	if c.opts.PerHostDelay <= 0 || host == "" {
+		return
+	}
+	for {
+		c.mu.Lock()
+		last, ok := c.lastHit[host]
+		now := time.Now()
+		if !ok || now.Sub(last) >= c.opts.PerHostDelay {
+			c.lastHit[host] = now
+			c.mu.Unlock()
+			return
+		}
+		wait := c.opts.PerHostDelay - now.Sub(last)
+		c.mu.Unlock()
+		time.Sleep(wait)
+	}
+}
+
+// metaRefreshRe matches <meta http-equiv="refresh" content="N; url=…">
+// in either attribute order, with flexible quoting — the minimum a
+// browser would honour.
+var (
+	metaTagRe    = regexp.MustCompile(`(?is)<meta\s[^>]*>`)
+	httpEquivRe  = regexp.MustCompile(`(?i)http-equiv\s*=\s*["']?\s*refresh\s*["']?`)
+	contentRe    = regexp.MustCompile(`(?i)content\s*=\s*("([^"]*)"|'([^']*)'|([^\s>]+))`)
+	refreshURLRe = regexp.MustCompile(`(?i)^\s*\d+\s*(?:;\s*url\s*=\s*(.+))?\s*$`)
+)
+
+// MetaRefreshTarget extracts the redirect target of the first
+// meta-refresh tag in an HTML page, or "" if none. A refresh without a
+// url= clause (a pure self-reload) yields "".
+func MetaRefreshTarget(page string) string {
+	for _, tag := range metaTagRe.FindAllString(page, -1) {
+		if !httpEquivRe.MatchString(tag) {
+			continue
+		}
+		m := contentRe.FindStringSubmatch(tag)
+		if m == nil {
+			continue
+		}
+		content := m[2] + m[3] + m[4] // whichever quoting variant matched
+		um := refreshURLRe.FindStringSubmatch(content)
+		if um == nil || um[1] == "" {
+			continue
+		}
+		target := strings.TrimSpace(um[1])
+		target = strings.Trim(target, `"'`)
+		if target != "" {
+			return target
+		}
+	}
+	return ""
+}
+
+// faviconLinkRe extracts <link rel="icon" href="…"> (and shortcut icon).
+var faviconLinkRe = regexp.MustCompile(`(?is)<link\s[^>]*rel\s*=\s*["']?(?:shortcut\s+)?icon["']?[^>]*>`)
+var hrefRe = regexp.MustCompile(`(?i)href\s*=\s*("([^"]*)"|'([^']*)'|([^\s>]+))`)
+
+// FaviconLink extracts the favicon href declared in an HTML page, or ""
+// if none is declared.
+func FaviconLink(page string) string {
+	tag := faviconLinkRe.FindString(page)
+	if tag == "" {
+		return ""
+	}
+	m := hrefRe.FindStringSubmatch(tag)
+	if m == nil {
+		return ""
+	}
+	return strings.TrimSpace(m[2] + m[3] + m[4])
+}
+
+// favicon fetches and hashes the favicon for a final page. It prefers
+// the page's declared <link rel="icon"> and falls back to /favicon.ico.
+// Results are cached per host.
+func (c *Crawler) favicon(ctx context.Context, finalURL, page string) string {
+	host := urlmatch.Host(finalURL)
+	c.mu.Lock()
+	if h, ok := c.favCache[host]; ok {
+		c.mu.Unlock()
+		return h
+	}
+	c.mu.Unlock()
+
+	var candidates []string
+	if link := FaviconLink(page); link != "" {
+		if abs, err := resolveRef(finalURL, link); err == nil {
+			candidates = append(candidates, abs)
+		}
+	}
+	if u, err := url.Parse(finalURL); err == nil {
+		u.Path = "/favicon.ico"
+		u.RawQuery = ""
+		candidates = append(candidates, u.String())
+	}
+
+	hash := ""
+	for _, cand := range candidates {
+		c.throttle(urlmatch.Host(cand))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cand, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set("User-Agent", c.opts.UserAgent)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || len(raw) == 0 {
+			continue
+		}
+		sum := sha256.Sum256(raw)
+		hash = hex.EncodeToString(sum[:])
+		c.mu.Lock()
+		if _, ok := c.iconBytes[hash]; !ok && len(raw) <= maxRetainedIcon {
+			c.iconBytes[hash] = raw
+		}
+		c.mu.Unlock()
+		break
+	}
+	c.mu.Lock()
+	c.favCache[host] = hash
+	c.mu.Unlock()
+	return hash
+}
+
+// maxRetainedIcon bounds per-icon memory in the hash→bytes cache.
+const maxRetainedIcon = 64 << 10
+
+// IconBytes returns the favicon payload for a hash observed during
+// crawling, or nil. The classifier's step 2 attaches these bytes to its
+// LLM prompts.
+func (c *Crawler) IconBytes(hash string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.iconBytes[hash]
+}
+
+// CrawlAll resolves all tasks with bounded concurrency. Results are
+// returned in task order regardless of completion order. The context
+// cancels outstanding work; cancelled tasks carry ctx.Err().
+func (c *Crawler) CrawlAll(ctx context.Context, tasks []Task) []Result {
+	results := make([]Result, len(tasks))
+	sem := make(chan struct{}, c.opts.Concurrency)
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t Task) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				results[i] = c.Crawl(ctx, t)
+			case <-ctx.Done():
+				results[i] = Result{Task: t, Err: ctx.Err()}
+			}
+		}(i, t)
+	}
+	wg.Wait()
+	return results
+}
+
+// FinalURLs converts successful results into the final-URL records the
+// matching module consumes.
+func FinalURLs(results []Result) []urlmatch.FinalURL {
+	var out []urlmatch.FinalURL
+	for _, r := range results {
+		if r.OK {
+			out = append(out, urlmatch.FinalURL{ASN: r.Task.ASN, URL: r.FinalURL})
+		}
+	}
+	return out
+}

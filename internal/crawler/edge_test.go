@@ -1,0 +1,171 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// cannedTransport serves scripted responses keyed by host, for edge
+// cases the websim universe intentionally does not produce.
+type cannedTransport struct {
+	byHost map[string]func(req *http.Request) (*http.Response, error)
+}
+
+func (c *cannedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fn, ok := c.byHost[req.URL.Hostname()]
+	if !ok {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return fn(req)
+}
+
+func respWith(status int, contentType, body string, hdr map[string]string) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		h := http.Header{}
+		h.Set("Content-Type", contentType)
+		for k, v := range hdr {
+			h.Set(k, v)
+		}
+		return &http.Response{
+			StatusCode: status,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  h,
+			Body:    io.NopCloser(strings.NewReader(body)),
+			Request: req,
+		}, nil
+	}
+}
+
+func TestMetaRefreshIgnoredInNonHTML(t *testing.T) {
+	// A meta-refresh-looking string inside a plain-text body must not
+	// be followed: only HTML pages carry refreshes.
+	body := `<meta http-equiv="refresh" content="0; url=https://evil.test/">`
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"plain.test": respWith(200, "text/plain", body, nil),
+	}}
+	c := New(Options{Transport: tr, SkipFavicons: true})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://plain.test/"})
+	if !res.OK || res.FinalURL != "https://plain.test/" {
+		t.Errorf("res = %+v err=%v", res, res.Err)
+	}
+	if res.Hops != 0 {
+		t.Errorf("non-HTML refresh followed: %v", res.Chain)
+	}
+}
+
+func TestMaxBodyTruncatesScan(t *testing.T) {
+	// The meta refresh sits beyond the body cap, so it is not seen.
+	page := strings.Repeat("x", 2048) +
+		`<meta http-equiv="refresh" content="0; url=https://next.test/">`
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"big.test": respWith(200, "text/html", page, nil),
+	}}
+	c := New(Options{Transport: tr, MaxBody: 1024, SkipFavicons: true})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://big.test/"})
+	if !res.OK || res.Hops != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRedirectToUnparsableLocation(t *testing.T) {
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"bad.test": respWith(301, "text/html", "", map[string]string{
+			"Location": "ftp://not-http.test/",
+		}),
+	}}
+	c := New(Options{Transport: tr, SkipFavicons: true})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://bad.test/"})
+	if res.OK || res.Err == nil {
+		t.Errorf("unsupported redirect scheme should fail: %+v", res)
+	}
+}
+
+func TestRedirectMissingLocation(t *testing.T) {
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"noloc.test": respWith(302, "text/html", "", nil),
+	}}
+	c := New(Options{Transport: tr, SkipFavicons: true})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://noloc.test/"})
+	if res.OK || res.Err == nil || !strings.Contains(res.Err.Error(), "Location") {
+		t.Errorf("res = %+v err=%v", res, res.Err)
+	}
+}
+
+func TestRelativeLocationResolved(t *testing.T) {
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"rel.test": func(req *http.Request) (*http.Response, error) {
+			if req.URL.Path == "/start" {
+				return respWith(302, "text/html", "", map[string]string{
+					"Location": "../final",
+				})(req)
+			}
+			return respWith(200, "text/html", "<html>done</html>", nil)(req)
+		},
+	}}
+	c := New(Options{Transport: tr, SkipFavicons: true})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://rel.test/start"})
+	if !res.OK || res.FinalURL != "https://rel.test/final" {
+		t.Errorf("res = %+v err=%v", res, res.Err)
+	}
+}
+
+func TestStatusTaxonomy(t *testing.T) {
+	// Every 2xx counts as reached but only 200 is OK per the paper's
+	// "available" criterion; 4xx/5xx fail.
+	for _, tc := range []struct {
+		status int
+		wantOK bool
+	}{
+		{200, true}, {204, false}, {403, false}, {404, false}, {500, false}, {503, false},
+	} {
+		tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+			"s.test": respWith(tc.status, "text/html", "<html></html>", nil),
+		}}
+		c := New(Options{Transport: tr, SkipFavicons: true})
+		res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://s.test/"})
+		if res.OK != tc.wantOK {
+			t.Errorf("status %d: OK = %v, want %v", tc.status, res.OK, tc.wantOK)
+		}
+	}
+}
+
+func TestFaviconFallbackWhenLinkBroken(t *testing.T) {
+	// The declared <link rel="icon"> 404s; /favicon.ico works.
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"fb.test": func(req *http.Request) (*http.Response, error) {
+			switch req.URL.Path {
+			case "/":
+				return respWith(200, "text/html",
+					`<html><link rel="icon" href="/broken.png"><body>x</body></html>`, nil)(req)
+			case "/favicon.ico":
+				return respWith(200, "image/x-icon", "ICONBYTES", nil)(req)
+			default:
+				return respWith(404, "text/plain", "nope", nil)(req)
+			}
+		},
+	}}
+	c := New(Options{Transport: tr})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://fb.test/"})
+	if !res.OK || res.FaviconHash == "" {
+		t.Errorf("fallback favicon not used: %+v", res)
+	}
+}
+
+func TestNoFaviconAnywhere(t *testing.T) {
+	tr := &cannedTransport{byHost: map[string]func(*http.Request) (*http.Response, error){
+		"none.test": func(req *http.Request) (*http.Response, error) {
+			if req.URL.Path == "/" {
+				return respWith(200, "text/html", "<html>x</html>", nil)(req)
+			}
+			return respWith(404, "text/plain", "nope", nil)(req)
+		},
+	}}
+	c := New(Options{Transport: tr})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://none.test/"})
+	if !res.OK || res.FaviconHash != "" {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,97 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+// dnsShim routes every request to a single server address while
+// preserving the logical Host — the test-bench equivalent of pointing
+// DNS at a lab machine. It lets the crawler exercise genuine TCP + HTTP
+// against the simulated universe served by httptest.
+type dnsShim struct {
+	target *url.URL
+	inner  http.RoundTripper
+}
+
+func (d *dnsShim) RoundTrip(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	clone.Host = req.URL.Host // logical host travels in the Host header
+	clone.URL.Scheme = d.target.Scheme
+	clone.URL.Host = d.target.Host
+	return d.inner.RoundTrip(clone)
+}
+
+// TestCrawlOverRealSockets runs the full crawl path — redirect chain,
+// meta refresh, favicon fetch — through a real HTTP server.
+func TestCrawlOverRealSockets(t *testing.T) {
+	u := websim.New()
+	u.AddSite("final.test", "brandicon")
+	u.RedirectHost("hop1.test", "http://hop2.test/")
+	u.MetaRefreshHost("hop2.test", "http://final.test/")
+
+	srv := httptest.NewServer(u.Handler())
+	defer srv.Close()
+	target, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{Transport: &dnsShim{target: target, inner: http.DefaultTransport}})
+	res := c.Crawl(context.Background(), Task{ASN: 64500, URL: "http://hop1.test/"})
+	if !res.OK {
+		t.Fatalf("res = %+v err=%v", res, res.Err)
+	}
+	if res.FinalURL != "http://final.test/" {
+		t.Errorf("FinalURL = %q", res.FinalURL)
+	}
+	if res.Hops != 2 {
+		t.Errorf("Hops = %d, want 2 (HTTP redirect + meta refresh)", res.Hops)
+	}
+	if res.FaviconHash == "" {
+		t.Error("favicon not fetched over real sockets")
+	}
+
+	// A batch over the same server exercises connection reuse.
+	tasks := []Task{
+		{ASN: 1, URL: "http://final.test/"},
+		{ASN: 2, URL: "http://hop1.test/"},
+		{ASN: 3, URL: "http://hop2.test/"},
+	}
+	results := c.CrawlAll(context.Background(), tasks)
+	for i, r := range results {
+		if !r.OK || r.FinalURL != "http://final.test/" {
+			t.Errorf("task %d: %+v err=%v", i, r, r.Err)
+		}
+	}
+	if results[0].FaviconHash != res.FaviconHash {
+		t.Error("favicon hash differs across real-socket crawls")
+	}
+}
+
+// TestCrawlRealSocketFailures exercises the error paths over TCP.
+func TestCrawlRealSocketFailures(t *testing.T) {
+	u := websim.New()
+	u.AddSite("up.test", "")
+	u.AddSite("down.test", "")
+	u.SetDown("down.test", true)
+	srv := httptest.NewServer(u.Handler())
+	defer srv.Close()
+	target, _ := url.Parse(srv.URL)
+	c := New(Options{Transport: &dnsShim{target: target, inner: http.DefaultTransport}})
+
+	// The handler maps transport-level universe failures to 502.
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "http://down.test/"})
+	if res.OK || res.Err == nil {
+		t.Errorf("down host over sockets: %+v", res)
+	}
+	res = c.Crawl(context.Background(), Task{ASN: 1, URL: "http://up.test/missing"})
+	if res.OK || res.Err == nil {
+		t.Errorf("404 over sockets: %+v", res)
+	}
+}

@@ -1,0 +1,236 @@
+package eval
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationInputFilter(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.AblationInputFilter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCalls := cellFloat(t, tab, "with input filter", 1)
+	withoutCalls := cellFloat(t, tab, "without input filter", 1)
+	if withoutCalls <= withCalls {
+		t.Errorf("filter should cut LLM calls: %v vs %v", withCalls, withoutCalls)
+	}
+	// The filter is lossless: sibling records all contain digits.
+	withRecs := cellFloat(t, tab, "with input filter", 2)
+	withoutRecs := cellFloat(t, tab, "without input filter", 2)
+	if withRecs != withoutRecs {
+		t.Errorf("filter lost extractions: %v vs %v", withRecs, withoutRecs)
+	}
+}
+
+func TestAblationOutputFilter(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.AblationOutputFilter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellFloat(t, tab, "with output filter", 2); got != 0 {
+		t.Errorf("filter must drop every hallucination, kept %v", got)
+	}
+	if got := cellFloat(t, tab, "without output filter", 2); got == 0 {
+		t.Error("disabled filter should let hallucinations through")
+	}
+	// Genuine extractions survive the filter.
+	if got := cellFloat(t, tab, "with output filter", 1); got == 0 {
+		t.Error("filter should keep genuine extractions")
+	}
+}
+
+func TestAblationBlocklist(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.AblationBlocklist(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOrgs := cellFloat(t, tab, "with blocklists", 1)
+	withoutOrgs := cellFloat(t, tab, "without blocklists", 1)
+	if withoutOrgs >= withOrgs {
+		t.Errorf("disabling blocklists should fuse orgs: %v vs %v", withoutOrgs, withOrgs)
+	}
+	withRR := cellFloat(t, tab, "with blocklists", 2)
+	withoutRR := cellFloat(t, tab, "without blocklists", 2)
+	if withoutRR <= withRR {
+		t.Errorf("platform networks should enter R&R without the blocklist: %v vs %v",
+			withoutRR, withRR)
+	}
+	// The wrong merges also inflate θ.
+	withTheta := cellFloat(t, tab, "with blocklists", 3)
+	withoutTheta := cellFloat(t, tab, "without blocklists", 3)
+	if withoutTheta <= withTheta {
+		t.Errorf("θ should inflate without blocklists: %v vs %v", withoutTheta, withTheta)
+	}
+}
+
+func TestAblationClassifierStep2(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.AblationClassifierStep2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cellFloat(t, tab, "full tree", 1)
+	step1 := cellFloat(t, tab, "step 1 only", 1)
+	if full <= step1 {
+		t.Errorf("step 2 should recover company groups: %v vs %v", full, step1)
+	}
+}
+
+func TestAblationRegexExtraction(t *testing.T) {
+	d := preparedData(t)
+	tab := d.AblationRegexExtraction()
+	get := func(method string, col int) float64 {
+		for _, r := range tab.Rows {
+			if strings.HasPrefix(r[0], method) {
+				v, _ := strconv.ParseFloat(r[col], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", method)
+		return 0
+	}
+	llmPrec := get("LLM", 5)
+	rxPrec := get("regex", 5)
+	if llmPrec <= rxPrec {
+		t.Errorf("LLM precision (%v) should beat regex (%v)", llmPrec, rxPrec)
+	}
+	// The regex path drowns in false positives on noise records.
+	llmFP := get("LLM", 3)
+	rxFP := get("regex", 3)
+	if rxFP <= llmFP {
+		t.Errorf("regex should produce more FPs: %v vs %v", rxFP, llmFP)
+	}
+}
+
+func TestGroundTruthAccuracy(t *testing.T) {
+	d := preparedData(t)
+	tab := d.GroundTruthAccuracy()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(method string, col int) float64 { return cellFloat(t, tab, method, col) }
+	// Borges recovers more true pairs than both baselines at
+	// comparable precision.
+	if get("Borges", 3) <= get("AS2Org", 3) || get("Borges", 3) <= get("as2org+", 3) {
+		t.Errorf("recall ordering broken: borges=%v plus=%v base=%v",
+			get("Borges", 3), get("as2org+", 3), get("AS2Org", 3))
+	}
+	for _, method := range []string{"AS2Org", "as2org+", "Borges"} {
+		if p := get(method, 2); p < 0.95 {
+			t.Errorf("%s pair precision = %v, want ≥ 0.95", method, p)
+		}
+	}
+}
+
+func TestAblationsRunner(t *testing.T) {
+	d := preparedData(t)
+	tabs, err := d.Ablations(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 9 {
+		t.Fatalf("ablations = %d, want 9", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Errorf("ablation %s rendered empty", tab.ID)
+		}
+		if _, err := d.ByID(tab.ID); err != nil {
+			t.Errorf("ByID(%s): %v", tab.ID, err)
+		}
+	}
+}
+
+func TestMethodDiff(t *testing.T) {
+	d := preparedData(t)
+	tab := d.MethodDiff()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Borges only merges: no splits from either baseline.
+	for _, r := range tab.Rows {
+		if strings.HasSuffix(r[0], "→ Borges") && r[3] != "0" {
+			t.Errorf("%s reports splits: %s", r[0], r[3])
+		}
+	}
+	// Upgrading from AS2Org must merge at least the named stories.
+	if m := cellFloat(t, tab, "AS2Org → Borges", 2); m < 10 {
+		t.Errorf("AS2Org → Borges merges = %v, want many", m)
+	}
+}
+
+func TestMismatchExperiment(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Mismatch()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	base := cellFloat(t, tab, "AS2Org", 1)
+	plus := cellFloat(t, tab, "as2org+", 1)
+	ours := cellFloat(t, tab, "Borges", 1)
+	total := cellFloat(t, tab, "Borges", 2)
+	if base != 0 {
+		t.Errorf("AS2Org resolves %v split candidates, want 0", base)
+	}
+	if !(ours >= plus && plus > 0) {
+		t.Errorf("resolution ordering: base=%v plus=%v borges=%v", base, plus, ours)
+	}
+	if ours != total {
+		t.Errorf("Borges should resolve all %v split candidates, got %v", total, ours)
+	}
+}
+
+func TestInjectSibling(t *testing.T) {
+	out := injectSibling(`{"siblings":[],"reason":"none"}`)
+	if !strings.Contains(out, "AS65000001") {
+		t.Errorf("empty list injection failed: %q", out)
+	}
+	out = injectSibling(`{"siblings":["AS1"],"reason":"x"}`)
+	if !strings.Contains(out, `"AS65000001","AS1"`) {
+		t.Errorf("populated list injection failed: %q", out)
+	}
+	if got := injectSibling("no json"); got != "no json" {
+		t.Errorf("pass-through failed: %q", got)
+	}
+}
+
+func TestModelComparison(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.ModelComparison(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(model string, col int) float64 { return cellFloat(t, tab, model, col) }
+	// The flagship profile dominates on IE recall and accuracy: the
+	// monolingual profiles miss non-English sibling claims AND
+	// misread non-English connectivity listings as siblings.
+	if get("sim-gpt-4o-mini", 2) <= get("sim-llama-8b", 2) {
+		t.Errorf("multilingual model should have higher IE recall: %v vs %v",
+			get("sim-gpt-4o-mini", 2), get("sim-llama-8b", 2))
+	}
+	if get("sim-gpt-4o-mini", 1) <= get("sim-llama-8b", 1) {
+		t.Errorf("multilingual model should have higher IE accuracy: %v vs %v",
+			get("sim-gpt-4o-mini", 1), get("sim-llama-8b", 1))
+	}
+	// Weaker models do NOT lower θ — their false merges inflate it
+	// (the paper's caveat that θ cannot rank methods without an
+	// accuracy check, §5.4).
+	if get("sim-llama-8b", 4) <= get("sim-gpt-4o-mini", 4) {
+		t.Errorf("monolingual over-extraction should inflate θ: %v vs %v",
+			get("sim-llama-8b", 4), get("sim-gpt-4o-mini", 4))
+	}
+	// Company-group yield never exceeds the flagship profile.
+	if get("sim-llama-8b", 3) > get("sim-gpt-4o-mini", 3) {
+		t.Errorf("weaker model should not find more company groups: %v vs %v",
+			get("sim-llama-8b", 3), get("sim-gpt-4o-mini", 3))
+	}
+}

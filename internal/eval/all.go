@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+)
+
+// All regenerates every table and figure in paper order.
+func (d *Data) All() ([]*Table, error) {
+	t6, err := d.Table6()
+	if err != nil {
+		return nil, fmt.Errorf("eval: table6: %w", err)
+	}
+	return []*Table{
+		d.Table3(),
+		d.Table4(),
+		d.Table5(),
+		t6,
+		d.Table7(),
+		d.Table8(),
+		d.Table9(),
+		d.Figure7(),
+		d.Figure8(),
+		d.Figure9(),
+	}, nil
+}
+
+// Ablations runs every design-choice ablation plus the ground-truth
+// accuracy extension.
+func (d *Data) Ablations(ctx context.Context) ([]*Table, error) {
+	inputFilter, err := d.AblationInputFilter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	outputFilter, err := d.AblationOutputFilter(ctx)
+	if err != nil {
+		return nil, err
+	}
+	blocklist, err := d.AblationBlocklist(ctx)
+	if err != nil {
+		return nil, err
+	}
+	step2, err := d.AblationClassifierStep2(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := []*Table{
+		inputFilter,
+		outputFilter,
+		blocklist,
+		step2,
+		d.AblationRegexExtraction(),
+		d.GroundTruthAccuracy(),
+		d.MethodDiff(),
+		d.Mismatch(),
+	}
+	modelComp, err := d.ModelComparison(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, modelComp), nil
+}
+
+// ByID returns one experiment by identifier, or an error listing the
+// valid identifiers.
+func (d *Data) ByID(id string) (*Table, error) {
+	ctx := context.Background()
+	switch id {
+	case "ablation-input-filter":
+		return d.AblationInputFilter(ctx)
+	case "ablation-output-filter":
+		return d.AblationOutputFilter(ctx)
+	case "ablation-blocklist":
+		return d.AblationBlocklist(ctx)
+	case "ablation-classifier-step2":
+		return d.AblationClassifierStep2(ctx)
+	case "ablation-regex-extraction":
+		return d.AblationRegexExtraction(), nil
+	case "accuracy":
+		return d.GroundTruthAccuracy(), nil
+	case "method-diff":
+		return d.MethodDiff(), nil
+	case "model-comparison":
+		return d.ModelComparison(ctx)
+	case "mismatch":
+		return d.Mismatch(), nil
+	}
+	switch id {
+	case "table3":
+		return d.Table3(), nil
+	case "table4":
+		return d.Table4(), nil
+	case "table5":
+		return d.Table5(), nil
+	case "table6":
+		return d.Table6()
+	case "table7":
+		return d.Table7(), nil
+	case "table8":
+		return d.Table8(), nil
+	case "table9":
+		return d.Table9(), nil
+	case "figure7":
+		return d.Figure7(), nil
+	case "figure8":
+		return d.Figure8(), nil
+	case "figure9":
+		return d.Figure9(), nil
+	default:
+		return nil, fmt.Errorf("eval: unknown experiment %q (valid: table3..table9, figure7..figure9, ablation-input-filter, ablation-output-filter, ablation-blocklist, ablation-classifier-step2, ablation-regex-extraction, accuracy)", id)
+	}
+}

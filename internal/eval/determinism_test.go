@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/synth"
+)
+
+// TestEvaluationFullyDeterministic runs the entire generate → pipeline →
+// evaluate path twice and demands byte-identical rendered output for
+// every experiment. This is the repository's reproducibility contract:
+// concurrency in the crawler, the NER batch, and the classifier must
+// never leak scheduling order into results.
+func TestEvaluationFullyDeterministic(t *testing.T) {
+	render := func() map[string]string {
+		ds, err := synth.Generate(synth.Config{Seed: 77, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Prepare(context.Background(), ds, simllm.NewModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := d.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(tables))
+		for _, tab := range tables {
+			out[tab.ID] = tab.Render()
+		}
+		return out
+	}
+	a := render()
+	b := render()
+	if len(a) != len(b) {
+		t.Fatalf("experiment counts differ: %d vs %d", len(a), len(b))
+	}
+	for id, ra := range a {
+		if rb, ok := b[id]; !ok {
+			t.Errorf("%s missing from second run", id)
+		} else if ra != rb {
+			t.Errorf("%s is nondeterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, ra, rb)
+		}
+	}
+}

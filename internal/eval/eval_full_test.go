@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/synth"
+)
+
+// TestAllExperimentsFullScale regenerates every table and figure at
+// paper scale and prints them; the companion assertions live in
+// eval_test.go at a faster scale.
+func TestAllExperimentsFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds, err := synth.Generate(synth.Config{Seed: 1, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Prepare(context.Background(), ds, simllm.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := d.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		t.Logf("\n%s", tab.Render())
+	}
+}

@@ -1,0 +1,379 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/synth"
+)
+
+// prepared builds one evaluation at a moderate scale shared by the
+// assertion tests.
+var prepared *Data
+
+func preparedData(t *testing.T) *Data {
+	t.Helper()
+	if prepared == nil {
+		ds, err := synth.Generate(synth.Config{Seed: 1, Scale: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Prepare(context.Background(), ds, simllm.NewModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared = d
+	}
+	return prepared
+}
+
+func cell(t *testing.T, tab *Table, rowPrefix string, col int) string {
+	t.Helper()
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], rowPrefix) {
+			return row[col]
+		}
+	}
+	t.Fatalf("%s: no row starting with %q", tab.ID, rowPrefix)
+	return ""
+}
+
+func cellFloat(t *testing.T, tab *Table, rowPrefix string, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell(t, tab, rowPrefix, col), "%"), 64)
+	if err != nil {
+		t.Fatalf("%s: parse %q: %v", tab.ID, cell(t, tab, rowPrefix, col), err)
+	}
+	return v
+}
+
+func TestTable3Shape(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table3()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// OID_W is the largest source; favicons the smallest.
+	oidw := cellFloat(t, tab, "OID_W", 1)
+	fav := cellFloat(t, tab, "Favicons", 1)
+	rr := cellFloat(t, tab, "R&R", 1)
+	oidp := cellFloat(t, tab, "OID_P", 1)
+	if !(oidw > oidp && oidp > rr && rr > fav) {
+		t.Errorf("source size ordering broken: OID_W=%v OID_P=%v R&R=%v F=%v", oidw, oidp, rr, fav)
+	}
+	// R&R covers most of the web-bearing networks.
+	if rr < 0.5*oidp {
+		t.Errorf("R&R coverage too small: %v of %v", rr, oidp)
+	}
+}
+
+func TestTable4MatchesPaperRates(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table4()
+	acc := cellFloat(t, tab, "Accuracy", 1)
+	prec := cellFloat(t, tab, "Precision", 1)
+	rec := cellFloat(t, tab, "Recall", 1)
+	if math.Abs(acc-0.947) > 0.03 {
+		t.Errorf("IE accuracy = %v, paper 0.947", acc)
+	}
+	if math.Abs(prec-0.974) > 0.03 {
+		t.Errorf("IE precision = %v, paper 0.974", prec)
+	}
+	if math.Abs(rec-0.94) > 0.03 {
+		t.Errorf("IE recall = %v, paper 0.94", rec)
+	}
+}
+
+func TestTable5MatchesPaperRates(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table5()
+	// Column 3 is "All".
+	acc := cellFloat(t, tab, "Accuracy", 3)
+	prec := cellFloat(t, tab, "Precision", 3)
+	rec := cellFloat(t, tab, "Recall", 3)
+	if math.Abs(acc-0.986) > 0.02 {
+		t.Errorf("classifier accuracy = %v, paper 0.986", acc)
+	}
+	if math.Abs(prec-0.997) > 0.02 {
+		t.Errorf("classifier precision = %v, paper 0.997", prec)
+	}
+	if math.Abs(rec-0.984) > 0.03 {
+		t.Errorf("classifier recall = %v, paper 0.984", rec)
+	}
+	// Step 1 recall is markedly lower (strict criteria, paper 0.8665);
+	// step 2 recovers most of its misses.
+	s1rec := cellFloat(t, tab, "Recall", 1)
+	if s1rec >= rec {
+		t.Errorf("step-1 recall %v should be below overall %v", s1rec, rec)
+	}
+}
+
+func TestTable6Ordering(t *testing.T) {
+	d := preparedData(t)
+	tab, err := d.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 18 { // baseline + as2org+ (×2 configs) + 15 combos
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	base := cellFloat(t, tab, "AS2Org (baseline)", 1)
+	plus := cellFloat(t, tab, "as2org+", 1)
+	full := cellFloat(t, tab, "Borges OID_P + N&A + R&R + F", 1)
+	if !(full > plus && plus > base) {
+		t.Errorf("θ ordering: base=%v plus=%v full=%v", base, plus, full)
+	}
+	// The paper's relative improvements: as2org+ ≈ +3.7%, Borges ≈ +7%.
+	plusGain := plus/base - 1
+	fullGain := full/base - 1
+	if plusGain < 0.02 || plusGain > 0.06 {
+		t.Errorf("as2org+ gain = %.3f, paper ≈ 0.037", plusGain)
+	}
+	if fullGain < 0.05 || fullGain > 0.09 {
+		t.Errorf("Borges gain = %.3f, paper ≈ 0.070", fullGain)
+	}
+	// Every Borges combination is bounded by the full configuration
+	// (the uncurated regex row is excluded: its θ is inflated by wrong
+	// merges, which is exactly the point of including it).
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[0], "Borges ") {
+			continue
+		}
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v < base-1e-9 || v > full+1e-9 {
+			t.Errorf("combo %s θ=%v outside [base, full]", row[0], v)
+		}
+	}
+	// The regex configuration merges blindly, so its θ exceeds the
+	// curated as2org+ — θ alone cannot rank methods.
+	regex := cellFloat(t, tab, "as2org+ (regex", 1)
+	if regex <= plus {
+		t.Errorf("regex θ (%v) should exceed curated as2org+ (%v)", regex, plus)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table7()
+	changed := cellFloat(t, tab, "Changed", 1)
+	unchanged := cellFloat(t, tab, "Unchanged", 1)
+	if changed <= 0 || unchanged <= 0 {
+		t.Fatalf("counts: changed=%v unchanged=%v", changed, unchanged)
+	}
+	// Changed orgs are far fewer but far larger than unchanged ones.
+	if changed > unchanged/10 {
+		t.Errorf("changed (%v) should be a small fraction of unchanged (%v)", changed, unchanged)
+	}
+	chPrior := cellFloat(t, tab, "Changed", 2)
+	chAfter := cellFloat(t, tab, "Changed", 3)
+	unch := cellFloat(t, tab, "Unchanged", 2)
+	if chAfter <= chPrior {
+		t.Error("changed orgs must gain users under Borges")
+	}
+	if chPrior < 5*unch {
+		t.Errorf("changed orgs should be much larger on average: %v vs %v", chPrior, unch)
+	}
+}
+
+func TestTable8TopEntries(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table8()
+	if len(tab.Rows) != 20 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	names := make([]string, 0, 20)
+	for _, r := range tab.Rows {
+		names = append(names, r[0])
+	}
+	joined := strings.Join(names, "|")
+	for _, want := range []string{"Deutsche Telekom", "Telkom Indonesia", "Charter", "TIGO", "Claro"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("top-20 missing %q: %v", want, names)
+		}
+	}
+	// Differences are sorted descending.
+	prev := math.Inf(1)
+	for _, r := range tab.Rows {
+		diff, _ := strconv.ParseFloat(r[3], 64)
+		if diff > prev {
+			t.Fatal("rows not sorted by difference")
+		}
+		prev = diff
+	}
+	// The flagship number: Deutsche Telekom ≈ +21.6M users.
+	dt := cellFloat(t, tab, "Deutsche Telekom", 3)
+	if math.Abs(dt-21641065) > 1e6 {
+		t.Errorf("DT marginal growth = %v, paper 21,641,065", dt)
+	}
+}
+
+func TestTable9TopEntries(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Table9()
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table9")
+	}
+	if got := tab.Rows[0][0]; got != "Digicel" {
+		t.Errorf("top footprint growth = %q, paper: Digicel", got)
+	}
+	if diff := cellFloat(t, tab, "Digicel", 3); diff != 21 {
+		t.Errorf("Digicel growth = %v, paper 21 (4→25)", diff)
+	}
+}
+
+func TestFigure7Monotone(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Figure7()
+	var prevIdent, prevCurve float64
+	for _, r := range tab.Rows {
+		ident, _ := strconv.ParseFloat(r[1], 64)
+		curve, _ := strconv.ParseFloat(r[2], 64)
+		if ident < prevIdent || curve < prevCurve {
+			t.Fatal("curves must be nondecreasing")
+		}
+		if curve+1e-9 < ident {
+			t.Fatal("AS2Org curve must dominate the identity curve")
+		}
+		prevIdent, prevCurve = ident, curve
+	}
+}
+
+func TestFigure8Slopes(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Figure8()
+	var top100, top1000, top10000 float64
+	for _, n := range tab.Notes {
+		var v float64
+		if _, err := parseNote(n, "top-100 ", &v); err == nil {
+			top100 = v
+		}
+		if _, err := parseNote(n, "top-1000 ", &v); err == nil {
+			top1000 = v
+		}
+		if _, err := parseNote(n, "top-10000 ", &v); err == nil {
+			top10000 = v
+		}
+	}
+	// Paper: ≈5 for the top 100, ≈1 through the top 1,000, tapering.
+	if top100 < 2.5 || top100 > 9 {
+		t.Errorf("top-100 slope = %v, paper ≈ 5", top100)
+	}
+	if top1000 < 0.4 || top1000 > 3 || top1000 >= top100 {
+		t.Errorf("top-1000 slope = %v, paper ≈ 1", top1000)
+	}
+	if top10000 >= top1000 {
+		t.Errorf("slope must taper in the tail: %v vs %v", top10000, top1000)
+	}
+}
+
+func parseNote(note, prefix string, out *float64) (bool, error) {
+	i := strings.Index(note, prefix)
+	if i < 0 {
+		return false, strconv.ErrSyntax
+	}
+	rest := note[i+len(prefix):]
+	j := strings.Index(rest, "fit slope: ")
+	if j < 0 {
+		return false, strconv.ErrSyntax
+	}
+	rest = rest[j+len("fit slope: "):]
+	k := strings.Index(rest, " ")
+	if k < 0 {
+		k = len(rest)
+	}
+	v, err := strconv.ParseFloat(rest[:k], 64)
+	if err != nil {
+		return false, err
+	}
+	*out = v
+	return true, nil
+}
+
+func TestFigure9Gains(t *testing.T) {
+	d := preparedData(t)
+	tab := d.Figure9()
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want the 16 hypergiants", len(tab.Rows))
+	}
+	gain := func(name string) float64 {
+		return cellFloat(t, tab, name, 4) - cellFloat(t, tab, name, 2)
+	}
+	if g := gain("EdgeCast"); g != 9 {
+		t.Errorf("EdgeCast gain = %v, paper 9", g)
+	}
+	if g := gain("Google"); g != 3 {
+		t.Errorf("Google gain = %v, paper 3", g)
+	}
+	if g := gain("Microsoft"); g != 1 {
+		t.Errorf("Microsoft gain = %v, paper 1", g)
+	}
+	if g := gain("Amazon"); g != 1 {
+		t.Errorf("Amazon gain = %v, paper 1", g)
+	}
+	if g := gain("Akamai"); g != 0 {
+		t.Errorf("Akamai gain = %v, paper 0", g)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := FitSlope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if got := FitSlope([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("degenerate slope = %v", got)
+	}
+	if got := FitSlope([]float64{3, 3}, []float64{1, 5}); got != 0 {
+		t.Errorf("vertical slope = %v", got)
+	}
+}
+
+func TestComboEnumeration(t *testing.T) {
+	combos := Combos()
+	if len(combos) != 15 {
+		t.Fatalf("combos = %d, want 15", len(combos))
+	}
+	seen := map[string]bool{}
+	for _, f := range combos {
+		if seen[f.Label()] {
+			t.Errorf("duplicate combo %s", f.Label())
+		}
+		seen[f.Label()] = true
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("one", "1")
+	out := tab.Render()
+	for _, want := range []string{"x — demo", "one", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\none,1\n") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"},
+		Notes: []string{"a note"}}
+	tab.AddRow("pipe|cell", "1")
+	md := tab.Markdown()
+	for _, want := range []string{"### x — demo", "| a | b |", `pipe\|cell`, "> a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}

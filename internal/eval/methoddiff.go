@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/nu-aqualab/borges/internal/mapdiff"
+)
+
+// MethodDiff compares the Borges mapping against each baseline with the
+// longitudinal diff engine, summarising how many organizations each
+// upgrade merges, reshuffles, or leaves untouched — an extension view
+// the paper's §7 motivates (tracking organizational change) applied
+// across methods over one snapshot.
+func (d *Data) MethodDiff() *Table {
+	t := &Table{
+		ID:      "method-diff",
+		Title:   "Organization transitions from each baseline to Borges (extension)",
+		Columns: []string{"Transition", "Stable", "Merges", "Splits", "Reshuffles", "Moved ASNs"},
+		Notes: []string{
+			"Borges only adds sibling edges, so baseline → Borges transitions contain no splits",
+		},
+	}
+	for _, e := range []struct {
+		name string
+		rep  *mapdiff.Report
+	}{
+		{"AS2Org → Borges", mapdiff.Compare(d.AS2Org, d.Borges.Mapping)},
+		{"as2org+ → Borges", mapdiff.Compare(d.Plus, d.Borges.Mapping)},
+		{"AS2Org → as2org+", mapdiff.Compare(d.AS2Org, d.Plus)},
+	} {
+		t.AddRow(e.name, itoa(e.rep.Stable), itoa(e.rep.Merges),
+			itoa(e.rep.Splits), itoa(e.rep.Reshuffles), itoa(e.rep.MovedASNs))
+	}
+	// Headline consolidations.
+	rep := mapdiff.Compare(d.AS2Org, d.Borges.Mapping)
+	merges := rep.MergesOf()
+	for i, m := range merges {
+		if i >= 3 {
+			break
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("largest merge %d: %s unites %d organizations (%d networks)",
+			i+1, m.Name, len(m.Sources), len(m.Members)))
+	}
+	return t
+}

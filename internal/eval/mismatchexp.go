@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"github.com/nu-aqualab/borges/internal/mismatch"
+)
+
+// Mismatch runs the Chen et al.-style WHOIS-vs-PeeringDB discrepancy
+// flagging (related work, §2.1) over the corpus and reports how far
+// each mapping method resolves the split candidates — the
+// reclassification the flags call for.
+func (d *Data) Mismatch() *Table {
+	flags := mismatch.Flags(d.DS.WHOIS, d.DS.PDB)
+	var splits, diverged int
+	for _, c := range flags {
+		if c.Kind == mismatch.KindSplit {
+			splits++
+		} else {
+			diverged++
+		}
+	}
+	t := &Table{
+		ID:      "mismatch",
+		Title:   "WHOIS vs PeeringDB discrepancy flags and their resolution (extension)",
+		Columns: []string{"Method", "Split candidates resolved", "Of total"},
+		Notes: []string{
+			"flags: " + itoa(splits) + " PeeringDB organizations span several WHOIS organizations; " +
+				itoa(diverged) + " networks have organization names with no shared keyword",
+			"a split candidate counts as resolved when the method maps all of its networks into one organization",
+		},
+	}
+	type entry struct {
+		name string
+		res  int
+		tot  int
+	}
+	var entries []entry
+	r, tot := mismatch.ResolvedBy(flags, d.AS2Org)
+	entries = append(entries, entry{"AS2Org", r, tot})
+	r, tot = mismatch.ResolvedBy(flags, d.Plus)
+	entries = append(entries, entry{"as2org+", r, tot})
+	r, tot = mismatch.ResolvedBy(flags, d.Borges.Mapping)
+	entries = append(entries, entry{"Borges", r, tot})
+	for _, e := range entries {
+		t.AddRow(e.name, itoa(e.res), itoa(e.tot))
+	}
+	return t
+}

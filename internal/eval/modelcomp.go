@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/nu-aqualab/borges/internal/core"
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/metrics"
+	"github.com/nu-aqualab/borges/internal/orgfactor"
+	"github.com/nu-aqualab/borges/internal/simllm"
+)
+
+// ModelComparison reruns the learning-based stages under different
+// model capability profiles — the exploration the paper's conclusion
+// proposes ("future, more complex LLM models, and alternative models …
+// such as Meta's Llama and DeepSeek's R1"). Weaker profiles lose
+// multilingual cue coverage and visual brand knowledge, and the table
+// shows how extraction accuracy, classifier yield, and the final θ
+// degrade.
+func (d *Data) ModelComparison(ctx context.Context) (*Table, error) {
+	t := &Table{
+		ID:      "model-comparison",
+		Title:   "Borges under different LLM capability profiles (extension)",
+		Columns: []string{"Model", "IE accuracy", "IE recall", "Company groups", "θ"},
+		Notes: []string{
+			"sim-llama-8b loses the multilingual affiliation cues; sim-small-3b additionally loses all visual logo knowledge",
+			"weaker profiles INFLATE θ: they misread non-English connectivity listings as sibling claims, and θ rewards the wrong merges — the §5.4 caveat that θ needs an accuracy check",
+		},
+	}
+	for _, profile := range []simllm.Profile{
+		simllm.ProfileGPT4oMini,
+		simllm.ProfileLlama,
+		simllm.ProfileSmall,
+	} {
+		row, err := d.modelRow(ctx, profile)
+		if err != nil {
+			return nil, fmt.Errorf("eval: model comparison (%s): %w", profile.Name, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func (d *Data) modelRow(ctx context.Context, profile simllm.Profile) ([]string, error) {
+	var provider llm.Provider = simllm.NewModelWithProfile(profile)
+	res, err := core.Run(ctx, core.Inputs{
+		WHOIS: d.DS.WHOIS, PDB: d.DS.PDB, Transport: d.DS.Web, Provider: provider,
+	}, core.Options{LLMConcurrency: 16})
+	if err != nil {
+		return nil, err
+	}
+	// Record-level IE confusion against ground truth over all numeric
+	// records (not the Table 4 subsample, to expose the full effect).
+	var c metrics.Confusion
+	for _, x := range res.Artifacts.Extractions {
+		if x.Skipped {
+			continue
+		}
+		truth := d.DS.Truth.NERSiblings[x.Record.ASN]
+		truthPos := len(truth) > 0
+		predPos := len(x.Siblings) > 0
+		switch {
+		case truthPos && predPos && sameASNs(truth, x.Siblings):
+			c.TP++
+		case truthPos:
+			c.FN++
+		case predPos:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	theta, err := orgfactor.Theta(res.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	return []string{
+		profile.Name,
+		ftoa(c.Accuracy()),
+		ftoa(c.Recall()),
+		itoa(res.Stats.CompanyGroups),
+		ftoa(theta),
+	}, nil
+}

@@ -1,0 +1,113 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§5, §6) from a corpus and a set of pipeline runs: the
+// feature-contribution counts (Table 3), the LLM-stage validations
+// (Tables 4 and 5), the Organization Factor grid (Table 6), the
+// population and footprint analyses (Tables 7–9), and the series behind
+// Figures 7–9.
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("table3" … "figure9").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carry commentary (paper reference values, caveats).
+	Notes []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(cell))
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (no embedded quotes are
+// produced by the experiments).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// itoa / ftoa shorthands for cell rendering.
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func i64(v int64) string    { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Markdown renders the table as a GitHub-flavoured Markdown table with
+// the notes as a trailing list — the format EXPERIMENTS.md uses.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package llm
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Caching decorates a Provider with deterministic memoization: identical
+// requests return the stored response without touching the backend.
+//
+// Borges runs its models at temperature 0 precisely so that outputs are
+// reproducible (§4.2); that same property makes responses safely
+// cacheable. Re-running the pipeline over an updated PeeringDB snapshot
+// only pays for records whose text actually changed — on real API
+// pricing, the difference between re-prompting 2,916 records and
+// re-prompting a few dozen.
+type Caching struct {
+	// Inner is the wrapped provider.
+	Inner Provider
+
+	mu      sync.RWMutex
+	entries map[string]Response
+	hits    int64
+	misses  int64
+}
+
+// NewCaching wraps a provider with an empty cache.
+func NewCaching(inner Provider) *Caching {
+	return &Caching{Inner: inner, entries: make(map[string]Response)}
+}
+
+// key derives a stable fingerprint for a request: model, sampling
+// parameters, and every message (including image bytes).
+func (c *Caching) key(req Request) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	meta := struct {
+		Model       string
+		Temperature float64
+		TopP        float64
+		MaxTokens   int
+	}{req.Model, req.Temperature, req.TopP, req.MaxTokens}
+	if err := enc.Encode(meta); err != nil {
+		return "", fmt.Errorf("llm: cache key: %w", err)
+	}
+	for _, m := range req.Messages {
+		if err := enc.Encode(struct {
+			Role    Role
+			Content string
+		}{m.Role, m.Content}); err != nil {
+			return "", fmt.Errorf("llm: cache key: %w", err)
+		}
+		for _, img := range m.Images {
+			h.Write(img)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Complete implements Provider.
+func (c *Caching) Complete(ctx context.Context, req Request) (Response, error) {
+	k, err := c.key(req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.RLock()
+	resp, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return resp, nil
+	}
+	resp, err = c.Inner.Complete(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.Lock()
+	c.entries[k] = resp
+	c.misses++
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Stats returns cache hits, misses, and the number of stored entries.
+func (c *Caching) Stats() (hits, misses int64, size int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses, len(c.entries)
+}

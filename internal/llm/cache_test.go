@@ -1,0 +1,223 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countingProvider tracks calls and echoes the last user message.
+type countingProvider struct {
+	mu    sync.Mutex
+	calls int
+	fail  bool
+}
+
+func (p *countingProvider) Complete(ctx context.Context, req Request) (Response, error) {
+	p.mu.Lock()
+	p.calls++
+	n := p.calls
+	p.mu.Unlock()
+	if p.fail {
+		return Response{}, errors.New("backend down")
+	}
+	content := ""
+	if len(req.Messages) > 0 {
+		content = req.Messages[len(req.Messages)-1].Content
+	}
+	return Response{Content: fmt.Sprintf("reply %d to %s", n, content)}, nil
+}
+
+func reqWith(content string) Request {
+	return Request{Model: "m", Messages: []Message{{Role: RoleUser, Content: content}}}
+}
+
+func TestCachingMemoizes(t *testing.T) {
+	p := &countingProvider{}
+	c := NewCaching(p)
+	ctx := context.Background()
+
+	r1, err := c.Complete(ctx, reqWith("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Complete(ctx, reqWith("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Content != r2.Content {
+		t.Errorf("cached reply differs: %q vs %q", r1.Content, r2.Content)
+	}
+	if p.calls != 1 {
+		t.Errorf("backend calls = %d, want 1", p.calls)
+	}
+	if _, err := c.Complete(ctx, reqWith("different")); err != nil {
+		t.Fatal(err)
+	}
+	if p.calls != 2 {
+		t.Errorf("backend calls = %d, want 2", p.calls)
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 2 || size != 2 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, size)
+	}
+}
+
+func TestCachingKeySensitivity(t *testing.T) {
+	p := &countingProvider{}
+	c := NewCaching(p)
+	ctx := context.Background()
+
+	base := reqWith("x")
+	variants := []Request{
+		{Model: "other", Messages: base.Messages},
+		{Model: "m", Temperature: 0.5, Messages: base.Messages},
+		{Model: "m", MaxTokens: 9, Messages: base.Messages},
+		{Model: "m", Messages: []Message{{Role: RoleSystem, Content: "x"}}},
+		{Model: "m", Messages: []Message{{Role: RoleUser, Content: "x",
+			Images: [][]byte{{1, 2, 3}}}}},
+	}
+	if _, err := c.Complete(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		if _, err := c.Complete(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+		if p.calls != i+2 {
+			t.Errorf("variant %d did not miss the cache (calls=%d)", i, p.calls)
+		}
+	}
+	// Image bytes are part of the key.
+	img1 := Request{Model: "m", Messages: []Message{{Role: RoleUser, Content: "x",
+		Images: [][]byte{{1, 2, 3}}}}}
+	img2 := Request{Model: "m", Messages: []Message{{Role: RoleUser, Content: "x",
+		Images: [][]byte{{9, 9, 9}}}}}
+	before := p.calls
+	c.Complete(ctx, img1) // cached from variants
+	if p.calls != before {
+		t.Error("identical image request should hit")
+	}
+	c.Complete(ctx, img2)
+	if p.calls != before+1 {
+		t.Error("different image request should miss")
+	}
+}
+
+func TestCachingDoesNotStoreErrors(t *testing.T) {
+	p := &countingProvider{fail: true}
+	c := NewCaching(p)
+	ctx := context.Background()
+	if _, err := c.Complete(ctx, reqWith("x")); err == nil {
+		t.Fatal("want error")
+	}
+	p.fail = false
+	resp, err := c.Complete(ctx, reqWith("x"))
+	if err != nil || resp.Content == "" {
+		t.Fatalf("recovered call failed: %v", err)
+	}
+	if p.calls != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", p.calls)
+	}
+}
+
+func TestCachingConcurrent(t *testing.T) {
+	p := &countingProvider{}
+	c := NewCaching(p)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Complete(context.Background(), reqWith(fmt.Sprintf("q%d", i%4))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	_, _, size := c.Stats()
+	if size != 4 {
+		t.Errorf("size = %d, want 4", size)
+	}
+}
+
+func TestRateLimitedPacing(t *testing.T) {
+	p := &countingProvider{}
+	var clock time.Time
+	var slept time.Duration
+	rl := &RateLimited{
+		Inner: p, RPS: 2, Burst: 1,
+		Now: func() time.Time { return clock },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept += d
+			clock = clock.Add(d)
+			return nil
+		},
+	}
+	clock = time.Unix(1000, 0)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := rl.Complete(ctx, reqWith("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First call free (full bucket), the other four wait 0.5s each.
+	if want := 2 * time.Second; slept < want-time.Millisecond || slept > want+time.Millisecond {
+		t.Errorf("slept %v, want ≈%v", slept, want)
+	}
+	if p.calls != 5 {
+		t.Errorf("calls = %d", p.calls)
+	}
+}
+
+func TestRateLimitedBurst(t *testing.T) {
+	p := &countingProvider{}
+	var clock = time.Unix(0, 0)
+	var slept time.Duration
+	rl := &RateLimited{
+		Inner: p, RPS: 1, Burst: 3,
+		Now: func() time.Time { return clock },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept += d
+			clock = clock.Add(d)
+			return nil
+		},
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := rl.Complete(ctx, reqWith("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slept != 0 {
+		t.Errorf("burst calls slept %v", slept)
+	}
+	if _, err := rl.Complete(ctx, reqWith("x")); err != nil {
+		t.Fatal(err)
+	}
+	if slept == 0 {
+		t.Error("post-burst call should wait")
+	}
+}
+
+func TestRateLimitedContextCancel(t *testing.T) {
+	p := &countingProvider{}
+	clock := time.Unix(0, 0)
+	rl := &RateLimited{
+		Inner: p, RPS: 0.001, Burst: 1,
+		Now: func() time.Time { return clock },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			return context.Canceled
+		},
+	}
+	ctx := context.Background()
+	if _, err := rl.Complete(ctx, reqWith("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rl.Complete(ctx, reqWith("x")); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want canceled", err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package llm defines the provider-agnostic chat-completion interface
+// Borges's learning-based stages are built on. The paper runs OpenAI's
+// GPT-4o-mini with temperature 0 and top-p 1 so that "the model
+// consistently produces the most probable next token, resulting in
+// reproducible outputs" (§4.2); any Provider implementation is expected
+// to honour the same determinism contract: identical requests yield
+// identical responses.
+//
+// Two implementations ship with this repository: llm/openai, a complete
+// OpenAI-compatible HTTP client, and simllm, a deterministic simulated
+// model used when no API endpoint is available.
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Role identifies the author of a chat message.
+type Role string
+
+// Chat roles.
+const (
+	RoleSystem    Role = "system"
+	RoleUser      Role = "user"
+	RoleAssistant Role = "assistant"
+)
+
+// Message is one chat turn. Images carry raw image bytes for multimodal
+// prompts (the favicon classifier of §4.3.3 attaches the icon being
+// classified); providers encode them as the transport requires.
+type Message struct {
+	Role    Role
+	Content string
+	Images  [][]byte
+}
+
+// Request is a chat-completion request.
+type Request struct {
+	// Model names the model, e.g. "gpt-4o-mini".
+	Model    string
+	Messages []Message
+	// Temperature is the sampling temperature; Borges always uses 0.
+	Temperature float64
+	// TopP is the nucleus-sampling mass; Borges always uses 1.
+	TopP float64
+	// MaxTokens bounds the completion length (0 = provider default).
+	MaxTokens int
+}
+
+// Usage reports token accounting when the provider supplies it.
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Response is a chat completion.
+type Response struct {
+	Content string
+	Model   string
+	Usage   Usage
+}
+
+// Provider generates chat completions.
+type Provider interface {
+	Complete(ctx context.Context, req Request) (Response, error)
+}
+
+// ErrRateLimited marks a retryable rate-limit rejection. Providers wrap
+// it so Retrying can recognise it with errors.Is.
+var ErrRateLimited = errors.New("llm: rate limited")
+
+// ErrServer marks a retryable transient server failure.
+var ErrServer = errors.New("llm: server error")
+
+// Retrying decorates a Provider with bounded exponential backoff on
+// retryable errors (rate limits and transient server failures). A batch
+// over tens of thousands of PeeringDB records will hit provider limits;
+// retrying with backoff is the standard remedy.
+type Retrying struct {
+	// Inner is the wrapped provider.
+	Inner Provider
+	// MaxAttempts bounds total attempts (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 250ms); each retry
+	// doubles it.
+	BaseDelay time.Duration
+	// Sleep is indirected for tests; defaults to a context-aware wait.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Complete implements Provider.
+func (r *Retrying) Complete(ctx context.Context, req Request) (Response, error) {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	delay := r.BaseDelay
+	if delay <= 0 {
+		delay = 250 * time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, delay); err != nil {
+				return Response{}, err
+			}
+			delay *= 2
+		}
+		resp, err := r.Inner.Complete(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrServer) {
+			return Response{}, err
+		}
+	}
+	return Response{}, fmt.Errorf("llm: giving up after %d attempts: %w", attempts, lastErr)
+}

@@ -1,0 +1,191 @@
+// Package openai implements the llm.Provider interface over the OpenAI
+// chat-completions HTTP API (and any compatible endpoint). Borges's
+// published results use gpt-4o-mini with temperature 0 and top-p 1
+// (§4.2); this client reproduces that request shape, including the
+// multimodal image_url content parts used by the favicon classifier
+// (Listing 3 in the paper's appendix).
+//
+// The client is stdlib-only. In the offline reproduction it is exercised
+// against httptest mock servers; pointed at a live endpoint it is a
+// complete production client with error taxonomy for the retry layer.
+package openai
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+)
+
+// DefaultBaseURL is the public OpenAI API root.
+const DefaultBaseURL = "https://api.openai.com/v1"
+
+// Client is an OpenAI-compatible chat-completions client.
+type Client struct {
+	// BaseURL is the API root (default DefaultBaseURL).
+	BaseURL string
+	// APIKey is sent as a Bearer token when non-empty.
+	APIKey string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Organization, if set, is sent as the OpenAI-Organization header.
+	Organization string
+}
+
+// wire types for the chat-completions endpoint.
+
+type wireRequest struct {
+	Model       string        `json:"model"`
+	Messages    []wireMessage `json:"messages"`
+	Temperature *float64      `json:"temperature,omitempty"`
+	TopP        *float64      `json:"top_p,omitempty"`
+	MaxTokens   int           `json:"max_tokens,omitempty"`
+}
+
+type wireMessage struct {
+	Role string `json:"role"`
+	// Content is a plain string for text-only messages, or an array of
+	// typed parts for multimodal messages.
+	Content any `json:"content"`
+}
+
+type wirePart struct {
+	Type     string        `json:"type"`
+	Text     string        `json:"text,omitempty"`
+	ImageURL *wireImageURL `json:"image_url,omitempty"`
+}
+
+type wireImageURL struct {
+	URL string `json:"url"`
+}
+
+type wireResponse struct {
+	Model   string `json:"model"`
+	Choices []struct {
+		Message struct {
+			Role    string `json:"role"`
+			Content string `json:"content"`
+		} `json:"message"`
+		FinishReason string `json:"finish_reason"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// Complete implements llm.Provider.
+func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	base := c.BaseURL
+	if base == "" {
+		base = DefaultBaseURL
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+
+	wreq := wireRequest{
+		Model:       req.Model,
+		Temperature: &req.Temperature,
+		TopP:        topPOrDefault(req.TopP),
+		MaxTokens:   req.MaxTokens,
+	}
+	for _, m := range req.Messages {
+		wreq.Messages = append(wreq.Messages, encodeMessage(m))
+	}
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("openai: marshal request: %w", err)
+	}
+
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(base, "/")+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("openai: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	if c.Organization != "" {
+		hreq.Header.Set("OpenAI-Organization", c.Organization)
+	}
+
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("openai: do request: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("openai: read response: %w", err)
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return llm.Response{}, fmt.Errorf("openai: status 429: %w", llm.ErrRateLimited)
+	case resp.StatusCode >= 500:
+		return llm.Response{}, fmt.Errorf("openai: status %d: %w", resp.StatusCode, llm.ErrServer)
+	case resp.StatusCode != http.StatusOK:
+		var wr wireResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &wr) == nil && wr.Error != nil {
+			msg = wr.Error.Message
+		}
+		return llm.Response{}, fmt.Errorf("openai: status %d: %s", resp.StatusCode, msg)
+	}
+
+	var wr wireResponse
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		return llm.Response{}, fmt.Errorf("openai: decode response: %w", err)
+	}
+	if wr.Error != nil {
+		return llm.Response{}, fmt.Errorf("openai: api error: %s", wr.Error.Message)
+	}
+	if len(wr.Choices) == 0 {
+		return llm.Response{}, fmt.Errorf("openai: response has no choices")
+	}
+	return llm.Response{
+		Content: wr.Choices[0].Message.Content,
+		Model:   wr.Model,
+		Usage: llm.Usage{
+			PromptTokens:     wr.Usage.PromptTokens,
+			CompletionTokens: wr.Usage.CompletionTokens,
+		},
+	}, nil
+}
+
+func topPOrDefault(v float64) *float64 {
+	if v == 0 {
+		one := 1.0
+		return &one
+	}
+	return &v
+}
+
+func encodeMessage(m llm.Message) wireMessage {
+	if len(m.Images) == 0 {
+		return wireMessage{Role: string(m.Role), Content: m.Content}
+	}
+	parts := []wirePart{{Type: "text", Text: m.Content}}
+	for _, img := range m.Images {
+		parts = append(parts, wirePart{
+			Type: "image_url",
+			ImageURL: &wireImageURL{
+				URL: "data:image/jpeg;base64," + base64.StdEncoding.EncodeToString(img),
+			},
+		})
+	}
+	return wireMessage{Role: string(m.Role), Content: parts}
+}

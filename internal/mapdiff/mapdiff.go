@@ -1,0 +1,229 @@
+// Package mapdiff compares two AS-to-Organization mappings and
+// classifies how organizations changed between them: merges,
+// splits, membership moves, and stable organizations.
+//
+// The paper's discussion (§7) notes that no longitudinal archive of
+// PeeringDB-referenced websites exists, which prevents studying how
+// organizational structures evolve over time. This package provides the
+// analysis layer for exactly that study once successive mappings are
+// available — e.g. the Level3 → Lumen → Cirion timeline of Figure 1,
+// reproduced in examples/mergers — and also quantifies how one method's
+// mapping differs from another's over the same snapshot (Borges vs
+// AS2Org).
+package mapdiff
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// ChangeKind classifies one organization transition.
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	// Stable: the organization has exactly the same member set.
+	Stable ChangeKind = iota
+	// Merge: the new organization unites two or more old ones.
+	Merge
+	// Split: an old organization's members are spread over several new
+	// ones.
+	Split
+	// Reshuffle: members moved between organizations in a way that is
+	// neither a clean merge nor a clean split.
+	Reshuffle
+	// Appeared: members exist only in the new mapping.
+	Appeared
+	// Departed: members exist only in the old mapping.
+	Departed
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case Stable:
+		return "stable"
+	case Merge:
+		return "merge"
+	case Split:
+		return "split"
+	case Reshuffle:
+		return "reshuffle"
+	case Appeared:
+		return "appeared"
+	case Departed:
+		return "departed"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(k))
+	}
+}
+
+// Change describes one new-mapping organization relative to the old
+// mapping (or, for Departed, one old organization with no successor).
+type Change struct {
+	Kind ChangeKind
+	// Name is the organization's display name (new side if present).
+	Name string
+	// Members are the networks of the organization being described.
+	Members []asnum.ASN
+	// Sources are the old organizations contributing members, largest
+	// first (by contributed member count).
+	Sources []Source
+}
+
+// Source is one old organization's contribution to a new one.
+type Source struct {
+	Name    string
+	Members []asnum.ASN
+}
+
+// Report summarises a comparison.
+type Report struct {
+	Changes []Change
+	// Counts per kind.
+	Stable, Merges, Splits, Reshuffles, Appeared, Departed int
+	// MovedASNs counts networks whose organization identity changed
+	// (they gained or lost at least one sibling).
+	MovedASNs int
+}
+
+// Summary renders the headline counts.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("stable=%d merges=%d splits=%d reshuffles=%d appeared=%d departed=%d moved-ASNs=%d",
+		r.Stable, r.Merges, r.Splits, r.Reshuffles, r.Appeared, r.Departed, r.MovedASNs)
+}
+
+// Compare analyses the transition old → new.
+func Compare(old, new *cluster.Mapping) *Report {
+	rep := &Report{}
+
+	oldOf := make(map[asnum.ASN]*cluster.Cluster)
+	for i := range old.Clusters {
+		for _, a := range old.Clusters[i].ASNs {
+			oldOf[a] = &old.Clusters[i]
+		}
+	}
+	newOf := make(map[asnum.ASN]*cluster.Cluster)
+	for i := range new.Clusters {
+		for _, a := range new.Clusters[i].ASNs {
+			newOf[a] = &new.Clusters[i]
+		}
+	}
+
+	// Old organizations touched by each new organization, and the set
+	// of old organizations fully consumed.
+	consumedBy := make(map[int]map[int]bool) // old cluster ID -> new cluster IDs touching it
+
+	for ni := range new.Clusters {
+		nc := &new.Clusters[ni]
+		bySource := make(map[*cluster.Cluster][]asnum.ASN)
+		var appeared []asnum.ASN
+		for _, a := range nc.ASNs {
+			if oc, ok := oldOf[a]; ok {
+				bySource[oc] = append(bySource[oc], a)
+				if consumedBy[oc.ID] == nil {
+					consumedBy[oc.ID] = make(map[int]bool)
+				}
+				consumedBy[oc.ID][nc.ID] = true
+			} else {
+				appeared = append(appeared, a)
+			}
+		}
+
+		ch := Change{Name: nc.Name, Members: nc.ASNs}
+		for oc, members := range bySource {
+			asnum.Sort(members)
+			ch.Sources = append(ch.Sources, Source{Name: oc.Name, Members: members})
+		}
+		sort.Slice(ch.Sources, func(i, j int) bool {
+			if len(ch.Sources[i].Members) != len(ch.Sources[j].Members) {
+				return len(ch.Sources[i].Members) > len(ch.Sources[j].Members)
+			}
+			return ch.Sources[i].Members[0] < ch.Sources[j].Members[0]
+		})
+
+		switch {
+		case len(bySource) == 0:
+			ch.Kind = Appeared
+			rep.Appeared++
+			rep.MovedASNs += len(appeared)
+		case len(bySource) == 1 && len(appeared) == 0:
+			// One source: stable if the source contributed everything
+			// it has; a split fragment otherwise.
+			var src *cluster.Cluster
+			for oc := range bySource {
+				src = oc
+			}
+			if len(bySource[src]) == len(src.ASNs) && len(nc.ASNs) == len(src.ASNs) {
+				ch.Kind = Stable
+				rep.Stable++
+			} else {
+				ch.Kind = Split
+				rep.Splits++
+				rep.MovedASNs += len(nc.ASNs)
+			}
+		default:
+			// Multiple sources: a clean merge consumes each source
+			// entirely; anything else is a reshuffle.
+			clean := len(appeared) == 0
+			for oc, members := range bySource {
+				if len(members) != len(oc.ASNs) {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				ch.Kind = Merge
+				rep.Merges++
+			} else {
+				ch.Kind = Reshuffle
+				rep.Reshuffles++
+			}
+			rep.MovedASNs += len(nc.ASNs)
+		}
+		rep.Changes = append(rep.Changes, ch)
+	}
+
+	// Old organizations with no members in the new mapping departed.
+	for oi := range old.Clusters {
+		oc := &old.Clusters[oi]
+		if consumedBy[oc.ID] == nil {
+			anyPresent := false
+			for _, a := range oc.ASNs {
+				if _, ok := newOf[a]; ok {
+					anyPresent = true
+					break
+				}
+			}
+			if !anyPresent {
+				rep.Departed++
+				rep.MovedASNs += len(oc.ASNs)
+				rep.Changes = append(rep.Changes, Change{
+					Kind: Departed, Name: oc.Name, Members: oc.ASNs,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// MergesOf returns the merge changes sorted by descending member count
+// — the headline consolidations of a transition.
+func (r *Report) MergesOf() []Change {
+	var out []Change
+	for _, c := range r.Changes {
+		if c.Kind == Merge {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package mapdiff
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+func mapping(groups ...[]asnum.ASN) *cluster.Mapping {
+	b := cluster.NewBuilder()
+	for _, g := range groups {
+		b.Add(cluster.SiblingSet{ASNs: g})
+	}
+	return b.Build(func(members []asnum.ASN) string {
+		return "org-" + members[0].String()
+	})
+}
+
+func TestStable(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3})
+	rep := Compare(old, mapping([]asnum.ASN{1, 2}, []asnum.ASN{3}))
+	if rep.Stable != 2 || rep.Merges != 0 || rep.MovedASNs != 0 {
+		t.Errorf("report = %s", rep.Summary())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3, 4}, []asnum.ASN{5})
+	rep := Compare(old, mapping([]asnum.ASN{1, 2, 3, 4}, []asnum.ASN{5}))
+	if rep.Merges != 1 || rep.Stable != 1 {
+		t.Fatalf("report = %s", rep.Summary())
+	}
+	merges := rep.MergesOf()
+	if len(merges) != 1 || len(merges[0].Sources) != 2 {
+		t.Fatalf("merges = %+v", merges)
+	}
+	if len(merges[0].Members) != 4 {
+		t.Errorf("merge members = %v", merges[0].Members)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2, 3})
+	rep := Compare(old, mapping([]asnum.ASN{1, 2}, []asnum.ASN{3}))
+	if rep.Splits != 2 {
+		t.Errorf("report = %s", rep.Summary())
+	}
+	if rep.MovedASNs != 3 {
+		t.Errorf("moved = %d", rep.MovedASNs)
+	}
+}
+
+func TestReshuffle(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3, 4})
+	// 2 moves from the first org into the second's successor.
+	rep := Compare(old, mapping([]asnum.ASN{1}, []asnum.ASN{2, 3, 4}))
+	if rep.Reshuffles != 1 || rep.Splits != 1 {
+		t.Errorf("report = %s", rep.Summary())
+	}
+}
+
+func TestAppearedAndDeparted(t *testing.T) {
+	old := mapping([]asnum.ASN{1}, []asnum.ASN{9})
+	rep := Compare(old, mapping([]asnum.ASN{1}, []asnum.ASN{7}))
+	if rep.Appeared != 1 || rep.Departed != 1 || rep.Stable != 1 {
+		t.Errorf("report = %s", rep.Summary())
+	}
+	foundDeparted := false
+	for _, c := range rep.Changes {
+		if c.Kind == Departed && len(c.Members) == 1 && c.Members[0] == 9 {
+			foundDeparted = true
+		}
+	}
+	if !foundDeparted {
+		t.Error("departed org 9 not reported")
+	}
+}
+
+// TestLevel3Timeline replays the Figure 1 story as mapping transitions.
+func TestLevel3Timeline(t *testing.T) {
+	y2010 := mapping([]asnum.ASN{3356}, []asnum.ASN{3549}, []asnum.ASN{209}, []asnum.ASN{3909})
+	y2011 := mapping([]asnum.ASN{3356, 3549}, []asnum.ASN{209}, []asnum.ASN{3909})
+	y2017 := mapping([]asnum.ASN{3356, 3549, 209, 3909})
+	y2022 := mapping([]asnum.ASN{3356, 209, 3909}, []asnum.ASN{3549})
+
+	rep := Compare(y2010, y2011)
+	if rep.Merges != 1 {
+		t.Errorf("2010→2011: %s", rep.Summary())
+	}
+	rep = Compare(y2011, y2017)
+	if rep.Merges != 1 || len(rep.MergesOf()[0].Sources) != 3 {
+		t.Errorf("2011→2017: %s", rep.Summary())
+	}
+	rep = Compare(y2017, y2022)
+	if rep.Splits != 2 { // both fragments are split parts of the old org
+		t.Errorf("2017→2022: %s", rep.Summary())
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for _, k := range []ChangeKind{Stable, Merge, Split, Reshuffle, Appeared, Departed, ChangeKind(99)} {
+		if k.String() == "" {
+			t.Errorf("kind %d renders empty", k)
+		}
+	}
+}
+
+func TestSummaryContainsCounts(t *testing.T) {
+	rep := Compare(mapping([]asnum.ASN{1, 2}), mapping([]asnum.ASN{1}, []asnum.ASN{2}))
+	s := rep.Summary()
+	if s == "" || rep.Splits != 2 {
+		t.Errorf("summary = %q, report = %+v", s, rep)
+	}
+}

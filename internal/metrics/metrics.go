@@ -1,0 +1,76 @@
+// Package metrics provides the confusion-matrix accounting used to
+// validate Borges's LLM stages (§5.3, Tables 4 and 5): true/false
+// positives and negatives with derived precision, recall, and accuracy.
+package metrics
+
+import "fmt"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add accumulates another matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.TN += o.TN
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Observe records one labelled outcome: whether the condition was truly
+// positive and whether the system predicted positive.
+func (c *Confusion) Observe(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		c.TP++
+	case truth && !predicted:
+		c.FN++
+	case !truth && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of observations.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Precision returns TP / (TP + FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Accuracy returns (TP + TN) / total, or 0 when undefined.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix in the layout of the paper's tables.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d precision=%.3f recall=%.3f accuracy=%.3f",
+		c.TP, c.TN, c.FP, c.FN, c.Precision(), c.Recall(), c.Accuracy())
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperTable4Values(t *testing.T) {
+	// Table 4: TP=187 TN=116 FN=12 FP=5 →
+	// recall 0.94, precision 0.974, accuracy 0.947.
+	c := Confusion{TP: 187, TN: 116, FN: 12, FP: 5}
+	if got := c.Recall(); math.Abs(got-0.94) > 0.001 {
+		t.Errorf("recall = %.4f", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.974) > 0.001 {
+		t.Errorf("precision = %.4f", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.947) > 0.001 {
+		t.Errorf("accuracy = %.4f", got)
+	}
+	if c.Total() != 320 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestPaperTable5Values(t *testing.T) {
+	// Table 5 "All": TP=317 TN=116 FP=1 FN=5 →
+	// precision 0.997, recall 0.984, accuracy 0.986.
+	c := Confusion{TP: 317, TN: 116, FP: 1, FN: 5}
+	if got := c.Precision(); math.Abs(got-0.997) > 0.001 {
+		t.Errorf("precision = %.4f", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.984) > 0.001 {
+		t.Errorf("recall = %.4f", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.986) > 0.001 {
+		t.Errorf("accuracy = %.4f", got)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)
+	c.Observe(true, false)
+	c.Observe(false, true)
+	c.Observe(false, false)
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("c = %+v", c)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4}
+	b := Confusion{TP: 10, TN: 20, FP: 30, FN: 40}
+	a.Add(b)
+	if a.TP != 11 || a.TN != 22 || a.FP != 33 || a.FN != 44 {
+		t.Errorf("a = %+v", a)
+	}
+}
+
+func TestZeroDivision(t *testing.T) {
+	var c Confusion
+	if !almost(c.Precision(), 0) || !almost(c.Recall(), 0) ||
+		!almost(c.Accuracy(), 0) || !almost(c.F1(), 0) {
+		t.Error("zero matrix should yield zero metrics")
+	}
+}
+
+func TestF1(t *testing.T) {
+	c := Confusion{TP: 1, FP: 1, FN: 1}
+	// p = r = 0.5 → F1 = 0.5
+	if !almost(c.F1(), 0.5) {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.Accuracy(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return c.Total() == int(tp)+int(tn)+int(fp)+int(fn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Confusion{TP: 187, TN: 116, FN: 12, FP: 5}
+	s := c.String()
+	for _, want := range []string{"TP=187", "TN=116", "FP=5", "FN=12", "accuracy=0.947"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package mismatch flags discrepancies between the WHOIS (CAIDA AS2Org)
+// and PeeringDB views of a network's organization — the approach of
+// Chen et al. (PAM'23) the paper's related work describes: mismatches
+// are candidates for reclassification, refined with keyword matching
+// before (in the original) semi-manual inspection.
+//
+// Two candidate kinds are produced:
+//
+//   - KindSplit: networks sharing one PeeringDB organization while
+//     WHOIS assigns them to different organizations — registry
+//     fragmentation of one operator (the Fig. 3 Lumen case).
+//   - KindDiverged: a network whose WHOIS and PeeringDB organization
+//     names share no significant keywords — a stale or transferred
+//     record worth re-inspecting.
+package mismatch
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// Kind classifies a candidate.
+type Kind uint8
+
+// Candidate kinds.
+const (
+	// KindSplit marks networks one PeeringDB org spans across several
+	// WHOIS orgs.
+	KindSplit Kind = iota
+	// KindDiverged marks a network whose two organization names do not
+	// agree on any significant keyword.
+	KindDiverged
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindSplit {
+		return "split"
+	}
+	return "diverged"
+}
+
+// Candidate is one flagged discrepancy.
+type Candidate struct {
+	Kind Kind
+	// ASNs are the networks involved (one for KindDiverged, the whole
+	// PeeringDB organization for KindSplit).
+	ASNs []asnum.ASN
+	// WHOISOrgs are the distinct OID_W identifiers involved.
+	WHOISOrgs []string
+	// PDBOrg is the PeeringDB organization ID.
+	PDBOrg int
+	// Note is a short human-readable explanation.
+	Note string
+}
+
+// stopwords are corporate boilerplate tokens ignored by the keyword
+// matcher.
+var stopwords = map[string]bool{
+	"llc": true, "inc": true, "ltd": true, "sa": true, "srl": true,
+	"gmbh": true, "ag": true, "bv": true, "plc": true, "co": true,
+	"corp": true, "corporation": true, "company": true, "companies": true,
+	"communications": true, "communication": true, "telecom": true,
+	"telecommunications": true, "network": true, "networks": true,
+	"internet": true, "services": true, "service": true, "group": true,
+	"holding": true, "holdings": true, "de": true, "do": true, "da": true,
+	"the": true, "of": true, "and": true, "as": true, "parent": true,
+}
+
+// Keywords tokenizes an organization name into its significant lowercase
+// keywords (boilerplate and single-character tokens removed), sorted.
+func Keywords(name string) []string {
+	lower := strings.ToLower(name)
+	fields := strings.FieldsFunc(lower, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fields {
+		if len(f) < 2 || stopwords[f] || seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamesAgree reports whether two organization names share at least one
+// significant keyword (or a keyword of one prefixes a keyword of the
+// other, catching "Claro" vs "ClaroChile").
+func NamesAgree(a, b string) bool {
+	ka, kb := Keywords(a), Keywords(b)
+	if len(ka) == 0 || len(kb) == 0 {
+		return false
+	}
+	for _, x := range ka {
+		for _, y := range kb {
+			if x == y || strings.HasPrefix(y, x) || strings.HasPrefix(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Flags computes every candidate for the two snapshots, splits first
+// (ordered by PeeringDB org ID), then diverged names (ordered by ASN).
+func Flags(w *whois.Snapshot, p *peeringdb.Snapshot) []Candidate {
+	var out []Candidate
+
+	for _, oid := range p.OrgIDs() {
+		members := p.Members(oid)
+		if len(members) < 2 {
+			continue
+		}
+		seen := map[string]bool{}
+		var whoisOrgs []string
+		var covered []asnum.ASN
+		for _, a := range members {
+			rec := w.AS(a)
+			if rec == nil {
+				continue
+			}
+			covered = append(covered, a)
+			if !seen[rec.OrgID] {
+				seen[rec.OrgID] = true
+				whoisOrgs = append(whoisOrgs, rec.OrgID)
+			}
+		}
+		if len(whoisOrgs) >= 2 {
+			sort.Strings(whoisOrgs)
+			out = append(out, Candidate{
+				Kind: KindSplit, ASNs: covered, WHOISOrgs: whoisOrgs, PDBOrg: oid,
+				Note: "one PeeringDB organization spans " + itoa(len(whoisOrgs)) + " WHOIS organizations",
+			})
+		}
+	}
+
+	for _, n := range p.Nets() {
+		rec := w.AS(n.ASN)
+		if rec == nil {
+			continue
+		}
+		worg := w.Org(rec.OrgID)
+		porg := p.Org(n.OrgID)
+		if worg == nil || porg == nil || worg.Name == "" || porg.Name == "" {
+			continue
+		}
+		if !NamesAgree(worg.Name, porg.Name) {
+			out = append(out, Candidate{
+				Kind: KindDiverged, ASNs: []asnum.ASN{n.ASN},
+				WHOISOrgs: []string{rec.OrgID}, PDBOrg: n.OrgID,
+				Note: "WHOIS name " + quoted(worg.Name) + " shares no keyword with PeeringDB name " + quoted(porg.Name),
+			})
+		}
+	}
+	return out
+}
+
+// ResolvedBy counts how many split candidates a consolidated mapping
+// resolves (all of the candidate's networks end up in one organization)
+// — measuring how far a method closes the registry gap the flags expose.
+func ResolvedBy(candidates []Candidate, m *cluster.Mapping) (resolved, total int) {
+	for _, c := range candidates {
+		if c.Kind != KindSplit || len(c.ASNs) == 0 {
+			continue
+		}
+		total++
+		first := m.ClusterOf(c.ASNs[0])
+		if first == nil {
+			continue
+		}
+		all := true
+		for _, a := range c.ASNs[1:] {
+			if m.ClusterOf(a) != first {
+				all = false
+				break
+			}
+		}
+		if all {
+			resolved++
+		}
+	}
+	return resolved, total
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }

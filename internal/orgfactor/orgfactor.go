@@ -1,0 +1,125 @@
+// Package orgfactor implements the Organization Factor (θ), the metric
+// the paper introduces (§5.4) to quantify how well an AS-to-Organization
+// mapping captures the grouping of networks under common ownership.
+//
+// Construction: sort organization sizes s₁ ≥ s₂ ≥ … ≥ s_k, zero-pad to
+// the universe size n (the number of networks in WHOIS), form cumulative
+// sums C_i, and measure the area between the cumulative curve and the
+// identity line C_i = i (the "every organization manages exactly one
+// network" baseline).
+//
+// Equation 1 as typeset in the paper, θ = (1/n²)·Σ(C_i − i), has a
+// maximum of (n−1)/(2n) → ½ for the single-organization extreme, while
+// the text states θ ranges to 1 and reports AS2Org ≈ 0.3343.
+// Back-computing from the paper's corpus statistics (n = 117,431
+// networks, k = 95,300 organizations) shows the reported values match
+// the area normalised by its maximum, θ = (2/n²)·Σ(C_i − i): the
+// instant-rise upper bound for that n and k is 2(n−k)k/n² + (n−k)²/n² ≈
+// 0.341 and a concave sorted ramp lands at ≈ 0.334. Theta therefore
+// computes the normalised form; ThetaUnnormalized is the literal
+// Equation 1 for comparison.
+package orgfactor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// excessArea returns Σ_{i=1..n} (C_i − i) for the given organization
+// sizes zero-padded to n, where C is the cumulative sum of sizes sorted
+// descending. It is the caller's responsibility that Σ sizes == n.
+func excessArea(sizes []int, n int) int64 {
+	sorted := append([]int(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var cum, area int64
+	for i := 1; i <= n; i++ {
+		if i-1 < len(sorted) {
+			cum += int64(sorted[i-1])
+		}
+		area += cum - int64(i)
+	}
+	return area
+}
+
+// ThetaFromSizes computes the normalised Organization Factor for a
+// mapping with the given organization sizes over a universe of n
+// networks. Sizes may be unsorted; organizations beyond the universe
+// (Σ sizes > n) are an error.
+func ThetaFromSizes(sizes []int, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("orgfactor: non-positive universe size %d", n)
+	}
+	var total int64
+	for _, s := range sizes {
+		if s < 0 {
+			return 0, fmt.Errorf("orgfactor: negative organization size %d", s)
+		}
+		total += int64(s)
+	}
+	if total > int64(n) {
+		return 0, fmt.Errorf("orgfactor: organizations cover %d networks but universe has %d", total, n)
+	}
+	return 2 * float64(excessArea(sizes, n)) / (float64(n) * float64(n)), nil
+}
+
+// ThetaUnnormalized computes Equation 1 exactly as typeset:
+// (1/n²)·Σ(C_i − i). Its single-organization maximum is (n−1)/(2n).
+func ThetaUnnormalized(sizes []int, n int) (float64, error) {
+	t, err := ThetaFromSizes(sizes, n)
+	return t / 2, err
+}
+
+// Theta computes the normalised Organization Factor of a consolidated
+// mapping, using the mapping's own network count as the universe. The
+// caller must have registered the full WHOIS universe in the mapping
+// (unmapped networks count as singleton organizations per §5.4).
+func Theta(m *cluster.Mapping) (float64, error) {
+	return ThetaFromSizes(m.Sizes(), m.NumASNs())
+}
+
+// CurvePoint is one point of the Figure 7 cumulative representation.
+type CurvePoint struct {
+	// Org is the 1-based organization index (sorted by descending size,
+	// zero-padded to the universe size).
+	Org int
+	// Cumulative is C_i, the running sum of networks.
+	Cumulative int64
+}
+
+// Curve returns the cumulative organization-size curve, zero-padded to
+// n, downsampled to at most maxPoints points (endpoints always
+// included). It is the series plotted in Figure 7.
+func Curve(sizes []int, n, maxPoints int) []CurvePoint {
+	if n <= 0 {
+		return nil
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	step := 1
+	if maxPoints > 1 && n > maxPoints {
+		step = n / (maxPoints - 1)
+	}
+	var out []CurvePoint
+	var cum int64
+	for i := 1; i <= n; i++ {
+		if i-1 < len(sorted) {
+			cum += int64(sorted[i-1])
+		}
+		if (i-1)%step == 0 || i == n {
+			out = append(out, CurvePoint{Org: i, Cumulative: cum})
+		}
+	}
+	return out
+}
+
+// IdentityCurve returns the "all organizations manage a single network"
+// baseline curve (C_i = i), downsampled like Curve.
+func IdentityCurve(n, maxPoints int) []CurvePoint {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return Curve(sizes, n, maxPoints)
+}

@@ -1,0 +1,177 @@
+package orgfactor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+func TestThetaExtremes(t *testing.T) {
+	// All singletons → 0.
+	sizes := make([]int, 1000)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	got, err := ThetaFromSizes(sizes, 1000)
+	if err != nil || got != 0 {
+		t.Errorf("identity theta = %v err=%v", got, err)
+	}
+	// Single organization → (n−1)/n, approaching 1.
+	got, err = ThetaFromSizes([]int{1000}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(1000-1) / 1000
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-org theta = %v, want %v", got, want)
+	}
+	// Unnormalized variant halves it.
+	gotU, _ := ThetaUnnormalized([]int{1000}, 1000)
+	if math.Abs(gotU-want/2) > 1e-12 {
+		t.Errorf("unnormalized = %v", gotU)
+	}
+}
+
+func TestThetaSmallExample(t *testing.T) {
+	// n=4, one org of 2, two singletons: sizes 2,1,1.
+	// C = [2,3,4,4]; Σ(C_i−i) = 1+1+1+0 = 3; θ = 2*3/16 = 0.375.
+	got, err := ThetaFromSizes([]int{1, 2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("theta = %v, want 0.375", got)
+	}
+}
+
+// TestThetaMatchesPaperScale reproduces the back-computation that fixed
+// the normalisation: with the paper's corpus shape (n=117,431 networks,
+// k=95,300 organizations, heavy-tailed multi-AS organizations topped by
+// a 973-network org), the normalised θ lands near the published 0.3343,
+// while the literal Equation 1 value would be half that.
+func TestThetaMatchesPaperScale(t *testing.T) {
+	const n = 117431
+	const k = 95300
+	extra := n - k // networks beyond one-per-org
+	rng := rand.New(rand.NewSource(42))
+	sizes := make([]int, 0, k)
+	sizes = append(sizes, 973) // DNIC (US DoD)
+	remaining := extra - 972
+	// Heavy tail: geometric-ish sizes until the extras are spent.
+	for remaining > 0 {
+		s := 2
+		for rng.Float64() < 0.35 && s < 400 {
+			s += rng.Intn(9) + 1
+		}
+		if s-1 > remaining {
+			s = remaining + 1
+		}
+		sizes = append(sizes, s)
+		remaining -= s - 1
+	}
+	for len(sizes) < k {
+		sizes = append(sizes, 1)
+	}
+	got, err := ThetaFromSizes(sizes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.30 || got > 0.345 {
+		t.Errorf("paper-scale theta = %v, want ≈0.334", got)
+	}
+}
+
+func TestThetaErrors(t *testing.T) {
+	if _, err := ThetaFromSizes([]int{1}, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ThetaFromSizes([]int{-1}, 10); err == nil {
+		t.Error("negative size should fail")
+	}
+	if _, err := ThetaFromSizes([]int{5, 6}, 10); err == nil {
+		t.Error("oversubscribed universe should fail")
+	}
+}
+
+func TestThetaFromMapping(t *testing.T) {
+	b := cluster.NewBuilder()
+	b.Add(cluster.SiblingSet{ASNs: []asnum.ASN{1, 2, 3}})
+	b.AddUniverse(4, 5)
+	m := b.Build(nil)
+	got, err := Theta(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sizes 3,1,1 over n=5: C=[3,4,5,5,5], Σ(C−i)=2+2+2+1+0=7, θ=14/25.
+	if math.Abs(got-14.0/25.0) > 1e-12 {
+		t.Errorf("theta = %v", got)
+	}
+}
+
+// Property: θ is within [0, 1), monotone under merging two organizations,
+// and zero exactly for all-singleton mappings.
+func TestThetaProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sizes := make([]int, len(raw))
+		n := 0
+		for i, r := range raw {
+			sizes[i] = int(r%7) + 1
+			n += sizes[i]
+		}
+		theta, err := ThetaFromSizes(sizes, n)
+		if err != nil || theta < 0 || theta >= 1 {
+			return false
+		}
+		if len(sizes) >= 2 {
+			merged := append([]int{sizes[0] + sizes[1]}, sizes[2:]...)
+			thetaMerged, err := ThetaFromSizes(merged, n)
+			if err != nil || thetaMerged < theta {
+				return false // merging must never decrease θ
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	pts := Curve([]int{3, 1}, 4, 0) // no downsampling
+	want := []CurvePoint{{1, 3}, {2, 4}, {3, 4}, {4, 4}}
+	if len(pts) != len(want) {
+		t.Fatalf("pts = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts = %v, want %v", pts, want)
+		}
+	}
+	// Downsampling keeps endpoints.
+	pts = Curve(make([]int, 0), 1000, 10)
+	if len(pts) == 0 || pts[0].Org != 1 || pts[len(pts)-1].Org != 1000 {
+		t.Errorf("downsampled endpoints: %v … %v", pts[0], pts[len(pts)-1])
+	}
+	if len(pts) > 15 {
+		t.Errorf("downsampling ineffective: %d points", len(pts))
+	}
+	if Curve(nil, 0, 5) != nil {
+		t.Error("n=0 should yield nil")
+	}
+}
+
+func TestIdentityCurve(t *testing.T) {
+	pts := IdentityCurve(5, 0)
+	for _, p := range pts {
+		if p.Cumulative != int64(p.Org) {
+			t.Errorf("identity curve point %+v", p)
+		}
+	}
+}

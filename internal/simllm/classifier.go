@@ -1,0 +1,125 @@
+package simllm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/urlmatch"
+)
+
+// ClassifyIcon answers the Listing 3 question for one favicon (raw
+// bytes) and the final URLs displaying it: the name of the company or
+// hosting technology, or "I don't know".
+//
+// The decision mirrors what a vision LLM does with the same inputs:
+//
+//  1. A recognised framework/hosting-technology icon names the
+//     technology (Bootstrap, WordPress, IXC Soft, …).
+//  2. A recognised brand logo names the brand.
+//  3. Otherwise the domain names themselves are read: URLs whose brand
+//     labels are identical, or share a meaningful common stem
+//     ("clarochile" / "claropr" → "claro"), name the company.
+//  4. Anything else — e.g. DE-CIX vs AQABA-IX vs Ruhr-CIX, same logo
+//     but unrelated names — yields "I don't know" (the paper's §5.3
+//     reports exactly this failure mode).
+func (k *iconKnowledge) ClassifyIcon(icon []byte, urls []string) string {
+	return k.classify(icon, urls, ProfileGPT4oMini)
+}
+
+// classify applies the profile's visual knowledge before falling back
+// to domain-name reasoning (which every profile retains).
+func (k *iconKnowledge) classify(icon []byte, urls []string, p Profile) string {
+	if len(icon) > 0 {
+		sum := sha256.Sum256(icon)
+		h := hex.EncodeToString(sum[:])
+		if p.KnowsFrameworks {
+			if name, ok := k.frameworkByHash[h]; ok {
+				return name
+			}
+		}
+		if p.KnowsBrands {
+			if name, ok := k.brandByHash[h]; ok {
+				return name
+			}
+		}
+	}
+	if stem := CommonBrandStem(urls); stem != "" {
+		return displayName(stem)
+	}
+	return "I don't know"
+}
+
+// CommonBrandStem extracts a shared brand token from a set of URLs, or
+// "" when their names are unrelated. All brand labels must either be
+// identical or share a common prefix of at least 4 characters that
+// covers most of the shortest label.
+func CommonBrandStem(urls []string) string {
+	labels := make([]string, 0, len(urls))
+	for _, u := range urls {
+		l := urlmatch.BrandLabelOfURL(u)
+		if l == "" {
+			return ""
+		}
+		labels = append(labels, l)
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	sort.Strings(labels)
+	shortest := labels[0]
+	for _, l := range labels {
+		if len(l) < len(shortest) {
+			shortest = l
+		}
+	}
+	stem := labels[0]
+	for _, l := range labels[1:] {
+		n := urlmatch.SharedPrefixLen(stem, l)
+		stem = stem[:n]
+	}
+	if len(stem) < 4 {
+		return ""
+	}
+	// The stem must dominate the shortest label: "claro" vs
+	// "clarochile" (5 of 5) passes; "tele" vs "telefonica"/"telekom"
+	// (4 of 7) does not — distinct brands often share short generic
+	// prefixes.
+	if len(stem)*3 < len(shortest)*2 {
+		return ""
+	}
+	return stem
+}
+
+// displayName renders a brand stem the way a model would name the
+// company: known brands get their canonical names, others are
+// title-cased.
+func displayName(stem string) string {
+	if name, ok := KnownBrands[stem]; ok {
+		return name
+	}
+	if stem == "" {
+		return stem
+	}
+	return strings.ToUpper(stem[:1]) + stem[1:]
+}
+
+// IsDontKnow reports whether a classifier reply is the "none of the
+// above" answer.
+func IsDontKnow(reply string) bool {
+	r := strings.ToLower(strings.TrimSpace(reply))
+	return r == "" || strings.Contains(r, "don't know") || strings.Contains(r, "dont know")
+}
+
+// IsFramework reports whether a classifier reply names a known hosting
+// technology rather than a company.
+func IsFramework(reply string) bool {
+	r := strings.TrimSpace(reply)
+	for _, name := range FrameworkNames {
+		if strings.EqualFold(r, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,334 @@
+// Package simllm provides a deterministic simulated large language model
+// implementing the llm.Provider interface. It stands in for the
+// GPT-4o-mini backend of the paper (§4.2, §4.3.3) in offline runs: it
+// recognises the two prompts Borges issues — the Listing 2 sibling
+// information-extraction prompt and the Listing 3 favicon/company
+// classification prompt — runs a multilingual semantic context engine
+// over the embedded text, and answers in the formats the prompts request.
+//
+// Like the paper's temperature-0 configuration, the model is fully
+// deterministic: identical requests produce identical responses. Its
+// imperfections are not random noise but the same *structural* failure
+// modes the paper reports for GPT-4o-mini: sibling mentions buried in
+// contexts that read as upstream listings are missed, and plausible
+// ASN-shaped numbers in affiliation-flavoured prose are over-extracted.
+package simllm
+
+import (
+	"regexp"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// Verdict classifies one number mention found in text.
+type Verdict uint8
+
+// Mention verdicts.
+const (
+	// VerdictSibling marks a number judged to be a sibling ASN.
+	VerdictSibling Verdict = iota
+	// VerdictUpstream marks an ASN judged to be an upstream, peer, or
+	// other connectivity mention.
+	VerdictUpstream
+	// VerdictNoise marks a non-ASN number (phone, year, address,
+	// prefix limit, …).
+	VerdictNoise
+)
+
+// Mention is one analysed number occurrence.
+type Mention struct {
+	ASN     asnum.ASN
+	Verdict Verdict
+	Reason  string
+}
+
+// cue lexicons. All matching is case-insensitive on lowercased text.
+// The engine is multilingual in the same pragmatic sense the paper
+// needs: the cues cover the English, Spanish, Portuguese, German,
+// French, and Italian phrasings that dominate PeeringDB free text.
+var (
+	// siblingCuesEN / siblingCuesIntl phrase affiliation claims; the
+	// international section covers the Spanish, Portuguese, German,
+	// French, and Italian phrasings that dominate PeeringDB free text.
+	// Which sections a model understands depends on its Profile.
+	siblingCuesEN = []string{
+		"sibling", "same organization", "same organisation", "same company",
+		"part of", "belongs to", "belong to", "owned by", "owns",
+		"also operate", "also runs", "also known", "our other network",
+		"merged", "merger", "acquired", "acquisition", "formerly",
+		"subsidiar", // subsidiary / subsidiaria / subsidiárias
+		"sister", "parent company", "rebrand", "umbrella", "holding",
+		"division of", "unit of", "group of", "member of",
+		"family of networks", "our group", "group networks",
+	}
+	siblingCuesIntl = []string{
+		// Spanish
+		"misma organización", "misma organizacion", "mismo grupo",
+		"también opera", "tambien opera", "filial", "pertenece a",
+		// Portuguese
+		"mesmo grupo", "mesma organização", "também opera", "tambem opera",
+		"pertence a",
+		// German
+		"tochter", "gehört zu", "gehoert zu", "teil der", "teil von",
+		"gleichen unternehmen", "konzern", "schwester",
+		// French
+		"filiale", "appartient à", "appartient a", "même groupe",
+		"meme groupe", "fait partie",
+		// Italian
+		"stessa organizzazione", "stesso gruppo", "appartiene a",
+		// Pan-romance brand-family phrasing
+		"grupo",
+	}
+
+	// upstreamCues flag connectivity talk: the prompt explicitly
+	// instructs the model to ignore upstream providers, peers, and BGP
+	// community listings.
+	upstreamCuesEN = []string{
+		"upstream", "transit", "we connect", "connected to", "connect directly",
+		"our providers", "provider of", "providers:", "carriers",
+		"peering with", "peers with", "peer with", "peers:", "peering:",
+		"ix ", "ixp", "internet exchange", "exchange point",
+		"as-in", "as-out", "communities", "community", "route server",
+		"route-server", "looking glass", "downstream", "customers",
+		"full table", "default route", "blend", "uplink",
+	}
+	upstreamCuesIntl = []string{
+		// Spanish / Portuguese connectivity talk
+		"proveedores", "provedores", "conectado a", "conectados a",
+		"transito", "tránsito", "trânsito",
+	}
+
+	// noiseCues flag numeric context that is never an ASN.
+	noiseCuesEN = []string{
+		"phone", "tel", "fax", "call us", "whatsapp",
+		"suite", "floor", "street", " ave", "avenue",
+		"po box", "p.o. box", "zip", "postal",
+		"prefix", "prefixes", "max-prefix", "routes accepted",
+		"since", "founded", "established", "copyright", "©", "est.",
+		"mtu", "vlan", "port", "gbps", "mbps", "rfc",
+	}
+	noiseCuesIntl = []string{
+		"teléfono", "telefono", "telefone", "avenida", "cp ", "c.p.",
+	}
+)
+
+// lexicon bundles the cue lists one model variant understands.
+type lexicon struct {
+	sibling, upstream, noise []string
+}
+
+// fullLexicon covers every supported language (the GPT-4o-mini
+// profile); englishLexicon is the monolingual subset.
+var (
+	fullLexicon = lexicon{
+		sibling:  append(append([]string{}, siblingCuesEN...), siblingCuesIntl...),
+		upstream: append(append([]string{}, upstreamCuesEN...), upstreamCuesIntl...),
+		noise:    append(append([]string{}, noiseCuesEN...), noiseCuesIntl...),
+	}
+	englishLexicon = lexicon{
+		sibling:  siblingCuesEN,
+		upstream: upstreamCuesEN,
+		noise:    noiseCuesEN,
+	}
+)
+
+func containsAny(lower string, cues []string) (string, bool) {
+	for _, c := range cues {
+		if strings.Contains(lower, c) {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// mentionRe finds AS-prefixed or bare number sequences. The AS-prefixed
+// alternative is listed first so "AS3356" is captured with its prefix.
+var mentionRe = regexp.MustCompile(`(?i)\bAS[-\s]?([0-9]{1,10})\b|\b([0-9]{1,10})\b`)
+
+// listItemRe recognises list-item lines: "- Algar (AS16735)", "* x",
+// "1. x", "• x".
+var listItemRe = regexp.MustCompile(`^\s*(?:[-*•]|\d+[.)])\s+`)
+
+// sectionHeaderish reports whether a line reads like it introduces a
+// list ("We connect directly with the following ISPs,").
+func sectionHeaderish(line string) bool {
+	t := strings.TrimSpace(line)
+	return strings.HasSuffix(t, ":") || strings.HasSuffix(t, ",") ||
+		strings.Contains(strings.ToLower(t), "following")
+}
+
+// yearRe bounds plausible year values.
+func looksLikeYear(n uint32) bool { return n >= 1900 && n <= 2035 }
+
+// ExtractField analyses one free-text field with the full multilingual
+// lexicon and returns every number mention with a verdict. field is
+// "notes" or "aka": numbers in aka default to sibling identities (the
+// field lists what the network is also known as), while bare numbers in
+// notes need an affiliation cue.
+func ExtractField(field, text string) []Mention {
+	return extractField(fullLexicon, field, text)
+}
+
+func extractField(lex lexicon, field, text string) []Mention {
+	var out []Mention
+	lines := strings.Split(text, "\n")
+	inUpstreamSection := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		lower := strings.ToLower(line)
+		if trimmed == "" {
+			inUpstreamSection = false
+			continue
+		}
+		lineUpCue, lineUp := containsAny(lower, lex.upstream)
+		lineSibCue, lineSib := containsAny(lower, lex.sibling)
+		lineNoiseCue, lineNoise := containsAny(lower, lex.noise)
+		if lineUp && sectionHeaderish(line) {
+			inUpstreamSection = true
+		}
+		// A plain prose line ends a connectivity listing; list items,
+		// parentheticals, and further header-ish lines continue it.
+		isListItem := listItemRe.MatchString(line)
+		if !isListItem && !lineUp && !sectionHeaderish(line) && !lineSib &&
+			!strings.HasPrefix(trimmed, "(") {
+			inUpstreamSection = false
+		}
+
+		for _, m := range mentionRe.FindAllStringSubmatchIndex(line, -1) {
+			var numStr string
+			asPrefixed := false
+			if m[2] >= 0 {
+				numStr = line[m[2]:m[3]]
+				asPrefixed = true
+			} else {
+				numStr = line[m[4]:m[5]]
+			}
+			start := m[0]
+			end := m[1]
+			a, err := asnum.Parse(numStr)
+			if err != nil {
+				continue
+			}
+			n := uint32(a)
+
+			// Token-shape rejections.
+			if partOfDottedQuad(line, start, end) {
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise, Reason: "part of an IP address or decimal"})
+				continue
+			}
+			if phoneShaped(line, start, end) {
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise, Reason: "phone-number shaped"})
+				continue
+			}
+
+			switch {
+			case lineNoise && !asPrefixed:
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise,
+					Reason: "numeric context cue: " + lineNoiseCue})
+			case !asPrefixed && looksLikeYear(n):
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise, Reason: "looks like a year"})
+			case lineUp:
+				out = append(out, Mention{ASN: a, Verdict: VerdictUpstream,
+					Reason: "connectivity context cue: " + lineUpCue})
+			case lineSib && (asPrefixed || (field == "aka" && n >= 256)):
+				out = append(out, Mention{ASN: a, Verdict: VerdictSibling,
+					Reason: "affiliation cue: " + lineSibCue})
+			case lineSib:
+				// An affiliation cue next to a bare number ("Tier 3
+				// compliant", "owns 2 datacenters") is not an ASN claim.
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise,
+					Reason: "bare number despite affiliation cue"})
+			case inUpstreamSection:
+				out = append(out, Mention{ASN: a, Verdict: VerdictUpstream,
+					Reason: "inside a connectivity listing"})
+			case field == "aka" && (asPrefixed || n >= 256):
+				// Bare small numbers in aka are brand suffixes ("Level
+				// 3", "Net 1"), not ASNs; real bare ASN listings in aka
+				// are larger.
+				out = append(out, Mention{ASN: a, Verdict: VerdictSibling,
+					Reason: "aka lists alternate identities"})
+			case field == "aka":
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise,
+					Reason: "small bare number in aka reads as a brand suffix"})
+			case asPrefixed:
+				out = append(out, Mention{ASN: a, Verdict: VerdictSibling,
+					Reason: "explicit ASN reference without contrary context"})
+			default:
+				out = append(out, Mention{ASN: a, Verdict: VerdictNoise,
+					Reason: "bare number without affiliation context"})
+			}
+		}
+	}
+	return out
+}
+
+// partOfDottedQuad reports whether the mention is flanked by ".<digit>"
+// or "<digit>." — an IP address octet or a decimal fraction.
+func partOfDottedQuad(line string, start, end int) bool {
+	if start >= 2 && line[start-1] == '.' && isDigit(line[start-2]) {
+		return true
+	}
+	if end+1 < len(line) && line[end] == '.' && isDigit(line[end+1]) {
+		return true
+	}
+	return false
+}
+
+// phoneShaped reports whether the mention participates in a telephone-
+// looking digit run: a leading '+', or digit groups joined by -/()/spaces
+// totalling 8+ digits.
+func phoneShaped(line string, start, end int) bool {
+	// Expand left and right over phone-ish characters.
+	l := start
+	for l > 0 && isPhoneChar(line[l-1]) {
+		l--
+	}
+	r := end
+	for r < len(line) && isPhoneChar(line[r]) {
+		r++
+	}
+	run := line[l:r]
+	if strings.Contains(run, "+") {
+		return true
+	}
+	digits := 0
+	groups := 1
+	for _, ch := range run {
+		if ch >= '0' && ch <= '9' {
+			digits++
+		}
+		if ch == '-' || ch == '(' || ch == ')' {
+			groups++
+		}
+	}
+	return digits >= 8 && groups >= 3
+}
+
+func isPhoneChar(b byte) bool {
+	return (b >= '0' && b <= '9') || b == '-' || b == '(' || b == ')' || b == '+' || b == ' '
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// ExtractSiblings runs the engine over a record's notes and aka with
+// the full multilingual lexicon and returns the deduplicated sibling
+// ASNs plus a human-readable reason trail (the "Also explain why" part
+// of the Listing 2 prompt).
+func ExtractSiblings(notes, aka string) (siblings []asnum.ASN, reasons []string) {
+	return extractSiblings(fullLexicon, notes, aka)
+}
+
+func extractSiblings(lex lexicon, notes, aka string) (siblings []asnum.ASN, reasons []string) {
+	seen := make(map[asnum.ASN]bool)
+	for _, m := range append(extractField(lex, "notes", notes), extractField(lex, "aka", aka)...) {
+		if m.Verdict != VerdictSibling || seen[m.ASN] {
+			continue
+		}
+		seen[m.ASN] = true
+		siblings = append(siblings, m.ASN)
+		reasons = append(reasons, m.ASN.String()+": "+m.Reason)
+	}
+	asnum.Sort(siblings)
+	return siblings, reasons
+}

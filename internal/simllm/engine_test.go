@@ -1,0 +1,192 @@
+package simllm
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+func siblingsOf(notes, aka string) []asnum.ASN {
+	s, _ := ExtractSiblings(notes, aka)
+	return s
+}
+
+func hasASN(list []asnum.ASN, a asnum.ASN) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeutscheTelekomExample mirrors Figure 4: subsidiaries reported in
+// unstructured text must be extracted.
+func TestDeutscheTelekomExample(t *testing.T) {
+	notes := `Deutsche Telekom Global Carrier is the international wholesale arm.
+Our European subsidiaries include Magyar Telekom (AS5483), Slovak Telekom (AS6855) and Hrvatski Telekom (AS5391).`
+	got := siblingsOf(notes, "")
+	for _, want := range []asnum.ASN{5483, 6855, 5391} {
+		if !hasASN(got, want) {
+			t.Errorf("missing sibling %v in %v", want, got)
+		}
+	}
+}
+
+// TestMaxihostExample mirrors Listing 1 / Appendix B: an upstream
+// connectivity listing must extract nothing.
+func TestMaxihostExample(t *testing.T) {
+	notes := `Through the Bare Metal Cloud proprietary platform, Maxihost deploys high-performance physical servers in multiple regions around the globe. Maxihost owns a Tier 3 compliant Datacenter in Sao Paulo, where its headquarter is located. See more at https://www.maxihost.com/
+
+We connect directly with the following ISPs,
+- Algar (AS16735)
+- Sparkle (AS6762)
+- Voxility (AS3223)
+- GTT (AS3257)
+- Cogent (AS174)
+- FL-IX (Florida Internet Exchange)
+- IX.br (Brazilian Internet Exchange)
+- Equinix Exchange
+- Any2 California (CoreSite Exchange)
+- DE-CIX New York
+- DE-CIX Dallas
+- NSW-IX (Australia Internet Exchange)`
+	got := siblingsOf(notes, "")
+	if len(got) != 0 {
+		t.Errorf("upstream listing extracted as siblings: %v", got)
+	}
+}
+
+func TestAkaDefaultsToSibling(t *testing.T) {
+	got := siblingsOf("", "Level 3, AS3549, 11213")
+	if !hasASN(got, 3549) || !hasASN(got, 11213) {
+		t.Errorf("aka numbers should be siblings: %v", got)
+	}
+}
+
+func TestMultilingualCues(t *testing.T) {
+	cases := []struct {
+		notes string
+		want  asnum.ASN
+	}{
+		{"Somos parte del mismo grupo que AS26615.", 26615},
+		{"Esta red pertenece a la misma organización que AS10429.", 10429},
+		{"Wir sind eine Tochtergesellschaft der Telekom (AS3320).", 3320},
+		{"Cette société est une filiale d'Orange, AS5511.", 5511},
+		{"Rede do mesmo grupo que AS28573.", 28573},
+	}
+	for _, c := range cases {
+		got := siblingsOf(c.notes, "")
+		if !hasASN(got, c.want) {
+			t.Errorf("notes %q: missing %v (got %v)", c.notes, c.want, got)
+		}
+	}
+}
+
+func TestNoiseRejection(t *testing.T) {
+	cases := []string{
+		"Contact us: phone +1 (555) 123-4567",
+		"NOC: tel 555-123-9999",
+		"Founded in 1998, we serve the region.",
+		"Max prefixes: 4000",
+		"Visit us at 1250 Main Street, Suite 400",
+		"Our NOC IP is 192.0.2.45",
+		"MTU 9000 supported on all ports",
+		"Copyright 2024",
+	}
+	for _, notes := range cases {
+		if got := siblingsOf(notes, ""); len(got) != 0 {
+			t.Errorf("notes %q: spurious siblings %v", notes, got)
+		}
+	}
+}
+
+func TestBareNumberInNotesRejected(t *testing.T) {
+	if got := siblingsOf("We are reachable under 64496 whenever.", ""); len(got) != 0 {
+		t.Errorf("bare number accepted: %v", got)
+	}
+	// But an explicit AS reference with no contrary context is accepted.
+	if got := siblingsOf("See also AS64496.", ""); !hasASN(got, 64496) {
+		t.Errorf("explicit AS reference rejected: %v", got)
+	}
+}
+
+func TestUpstreamCuesInline(t *testing.T) {
+	cases := []string{
+		"Our upstream is AS174.",
+		"Transit provided by AS3356 and AS1299.",
+		"We are peering with AS6939 at several IXPs.",
+		"as-in: 65001:100, as-out announce to AS2914",
+	}
+	for _, notes := range cases {
+		if got := siblingsOf(notes, ""); len(got) != 0 {
+			t.Errorf("notes %q: connectivity ASNs extracted: %v", notes, got)
+		}
+	}
+}
+
+func TestSectionEndsAtProse(t *testing.T) {
+	notes := `We connect with the following upstreams:
+- AS174
+- AS3356
+
+Our sister network AS64500 serves the north region.`
+	got := siblingsOf(notes, "")
+	if hasASN(got, 174) || hasASN(got, 3356) {
+		t.Errorf("upstream list leaked: %v", got)
+	}
+	if !hasASN(got, 64500) {
+		t.Errorf("sibling after section missed: %v", got)
+	}
+}
+
+func TestYearsInAka(t *testing.T) {
+	// Years are rejected even in aka when bare.
+	if got := siblingsOf("", "operating since 2010"); len(got) != 0 {
+		t.Errorf("year in aka accepted: %v", got)
+	}
+}
+
+func TestMixedVerdicts(t *testing.T) {
+	notes := `We also operate AS64501 (our CDN division).
+Upstream transit: AS174.
+Phone: +44 20 7946 0958.`
+	mentions := ExtractField("notes", notes)
+	verdicts := map[asnum.ASN]Verdict{}
+	for _, m := range mentions {
+		verdicts[m.ASN] = m.Verdict
+	}
+	if verdicts[64501] != VerdictSibling {
+		t.Errorf("AS64501 verdict = %v", verdicts[64501])
+	}
+	if verdicts[174] != VerdictUpstream {
+		t.Errorf("AS174 verdict = %v", verdicts[174])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	notes := "Our subsidiaries: AS1 AS2 AS3. Upstream AS174. Phone 555-123-4567 x89."
+	a1, r1 := ExtractSiblings(notes, "aka AS99")
+	a2, r2 := ExtractSiblings(notes, "aka AS99")
+	if len(a1) != len(a2) || len(r1) != len(r2) {
+		t.Fatal("nondeterministic extraction")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("nondeterministic sibling order")
+		}
+	}
+}
+
+func TestDedupAcrossFields(t *testing.T) {
+	got := siblingsOf("Sister network AS64500.", "AS64500")
+	count := 0
+	for _, a := range got {
+		if a == 64500 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("AS64500 appears %d times: %v", count, got)
+	}
+}

@@ -1,0 +1,139 @@
+package simllm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+// The simulated model's "pretrained world knowledge": the favicons of
+// popular web frameworks and hosting technologies, and the brand logos of
+// major telecommunications groups. A vision-capable LLM recognises the
+// default Bootstrap or WordPress icon, and the Claro or Orange logo, from
+// pretraining; the simulation encodes the same knowledge as a registry of
+// icon fingerprints over the deterministic websim icon space.
+//
+// Favicon identity conventions used across the synthetic corpus:
+//
+//	"framework:<name>" — a default icon shipped by a web technology
+//	"brand:<name>"     — a brand logo the model is assumed to know
+//	anything else      — an icon the model has never seen
+//
+// (Table 2 of the paper contrasts exactly these cases: the Claro logo vs
+// the default Bootstrap favicon.)
+
+// FrameworkNames lists the web technologies whose default favicons the
+// model recognises; values are the display names it replies with.
+var FrameworkNames = map[string]string{
+	"bootstrap":   "Bootstrap",
+	"wordpress":   "WordPress",
+	"godaddy":     "GoDaddy",
+	"ixcsoft":     "IXC Soft",
+	"wix":         "Wix",
+	"squarespace": "Squarespace",
+	"cpanel":      "cPanel",
+	"plesk":       "Plesk",
+	"apache":      "Apache HTTP Server",
+	"nginx":       "nginx",
+	"mikrotik":    "MikroTik",
+	"pfsense":     "pfSense",
+}
+
+// KnownBrands lists major telecom brands whose logos the model
+// recognises; values are the display names it replies with.
+var KnownBrands = map[string]string{
+	"claro":            "Claro",
+	"orange":           "Orange",
+	"digicel":          "Digicel",
+	"tigo":             "TIGO",
+	"telefonica":       "Telefonica",
+	"movistar":         "Movistar",
+	"t-mobile":         "T-Mobile",
+	"deutsche-telekom": "Deutsche Telekom",
+	"vodafone":         "Vodafone",
+	"telia":            "Telia",
+	"telenor":          "Telenor",
+	"lumen":            "Lumen",
+	"cogent":           "Cogent",
+	"ntt":              "NTT",
+	"telkom-indonesia": "Telkom Indonesia",
+	"charter":          "Charter",
+	"virgin":           "Virgin",
+	"iliad":            "Free (Iliad)",
+	"chunghwa":         "Chunghwa Telecom",
+	"jcom":             "J:COM",
+	"claro-brasil":     "Claro Brasil",
+	"cablevision-mx":   "Cablevision Mexico",
+	"lg-powercomm":     "LG Powercomm",
+	"act-fibernet":     "ACT Fibernet",
+	"telecom-hulum":    "Telecom Hulum",
+	"brm":              "BRM (Brasil)",
+	"gigamais":         "GigaMais Telecom",
+	"zscaler":          "Zscaler",
+	"cable-wireless":   "Cable & Wireless",
+	"columbus":         "Columbus Networks",
+	"mainone":          "MainOne",
+	"leaseweb":         "Leaseweb",
+	"contabo":          "Contabo",
+	"softlayer":        "SoftLayer",
+	"edgio":            "Edgio",
+	"akamai":           "Akamai",
+	"google":           "Google",
+	"amazon":           "Amazon",
+	"microsoft":        "Microsoft",
+	"cloudflare":       "Cloudflare",
+	"netflix":          "Netflix",
+	"apple":            "Apple",
+	"facebook":         "Facebook",
+}
+
+// iconKnowledge maps icon fingerprints (hex SHA-256 of the icon bytes)
+// to what the model "sees" in the image.
+type iconKnowledge struct {
+	frameworkByHash map[string]string
+	brandByHash     map[string]string
+}
+
+func hashIconID(id string) string {
+	sum := sha256.Sum256(websim.FaviconBytes(id))
+	return hex.EncodeToString(sum[:])
+}
+
+// FrameworkVariants is how many distinct default-icon variants of each
+// framework the model recognises (real frameworks ship many versions and
+// hosting-provider skins of their default icons; the paper's classifier
+// corpus contains 116 distinct framework favicons).
+const FrameworkVariants = 16
+
+func newIconKnowledge() *iconKnowledge {
+	k := &iconKnowledge{
+		frameworkByHash: make(map[string]string, len(FrameworkNames)*FrameworkVariants),
+		brandByHash:     make(map[string]string, len(KnownBrands)),
+	}
+	for id, name := range FrameworkNames {
+		k.frameworkByHash[hashIconID("framework:"+id)] = name
+		for v := 0; v < FrameworkVariants; v++ {
+			k.frameworkByHash[hashIconID(FrameworkVariantIconID(id, v))] = name
+		}
+	}
+	for id, name := range KnownBrands {
+		k.brandByHash[hashIconID("brand:"+id)] = name
+	}
+	return k
+}
+
+// FrameworkVariantIconID returns the websim favicon identity for the
+// v-th default-icon variant of a framework key.
+func FrameworkVariantIconID(key string, v int) string {
+	return fmt.Sprintf("framework:%s#%d", key, v)
+}
+
+// FrameworkIconID returns the websim favicon identity for a framework
+// key (for corpus builders).
+func FrameworkIconID(key string) string { return "framework:" + key }
+
+// BrandIconID returns the websim favicon identity for a known-brand key
+// (for corpus builders).
+func BrandIconID(key string) string { return "brand:" + key }

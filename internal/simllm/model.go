@@ -1,0 +1,193 @@
+package simllm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+)
+
+// Model is a deterministic simulated LLM implementing llm.Provider. It
+// answers the two prompt families Borges issues and rejects anything
+// else, so accidental prompt drift fails loudly instead of silently
+// producing garbage.
+type Model struct {
+	// Name is reported back in responses (default "sim-gpt-4o-mini").
+	Name string
+
+	profile   Profile
+	knowledge *iconKnowledge
+
+	ieCalls  atomic.Int64
+	clsCalls atomic.Int64
+}
+
+// NewModel returns a simulated model with the paper's capability
+// profile (GPT-4o-mini).
+func NewModel() *Model {
+	return NewModelWithProfile(ProfileGPT4oMini)
+}
+
+// lexicon selects the cue lists the model's profile understands.
+func (m *Model) lexicon() lexicon {
+	if m.profile.Multilingual {
+		return fullLexicon
+	}
+	return englishLexicon
+}
+
+// IECalls returns how many information-extraction prompts were served.
+func (m *Model) IECalls() int64 { return m.ieCalls.Load() }
+
+// ClassifierCalls returns how many favicon-classification prompts were
+// served.
+func (m *Model) ClassifierCalls() int64 { return m.clsCalls.Load() }
+
+// ResetCounters zeroes the per-prompt-family call counters.
+func (m *Model) ResetCounters() {
+	m.ieCalls.Store(0)
+	m.clsCalls.Store(0)
+}
+
+// Prompt fragments used for dispatch. They quote stable phrases of the
+// paper's Listing 2 and Listing 3 prompts.
+const (
+	ieMarker  = "The PeeringDB information for the ASN "
+	clsMarker = "returned the attached favicon"
+)
+
+// Complete implements llm.Provider.
+func (m *Model) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return llm.Response{}, err
+	}
+	if len(req.Messages) == 0 {
+		return llm.Response{}, fmt.Errorf("simllm: empty request")
+	}
+	last := req.Messages[len(req.Messages)-1]
+	switch {
+	case strings.Contains(last.Content, ieMarker):
+		m.ieCalls.Add(1)
+		content, err := m.answerIE(last.Content)
+		if err != nil {
+			return llm.Response{}, err
+		}
+		return m.respond(content), nil
+	case strings.Contains(last.Content, clsMarker):
+		m.clsCalls.Add(1)
+		content, err := m.answerClassifier(last)
+		if err != nil {
+			return llm.Response{}, err
+		}
+		return m.respond(content), nil
+	default:
+		return llm.Response{}, fmt.Errorf("simllm: unsupported prompt (no known task marker): %q",
+			head(last.Content, 60))
+	}
+}
+
+func (m *Model) respond(content string) llm.Response {
+	return llm.Response{
+		Content: content,
+		Model:   m.Name,
+		Usage:   llm.Usage{PromptTokens: 0, CompletionTokens: len(content) / 4},
+	}
+}
+
+func head(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// answerIE parses a Listing 2 prompt, runs the sibling-extraction engine
+// over the embedded notes and aka, and renders the JSON reply the
+// format instructions request.
+func (m *Model) answerIE(prompt string) (string, error) {
+	notes, aka, err := parseIEPrompt(prompt)
+	if err != nil {
+		return "", err
+	}
+	siblings, reasons := extractSiblings(m.lexicon(), notes, aka)
+	payload := struct {
+		Siblings []string `json:"siblings"`
+		Reason   string   `json:"reason"`
+	}{Siblings: []string{}}
+	for _, a := range siblings {
+		payload.Siblings = append(payload.Siblings, a.String())
+	}
+	if len(reasons) == 0 {
+		payload.Reason = "no sibling ASNs are explicitly reported in the provided fields"
+	} else {
+		payload.Reason = strings.Join(reasons, "; ")
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("simllm: marshal reply: %w", err)
+	}
+	return string(blob), nil
+}
+
+// parseIEPrompt recovers the notes and aka bodies from a Listing 2
+// prompt.
+func parseIEPrompt(prompt string) (notes, aka string, err error) {
+	iNotes := strings.Index(prompt, "\nNotes: ")
+	if iNotes < 0 {
+		return "", "", fmt.Errorf("simllm: IE prompt missing Notes field")
+	}
+	rest := prompt[iNotes+len("\nNotes: "):]
+	// The AKA marker is searched from the end of the region before the
+	// format instructions, so multi-paragraph notes survive.
+	iResp := strings.Index(rest, "\nRespond with a single JSON object")
+	if iResp < 0 {
+		iResp = len(rest)
+	}
+	region := rest[:iResp]
+	iAka := strings.LastIndex(region, "\nAKA: ")
+	if iAka < 0 {
+		return "", "", fmt.Errorf("simllm: IE prompt missing AKA field")
+	}
+	notes = strings.TrimSpace(region[:iAka])
+	aka = strings.TrimSpace(region[iAka+len("\nAKA: "):])
+	return notes, aka, nil
+}
+
+// answerClassifier parses a Listing 3 prompt (URL list in the text, the
+// favicon attached as an image) and names the company or technology.
+func (m *Model) answerClassifier(msg llm.Message) (string, error) {
+	urls, err := parseClassifierPrompt(msg.Content)
+	if err != nil {
+		return "", err
+	}
+	var icon []byte
+	if len(msg.Images) > 0 {
+		icon = msg.Images[0]
+	}
+	return m.knowledge.classify(icon, urls, m.profile), nil
+}
+
+// parseClassifierPrompt extracts the URL list from "Accessing these
+// URLs ['a', 'b'] returned the attached favicon…".
+func parseClassifierPrompt(content string) ([]string, error) {
+	start := strings.Index(content, "[")
+	end := strings.Index(content, "]")
+	if start < 0 || end < start {
+		return nil, fmt.Errorf("simllm: classifier prompt missing URL list")
+	}
+	list := content[start+1 : end]
+	var urls []string
+	for _, part := range strings.Split(list, ",") {
+		u := strings.Trim(strings.TrimSpace(part), `'"`)
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("simllm: classifier prompt has empty URL list")
+	}
+	return urls, nil
+}

@@ -1,0 +1,236 @@
+package simllm
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/ner"
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+func TestIEPromptRoundTrip(t *testing.T) {
+	m := NewModel()
+	rec := ner.Record{
+		ASN:   3320,
+		Notes: "Our European subsidiaries include Slovak Telekom (AS6855) and Hrvatski Telekom (AS5391).",
+		Aka:   "DTAG",
+	}
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Model:    "gpt-4o-mini",
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: ner.BuildPrompt(rec)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siblings, reason, err := ner.ParseResponse(resp.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siblings) != 2 || siblings[0] != 5391 || siblings[1] != 6855 {
+		t.Errorf("siblings = %v", siblings)
+	}
+	if reason == "" {
+		t.Error("reason should explain the choice")
+	}
+	if m.IECalls() != 1 || m.ClassifierCalls() != 0 {
+		t.Errorf("counters: ie=%d cls=%d", m.IECalls(), m.ClassifierCalls())
+	}
+}
+
+func TestIEPromptMultilineNotes(t *testing.T) {
+	m := NewModel()
+	rec := ner.Record{
+		ASN: 262287,
+		Notes: `Maxihost deploys servers globally.
+
+We connect directly with the following ISPs,
+- Algar (AS16735)
+- Cogent (AS174)`,
+		Aka: "Latitude.sh",
+	}
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: ner.BuildPrompt(rec)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siblings, _, err := ner.ParseResponse(resp.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siblings) != 0 {
+		t.Errorf("upstream listing extracted: %v", siblings)
+	}
+}
+
+func TestIEResponseIsValidJSON(t *testing.T) {
+	m := NewModel()
+	rec := ner.Record{ASN: 1, Notes: `Quotes "inside" notes with AS2 sibling of ours`, Aka: ""}
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: ner.BuildPrompt(rec)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(resp.Content), &payload); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, resp.Content)
+	}
+}
+
+func classifierMsg(urls []string, iconID string) llm.Message {
+	var icon []byte
+	if iconID != "" {
+		icon = websim.FaviconBytes(iconID)
+	}
+	quoted := make([]string, len(urls))
+	for i, u := range urls {
+		quoted[i] = "'" + u + "'"
+	}
+	content := "Accessing these URLs [" + strings.Join(quoted, ", ") + "] returned the attached favicon. " +
+		"If it is a telecommunications company, what is the company's name? If it is a subsidiary, provide the parent company's name. " +
+		"If it is not a telecommunications company, is it a hosting technology? Reply only with the name of the company or technology. " +
+		"If it is none of the above, reply 'I don't know'."
+	return llm.Message{Role: llm.RoleUser, Content: content, Images: [][]byte{icon}}
+}
+
+func classify(t *testing.T, m *Model, urls []string, iconID string) string {
+	t.Helper()
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{classifierMsg(urls, iconID)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Content
+}
+
+func TestClassifierFramework(t *testing.T) {
+	m := NewModel()
+	// Table 2's Bootstrap example: unrelated domains, default framework icon.
+	reply := classify(t, m, []string{
+		"https://www.anosbd.com/", "https://www.rptechzone.in/",
+		"https://bapenda.riau.go.id/", "http://www.conexaointernet.com.br/",
+	}, FrameworkIconID("bootstrap"))
+	if reply != "Bootstrap" {
+		t.Errorf("reply = %q, want Bootstrap", reply)
+	}
+	if !IsFramework(reply) {
+		t.Error("IsFramework should recognise the reply")
+	}
+}
+
+func TestClassifierKnownBrand(t *testing.T) {
+	m := NewModel()
+	// Claro: different domains, recognised logo.
+	reply := classify(t, m, []string{
+		"https://www.clarochile.cl/personas/", "https://www.claro.com.do/personas/",
+		"https://www.claropr.com/personas/",
+	}, BrandIconID("claro"))
+	if reply != "Claro" {
+		t.Errorf("reply = %q, want Claro", reply)
+	}
+	if IsFramework(reply) || IsDontKnow(reply) {
+		t.Error("Claro is a company")
+	}
+}
+
+func TestClassifierDomainSimilarity(t *testing.T) {
+	m := NewModel()
+	// Unknown logo, but domains share a stem.
+	reply := classify(t, m, []string{
+		"https://www.acmetelecom.com/", "https://www.acmetel.net/",
+	}, "site:acme")
+	if IsDontKnow(reply) || IsFramework(reply) {
+		t.Errorf("reply = %q, want a company name", reply)
+	}
+	if !strings.HasPrefix(strings.ToLower(reply), "acmetel") {
+		t.Errorf("reply = %q, want the shared stem", reply)
+	}
+}
+
+// TestClassifierDECIXFailureMode mirrors §5.3: same favicon, unrelated
+// domain names, unknown logo → "I don't know" (a false negative by
+// design).
+func TestClassifierDECIXFailureMode(t *testing.T) {
+	m := NewModel()
+	reply := classify(t, m, []string{
+		"https://www.de-cix.net/", "https://www.aqaba-ix.com/", "https://www.ruhr-cix.de/",
+	}, "site:decix-unknown-logo")
+	if !IsDontKnow(reply) {
+		t.Errorf("reply = %q, want I don't know", reply)
+	}
+}
+
+func TestClassifierIdenticalLabels(t *testing.T) {
+	m := NewModel()
+	reply := classify(t, m, []string{
+		"https://www.orange.es/", "https://www.orange.pl/",
+	}, "site:unknown-orange")
+	if !strings.EqualFold(reply, "Orange") {
+		t.Errorf("reply = %q, want Orange", reply)
+	}
+}
+
+func TestClassifierShortStemRejected(t *testing.T) {
+	m := NewModel()
+	// "tele" stem: shared 4 chars but much shorter than the labels.
+	reply := classify(t, m, []string{
+		"https://www.telefonica.com/", "https://www.telekom.de/",
+	}, "site:whatever")
+	if !IsDontKnow(reply) {
+		t.Errorf("reply = %q, want I don't know (generic stem)", reply)
+	}
+}
+
+func TestUnsupportedPrompt(t *testing.T) {
+	m := NewModel()
+	_, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: "What is the weather?"}},
+	})
+	if err == nil {
+		t.Error("unsupported prompt should error")
+	}
+	if _, err := m.Complete(context.Background(), llm.Request{}); err == nil {
+		t.Error("empty request should error")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	m := NewModel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.Complete(ctx, llm.Request{
+		Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}},
+	})
+	if err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	m := NewModel()
+	rec := ner.Record{ASN: 1, Notes: "sister network AS64500, upstream AS174", Aka: "AS64501"}
+	req := llm.Request{Messages: []llm.Message{{Role: llm.RoleUser, Content: ner.BuildPrompt(rec)}}}
+	r1, err1 := m.Complete(context.Background(), req)
+	r2, err2 := m.Complete(context.Background(), req)
+	if err1 != nil || err2 != nil || r1.Content != r2.Content {
+		t.Errorf("nondeterministic: %q vs %q (%v %v)", r1.Content, r2.Content, err1, err2)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := NewModel()
+	classify(t, m, []string{"https://a.test/"}, "site:x")
+	if m.ClassifierCalls() != 1 {
+		t.Errorf("cls calls = %d", m.ClassifierCalls())
+	}
+	m.ResetCounters()
+	if m.ClassifierCalls() != 0 || m.IECalls() != 0 {
+		t.Error("ResetCounters failed")
+	}
+
+}

@@ -1,0 +1,54 @@
+package simllm
+
+// Profile parameterises a simulated model's capabilities, enabling the
+// exploration the paper's conclusion calls for ("Borges opens a path
+// for exploration with … alternative models such as Meta's Llama and
+// DeepSeek's R1"): weaker models lose multilingual cue coverage and
+// visual brand knowledge, degrading extraction recall and classifier
+// recall in the ways smaller real models do.
+type Profile struct {
+	// Name is reported in responses.
+	Name string
+	// Multilingual extends the affiliation/connectivity cue lexicons
+	// beyond English.
+	Multilingual bool
+	// KnowsBrands enables recognition of telecom brand logos.
+	KnowsBrands bool
+	// KnowsFrameworks enables recognition of web-technology default
+	// icons.
+	KnowsFrameworks bool
+}
+
+// Built-in profiles.
+var (
+	// ProfileGPT4oMini is the paper's configuration: full multilingual
+	// cue coverage and visual knowledge of brands and frameworks.
+	ProfileGPT4oMini = Profile{
+		Name: "sim-gpt-4o-mini", Multilingual: true,
+		KnowsBrands: true, KnowsFrameworks: true,
+	}
+	// ProfileLlama models a mid-size open-weights model: solid English
+	// extraction and framework icons, but no reliable multilingual cue
+	// coverage and weak logo recognition.
+	ProfileLlama = Profile{
+		Name: "sim-llama-8b", Multilingual: false,
+		KnowsBrands: false, KnowsFrameworks: true,
+	}
+	// ProfileSmall models a small distilled model: English-only and no
+	// visual knowledge at all — it can only reason over domain names.
+	ProfileSmall = Profile{
+		Name: "sim-small-3b", Multilingual: false,
+		KnowsBrands: false, KnowsFrameworks: false,
+	}
+)
+
+// NewModelWithProfile returns a simulated model with the given
+// capability profile. NewModel is equivalent to
+// NewModelWithProfile(ProfileGPT4oMini).
+func NewModelWithProfile(p Profile) *Model {
+	m := &Model{Name: p.Name, profile: p, knowledge: newIconKnowledge()}
+	if m.Name == "" {
+		m.Name = "sim-custom"
+	}
+	return m
+}

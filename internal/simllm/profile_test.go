@@ -1,0 +1,135 @@
+package simllm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/ner"
+)
+
+func extractWith(t *testing.T, m *Model, notes, aka string) []string {
+	t.Helper()
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{{
+			Role:    llm.RoleUser,
+			Content: ner.BuildPrompt(ner.Record{ASN: 1, Notes: notes, Aka: aka}),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	siblings, _, err := ner.ParseResponse(resp.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(siblings))
+	for i, s := range siblings {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func TestProfileMultilingualExtraction(t *testing.T) {
+	full := NewModel()
+	mono := NewModelWithProfile(ProfileLlama)
+
+	// An explicit AS-prefixed sibling claim extracts under both
+	// profiles — the AS prefix itself is language-neutral evidence.
+	spanish := "Esta red pertenece a la misma organización que AS64510."
+	if got := extractWith(t, full, spanish, ""); len(got) != 1 || got[0] != "AS64510" {
+		t.Errorf("multilingual model: %v", got)
+	}
+	if got := extractWith(t, mono, spanish, ""); len(got) != 1 {
+		t.Errorf("monolingual model on AS-prefixed Spanish: %v", got)
+	}
+	// The profiles diverge on *negative* context: a Spanish inline
+	// connectivity statement is understood only multilingually.
+	upstream := "Conectados a AS174 para tránsito internacional."
+	if got := extractWith(t, full, upstream, ""); len(got) != 0 {
+		t.Errorf("multilingual model should reject the Spanish transit mention: %v", got)
+	}
+	if got := extractWith(t, mono, upstream, ""); len(got) != 1 {
+		t.Errorf("monolingual model should misread the Spanish transit mention: %v", got)
+	}
+	// English negative context works for both.
+	english := "Connected to AS174 for international transit."
+	if got := extractWith(t, mono, english, ""); len(got) != 0 {
+		t.Errorf("monolingual model on English transit: %v", got)
+	}
+}
+
+func TestProfileMonolingualOverExtraction(t *testing.T) {
+	// A Portuguese connectivity listing: the multilingual model rejects
+	// the decoys; the monolingual one misreads them as sibling claims —
+	// the over-extraction failure mode ModelComparison reports.
+	notes := "Nossos provedores de trânsito:\n- Algar (AS16735)\n- Cogent (AS174)"
+	full := NewModel()
+	mono := NewModelWithProfile(ProfileLlama)
+	if got := extractWith(t, full, notes, ""); len(got) != 0 {
+		t.Errorf("multilingual model should reject upstream decoys: %v", got)
+	}
+	if got := extractWith(t, mono, notes, ""); len(got) == 0 {
+		t.Error("monolingual model should over-extract from the unrecognised listing")
+	}
+}
+
+func classifyWith(t *testing.T, m *Model, urls []string, iconID string) string {
+	t.Helper()
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{classifierMsg(urls, iconID)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Content
+}
+
+func TestProfileVisualKnowledge(t *testing.T) {
+	claroURLs := []string{"https://www.clarochile.cl/", "https://www.claropr.com/"}
+	bootstrapURLs := []string{"https://www.anosbd.com/", "https://www.rptechzone.in/"}
+
+	full := NewModel()
+	llama := NewModelWithProfile(ProfileLlama)
+	small := NewModelWithProfile(ProfileSmall)
+
+	// Brand logo: only the flagship recognises it by sight; the others
+	// fall back to the domain stem (which still succeeds for Claro).
+	if got := classifyWith(t, full, claroURLs, "brand:claro"); got != "Claro" {
+		t.Errorf("full profile: %q", got)
+	}
+	if got := classifyWith(t, llama, claroURLs, "brand:claro"); !strings.HasPrefix(strings.ToLower(got), "claro") {
+		t.Errorf("llama should recover Claro via the stem: %q", got)
+	}
+
+	// Framework icon over unrelated names: recognised by full and
+	// llama, unknown to small.
+	if got := classifyWith(t, full, bootstrapURLs, FrameworkIconID("bootstrap")); got != "Bootstrap" {
+		t.Errorf("full profile framework: %q", got)
+	}
+	if got := classifyWith(t, llama, bootstrapURLs, FrameworkIconID("bootstrap")); got != "Bootstrap" {
+		t.Errorf("llama profile framework: %q", got)
+	}
+	if got := classifyWith(t, small, bootstrapURLs, FrameworkIconID("bootstrap")); !IsDontKnow(got) {
+		t.Errorf("small profile should not recognise the icon: %q", got)
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	m := NewModelWithProfile(ProfileLlama)
+	resp, err := m.Complete(context.Background(), llm.Request{
+		Messages: []llm.Message{classifierMsg([]string{"https://a.test/"}, "site:x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "sim-llama-8b" {
+		t.Errorf("model name = %q", resp.Model)
+	}
+	anon := NewModelWithProfile(Profile{})
+	if anon.Name != "sim-custom" {
+		t.Errorf("unnamed profile = %q", anon.Name)
+	}
+
+}

@@ -1,0 +1,733 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/asrank"
+	"github.com/nu-aqualab/borges/internal/simllm"
+)
+
+// company-name fragments for anonymous entities. The index suffix keeps
+// every brand label unique, so unrelated companies never collide in the
+// same-brand-label classifier rule by accident.
+var (
+	nameHeads = []string{
+		"netwave", "telefibra", "gigalink", "alfanet", "novacom", "skyband",
+		"terradata", "luzline", "vistapath", "rapidmesh", "metroport",
+		"australnet", "andeslink", "deltacom", "orionband", "zenitnet",
+	}
+	siteTLDs = []string{"com", "net", "org", "io", "co", "com.br", "co.uk", "de", "fr", "es"}
+)
+
+// title upper-cases the first byte (ASCII company names only).
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+func (g *gen) company(idx int) string {
+	return fmt.Sprintf("%s%d", nameHeads[idx%len(nameHeads)], idx)
+}
+
+// siteIcon returns a fresh singleton favicon identity until the unique-
+// favicon quota (≈14,076 at full scale) is exhausted, then "".
+func (g *gen) siteIcon(host string) string {
+	if g.named.uniqueIcons >= g.scaledSingletonIcons() {
+		return ""
+	}
+	g.named.uniqueIcons++
+	return "site:" + host
+}
+
+func (g *gen) scaledSingletonIcons() int {
+	v := int(float64(14076)*g.cfg.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// anonUser defers APNIC assignment for an anonymous changed org until
+// the named budgets are known.
+type anonUser struct {
+	mainASN, subASN asnum.ASN
+	ccMain, ccSub   string
+	wMain, wSub     float64
+}
+
+// buildMergeUnits creates the anonymous two-organization merge units —
+// pairs of WHOIS organizations under one true owner, discoverable
+// through exactly one Borges feature. They provide the bulk of the
+// Table 6 organization-count reduction and the Figure 8 transit-rank
+// gains.
+func (g *gen) buildMergeUnits() {
+	var signals []SignalMask
+	for i := 0; i < g.t.pairsP; i++ {
+		signals = append(signals, SigOIDP)
+	}
+	for i := 0; i < g.t.pairsRR; i++ {
+		signals = append(signals, SigRR)
+	}
+	for i := 0; i < g.t.pairsNA; i++ {
+		signals = append(signals, SigNotesAka)
+	}
+	for i := 0; i < g.t.pairsF; i++ {
+		signals = append(signals, SigFavicon)
+	}
+	g.rng.Shuffle(len(signals), func(i, j int) { signals[i], signals[j] = signals[j], signals[i] })
+
+	// Rank tiers (Figure 8): fill the top-100 slots the named entities
+	// left open with high-gain units, ranks 101..1000 with gain ≈1,
+	// and scatter the rest deeper.
+	tier1Bound := g.scaleCount(100)
+	tier2Bound := g.scaleCount(1000)
+	namedInTier1 := 0
+	for _, p := range g.named.pendingRanks {
+		if p.want <= tier1Bound {
+			namedInTier1++
+		}
+	}
+	tier1Quota := tier1Bound - namedInTier1
+	if tier1Quota < 0 {
+		tier1Quota = 0
+	}
+	tier2Quota := tier2Bound - tier1Bound
+
+	anonChangedQuota := g.t.changedOrgs - g.named.namedChanged
+	if anonChangedQuota < 0 {
+		anonChangedQuota = 0
+	}
+	// Only a bounded number of anonymous units expand an organization's
+	// country footprint (the paper reports 101 growing organizations in
+	// total, most of them named conglomerates).
+	diffCCQuota := g.scaleCount(62)
+	diffCC := 0
+	var anon []anonUser
+
+	for idx, sig := range signals {
+		nm := g.company(10000 + idx)
+		// Secondary organization size by rank tier.
+		secSize := 1
+		rankWant := 0
+		switch {
+		case idx < tier1Quota:
+			secSize = 3 + g.rng.Intn(6)
+			rankWant = 1
+		case idx < tier1Quota+tier2Quota:
+			secSize = 1 + g.rng.Intn(2)
+			rankWant = tier1Bound + 1
+		default:
+			if g.rng.Intn(3) == 0 {
+				rankWant = tier2Bound + 1
+			}
+		}
+
+		mainASN := g.alloc()
+		mainOID := fmt.Sprintf("ORG-UNIT-%d-A", idx)
+		g.addWHOIS(mainOID, title(nm), "US", []asnum.ASN{mainASN})
+
+		secASNs := make([]asnum.ASN, 0, secSize)
+		for k := 0; k < secSize; k++ {
+			secASNs = append(secASNs, g.alloc())
+		}
+		secOID := fmt.Sprintf("ORG-UNIT-%d-B", idx)
+		ccSub := "US"
+		if diffCC < diffCCQuota && idx%5 == 0 {
+			ccSub = countryPool[(idx*3+1)%len(countryPool)]
+			diffCC++
+		}
+		g.addWHOIS(secOID, title(nm)+" "+ccSub, ccSub, secASNs)
+
+		org := &TrueOrg{
+			Key: fmt.Sprintf("unit:%d", idx), Name: title(nm),
+			ASNs:      append([]asnum.ASN{mainASN}, secASNs...),
+			WHOISOrgs: []string{mainOID, secOID},
+			Countries: []string{"US", ccSub},
+		}
+		g.ds.Truth.addOrg(org)
+
+		g.wireUnit(idx, nm, sig, mainASN, secASNs[0])
+
+		if rankWant > 0 {
+			g.named.pendingRanks = append(g.named.pendingRanks, pendingRank{mainASN, rankWant})
+		}
+		if len(anon) < anonChangedQuota {
+			anon = append(anon, anonUser{
+				mainASN: mainASN, subASN: secASNs[0],
+				ccMain: "US", ccSub: ccSub,
+				wMain: 0.3 + g.rng.Float64(), wSub: 0.3 + g.rng.Float64(),
+			})
+		}
+	}
+
+	// Assign the anonymous changed-population budgets exactly.
+	mainBudget := g.t.changedAS2Org - g.named.namedAS2Org
+	subBudget := g.t.changedMarginal - g.named.namedMarginal
+	if mainBudget < 0 {
+		mainBudget = 0
+	}
+	if subBudget < 0 {
+		subBudget = 0
+	}
+	var wm, ws float64
+	for _, a := range anon {
+		wm += a.wMain
+		ws += a.wSub
+	}
+	var gaveMain, gaveSub int64
+	for i, a := range anon {
+		var um, us int64
+		if wm > 0 {
+			um = int64(float64(mainBudget) * a.wMain / wm)
+		}
+		if ws > 0 {
+			us = int64(float64(subBudget) * a.wSub / ws)
+		}
+		if i == len(anon)-1 { // absorb rounding in the last unit
+			um = mainBudget - gaveMain
+			us = subBudget - gaveSub
+		}
+		gaveMain += um
+		gaveSub += us
+		g.users(a.mainASN, a.ccMain, um)
+		g.users(a.subASN, a.ccSub, us)
+	}
+	g.countChanged = g.named.namedChanged + len(anon)
+}
+
+// scaleCount scales a rank bound.
+func (g *gen) scaleCount(v int) int {
+	out := int(float64(v)*g.cfg.Scale + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// wireUnit wires the single discovery signal of one merge unit.
+func (g *gen) wireUnit(idx int, nm string, sig SignalMask, mainASN, secASN asnum.ASN) {
+	switch sig {
+	case SigOIDP:
+		// One PeeringDB organization spans both WHOIS organizations.
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+		website := ""
+		if g.rng.Intn(2) == 0 {
+			h := g.host("www." + nm + ".net")
+			g.ds.Web.AddSite(h, g.siteIcon(h))
+			website = "https://" + h + "/"
+		}
+		g.addNet(p, mainASN, title(nm), "", "", website)
+		g.addNet(p, secASN, title(nm)+" II", "", "", "")
+	case SigRR:
+		// Separate PDB orgs; the acquired brand redirects to the main
+		// site (Fig. 5b).
+		mainHost := g.host("www." + nm + ".com")
+		g.ds.Web.AddSite(mainHost, g.siteIcon(mainHost))
+		mainURL := "https://" + mainHost + "/"
+		secHost := g.host("www." + nm + "-legacy.com")
+		if g.rng.Intn(3) == 0 {
+			g.ds.Web.MetaRefreshHost(secHost, mainURL)
+		} else {
+			g.ds.Web.RedirectHost(secHost, mainURL)
+		}
+		p1, p2 := g.pdbOrgID(), g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p1, title(nm), ""))
+		g.ds.PDB.AddOrg(orgFor(p2, title(nm)+" Legacy", ""))
+		g.addNet(p1, mainASN, title(nm), "", "", mainURL)
+		g.addNet(p2, secASN, title(nm)+" Legacy", "", "", "https://"+secHost+"/")
+	case SigNotesAka:
+		// The main network's notes (or aka) report the sibling.
+		p1, p2 := g.pdbOrgID(), g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p1, title(nm), ""))
+		g.ds.PDB.AddOrg(orgFor(p2, title(nm)+" II", ""))
+		aka, notes := "", ""
+		if g.rng.Intn(3) == 0 {
+			aka = siblingAka([]asnum.ASN{secASN}, g.rng)
+		} else {
+			notes = siblingNotes([]asnum.ASN{secASN}, g.rng)
+		}
+		g.addNet(p1, mainASN, title(nm), aka, notes, "")
+		g.addNet(p2, secASN, title(nm)+" II", "", "", "")
+		g.ds.Truth.NERSiblings[mainASN] = []asnum.ASN{secASN}
+		g.ds.Truth.NERKind[mainASN] = RecordSiblingText
+		g.countSibling++
+	case SigFavicon:
+		// Two distinct final URLs share one brand icon.
+		icon := fmt.Sprintf("site:funit%d", idx)
+		g.ds.Truth.registerIcon(icon, IconCompany)
+		var h1, h2 string
+		if idx%2 == 0 {
+			// Same brand label across TLDs (step-1 territory).
+			h1 = g.host("www." + nm + ".com")
+			h2 = g.host("www." + nm + ".net")
+			g.countSameBrand++
+		} else {
+			// Claro-style label variation (step-2 territory).
+			h1 = g.host("www." + nm + ".com")
+			h2 = g.host("www." + nm + "br.com")
+			g.countDiffRecover++
+		}
+		g.ds.Web.AddSite(h1, icon)
+		g.ds.Web.AddSite(h2, icon)
+		p1, p2 := g.pdbOrgID(), g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p1, title(nm), ""))
+		g.ds.PDB.AddOrg(orgFor(p2, title(nm)+" BR", ""))
+		g.addNet(p1, mainASN, title(nm), "", "", "https://"+h1+"/")
+		g.addNet(p2, secASN, title(nm)+" BR", "", "", "https://"+h2+"/")
+	}
+}
+
+// buildClassifierCorpus tops the favicon-group population up to the
+// §5.3 composition: ~280 same-brand company groups, ~38 recoverable
+// different-label company groups, ~5 unrecoverable ones, ~116 framework
+// groups, and the single step-1 false positive.
+func (g *gen) buildClassifierCorpus() {
+	idx := 20000
+
+	// Same-brand company groups (step 1).
+	for g.countSameBrand < g.t.sameBrandCompany {
+		nm := g.company(idx)
+		idx++
+		size := 2 + g.rng.Intn(4)
+		icon := "site:sb-" + nm
+		g.ds.Truth.registerIcon(icon, IconCompany)
+		g.sameOrgSites(nm, icon, sameBrandHosts(nm, size, g))
+		g.countSameBrand++
+	}
+	// Recoverable different-label groups (step 2, Claro-style).
+	for g.countDiffRecover < g.t.diffRecoverTotal {
+		nm := g.company(idx)
+		idx++
+		icon := "site:dr-" + nm
+		g.ds.Truth.registerIcon(icon, IconCompany)
+		hosts := []string{
+			g.host("www." + nm + ".com"),
+			g.host("www." + nm + "cl.com"),
+		}
+		if g.rng.Intn(2) == 0 {
+			hosts = append(hosts, g.host("www."+nm+"mx.com"))
+		}
+		g.sameOrgSites(nm, icon, hosts)
+		g.countDiffRecover++
+	}
+	// Unrecoverable company groups (DE-CIX style natural FNs).
+	for g.countDiffUnrecover < g.t.diffUnrecoverable {
+		nmA, nmB := g.company(idx), g.company(idx+1)
+		idx += 2
+		icon := "site:du-" + nmA
+		g.ds.Truth.registerIcon(icon, IconCompany)
+		g.sameOrgSites(nmA, icon, []string{
+			g.host("www." + nmA + ".com"),
+			g.host("www." + nmB + ".net"),
+		})
+		g.countDiffUnrecover++
+	}
+	// Framework default-icon groups: unrelated sites, shared icon.
+	fwKeys := make([]string, 0, len(simllm.FrameworkNames))
+	for k := range simllm.FrameworkNames {
+		fwKeys = append(fwKeys, k)
+	}
+	sort.Strings(fwKeys)
+	for g.countFramework < g.t.frameworkGroups {
+		fw := fwKeys[g.countFramework%len(fwKeys)]
+		variant := g.countFramework / len(fwKeys) % (simllm.FrameworkVariants - 1)
+		icon := simllm.FrameworkVariantIconID(fw, variant)
+		g.ds.Truth.registerIcon(icon, IconFramework)
+		size := 3 + g.rng.Intn(3)
+		for s := 0; s < size; s++ {
+			nm := g.company(idx)
+			idx++
+			h := g.host("www." + nm + "." + siteTLDs[g.rng.Intn(len(siteTLDs))])
+			g.ds.Web.AddSite(h, icon)
+			g.singletonNet(nm, "", "", "https://"+h+"/")
+		}
+		g.countFramework++
+	}
+	// The step-1 false positive: a white-label telecom portal whose
+	// deployments share both the (framework) icon and a brand label.
+	for i := 0; i < g.t.fpGroups; i++ {
+		icon := simllm.FrameworkVariantIconID("ixcsoft", simllm.FrameworkVariants-1)
+		g.ds.Truth.registerIcon(icon, IconFramework)
+		nm := g.company(idx)
+		idx++
+		h1 := g.host("www." + nm + ".com.br")
+		h2 := g.host("www." + nm + ".net.br")
+		g.ds.Web.AddSite(h1, icon)
+		g.ds.Web.AddSite(h2, icon)
+		g.singletonNet(nm+"-a", "", "", "https://"+h1+"/")
+		g.singletonNet(nm+"-b", "", "", "https://"+h2+"/")
+	}
+}
+
+func sameBrandHosts(nm string, size int, g *gen) []string {
+	hosts := make([]string, 0, size)
+	for s := 0; s < size; s++ {
+		hosts = append(hosts, g.host("www."+nm+"."+siteTLDs[s%len(siteTLDs)]))
+	}
+	return hosts
+}
+
+// sameOrgSites creates one true org whose networks serve the given
+// hosts with a shared favicon.
+func (g *gen) sameOrgSites(nm, icon string, hosts []string) {
+	asns := make([]asnum.ASN, 0, len(hosts))
+	for range hosts {
+		asns = append(asns, g.alloc())
+	}
+	oid := "ORG-GRP-" + strings.ToUpper(nm)
+	cc := countryPool[len(nm)%len(countryPool)]
+	g.addWHOIS(oid, title(nm), cc, asns)
+	g.ds.Truth.addOrg(&TrueOrg{Key: "grp:" + nm, Name: title(nm),
+		ASNs: asns, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+	p := g.pdbOrgID()
+	g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+	for i, h := range hosts {
+		g.ds.Web.AddSite(h, icon)
+		g.addNet(p, asns[i], fmt.Sprintf("%s-%d", title(nm), i), "", "", "https://"+h+"/")
+	}
+}
+
+// singletonNet creates a standalone true org with one WHOIS org, one
+// PDB org, and one network.
+func (g *gen) singletonNet(nm, aka, notes, website string) asnum.ASN {
+	a := g.alloc()
+	oid := "ORG-S-" + strings.ToUpper(nm)
+	cc := countryPool[int(a)%len(countryPool)]
+	g.addWHOIS(oid, title(nm), cc, []asnum.ASN{a})
+	g.ds.Truth.addOrg(&TrueOrg{Key: "s:" + nm, Name: title(nm),
+		ASNs: []asnum.ASN{a}, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+	p := g.pdbOrgID()
+	g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+	g.addNet(p, a, title(nm), aka, notes, website)
+	g.named.plainOrgs = append(g.named.plainOrgs, plainOrg{asn: a, cc: cc})
+	return a
+}
+
+// maybeSite creates a fresh website (honouring the unreachable quota)
+// while the website-bearing-net quota is unfilled, else returns "".
+func (g *gen) maybeSite(nm string, idx int) string {
+	if g.countWebsites >= g.t.websiteNets {
+		return ""
+	}
+	h := g.host("www." + nm + "." + siteTLDs[idx%len(siteTLDs)])
+	if g.countDown < g.t.downNets {
+		// Unreachable sites never surface a favicon, so they do not
+		// consume the unique-icon quota.
+		g.ds.Web.AddSite(h, "")
+		g.ds.Web.SetDown(h, true)
+		g.countDown++
+	} else {
+		g.ds.Web.AddSite(h, g.siteIcon(h))
+	}
+	return "https://" + h + "/"
+}
+
+// akaNoise renders digit-bearing aka text that is not an ASN claim.
+func (g *gen) akaNoise() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("since %d", 1950+g.rng.Intn(70))
+	case 1:
+		return fmt.Sprintf("est. %d", 1950+g.rng.Intn(70))
+	case 2:
+		return fmt.Sprintf("Canal %d", 1+g.rng.Intn(200))
+	default:
+		return fmt.Sprintf("Grupo %d", 1+g.rng.Intn(99))
+	}
+}
+
+// buildFill tops every corpus quota up: URL duplicates, the NER text
+// population, websites (including unreachable ones), PeeringDB nets,
+// WHOIS organizations with the calibrated size tail, and the APNIC
+// populations of unchanged organizations.
+func (g *gen) buildFill() {
+	idx := 40000
+
+	// Platform-pointing networks: small operators without their own
+	// sites report mainstream communication platforms in the website
+	// field (§4.3.2). Without the Appendix D blocklists these unrelated
+	// networks would fuse into spurious mega-organizations.
+	platforms := []struct{ host, icon string }{
+		{"www.facebook.com", "brand:facebook"},
+		{"github.com", "site:platform-github"},
+		{"www.linkedin.com", "site:platform-linkedin"},
+		{"discord.com", "site:platform-discord"},
+	}
+	for _, p := range platforms {
+		g.hostUsed[p.host] = true
+		g.ds.Web.AddSite(p.host, p.icon)
+	}
+	for i := 0; i < g.scaleCount(100); i++ {
+		p := platforms[i%len(platforms)]
+		nm := g.company(idx)
+		idx++
+		g.singletonNet(nm, "", "", "https://"+p.host+"/")
+	}
+
+	// URL-duplicate pairs: two nets of one org report one website.
+	for g.countDupURLs < g.t.duplicateURLs {
+		nm := g.company(idx)
+		idx++
+		a1, a2 := g.alloc(), g.alloc()
+		oid := "ORG-DUP-" + strings.ToUpper(nm)
+		cc := countryPool[idx%len(countryPool)]
+		g.addWHOIS(oid, title(nm), cc, []asnum.ASN{a1, a2})
+		g.ds.Truth.addOrg(&TrueOrg{Key: "dup:" + nm, Name: title(nm),
+			ASNs: []asnum.ASN{a1, a2}, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+		h := g.host("www." + nm + ".net")
+		g.ds.Web.AddSite(h, g.siteIcon(h))
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+		g.addNet(p, a1, title(nm), "", "", "https://"+h+"/")
+		g.addNet(p, a2, title(nm)+" II", "", "", "https://"+h+"/")
+		g.countDupURLs++
+	}
+
+	// Same-organization sibling-text records (no merge effect; they
+	// populate the Table 3 N&A counts and the Table 4 true positives).
+	for g.countSibling < g.t.siblingRecords-g.t.hardFN {
+		nm := g.company(idx)
+		idx++
+		nSib := 1
+		switch r := g.rng.Intn(100); {
+		case r >= 98:
+			nSib = 3
+		case r >= 90:
+			nSib = 2
+		}
+		asns := make([]asnum.ASN, nSib+1)
+		for i := range asns {
+			asns[i] = g.alloc()
+		}
+		oid := "ORG-SIB-" + strings.ToUpper(nm)
+		cc := countryPool[idx%len(countryPool)]
+		g.addWHOIS(oid, title(nm), cc, asns)
+		g.ds.Truth.addOrg(&TrueOrg{Key: "sib:" + nm, Name: title(nm),
+			ASNs: asns, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+		sibs := asns[1:]
+		aka, notes := "", ""
+		switch r := g.rng.Intn(100); {
+		case r < 60:
+			notes = siblingNotes(sibs, g.rng)
+		case r < 85:
+			aka = siblingAka(sibs, g.rng)
+		default:
+			notes = siblingNotes(sibs[:1], g.rng)
+			aka = siblingAka(sibs, g.rng)
+		}
+		g.addNet(p, asns[0], title(nm), aka, notes, g.maybeSite(nm, idx))
+		g.ds.Truth.NERSiblings[asns[0]] = append([]asnum.ASN(nil), sibs...)
+		g.ds.Truth.NERKind[asns[0]] = RecordSiblingText
+		g.countSibling++
+	}
+
+	// Hard false negatives: true siblings phrased as bare numbers.
+	for g.countHardFN < g.t.hardFN {
+		nm := g.company(idx)
+		idx++
+		a1, a2 := g.alloc(), g.alloc()
+		oid := "ORG-HFN-" + strings.ToUpper(nm)
+		g.addWHOIS(oid, title(nm), "US", []asnum.ASN{a1, a2})
+		g.ds.Truth.addOrg(&TrueOrg{Key: "hfn:" + nm, Name: title(nm),
+			ASNs: []asnum.ASN{a1, a2}, WHOISOrgs: []string{oid}, Countries: []string{"US"}})
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+		g.addNet(p, a1, title(nm), "", hardFNNotes(a2, g.rng), "")
+		g.ds.Truth.NERSiblings[a1] = []asnum.ASN{a2}
+		g.ds.Truth.NERKind[a1] = RecordHardFN
+		g.countHardFN++
+	}
+
+	// Hard false positives: explicit-but-wrong sibling claims.
+	for g.countHardFP < g.t.hardFP {
+		nm := g.company(idx)
+		idx++
+		victim := g.singletonNet(nm+"-victim", "", "", "")
+		claimer := g.alloc()
+		oid := "ORG-HFP-" + strings.ToUpper(nm)
+		g.addWHOIS(oid, title(nm), "US", []asnum.ASN{claimer})
+		g.ds.Truth.addOrg(&TrueOrg{Key: "hfp:" + nm, Name: title(nm),
+			ASNs: []asnum.ASN{claimer}, WHOISOrgs: []string{oid}, Countries: []string{"US"}})
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, title(nm), ""))
+		g.addNet(p, claimer, title(nm), "", hardFPNotes(victim, g.rng), "")
+		g.ds.Truth.NERKind[claimer] = RecordHardFP
+		g.countHardFP++
+	}
+
+	// Numeric noise records.
+	numericSoFar := func() int {
+		return g.countSibling + g.countHardFN + g.countHardFP + g.countNumericNoise
+	}
+	for numericSoFar() < g.t.numericRecords {
+		nm := g.company(idx)
+		idx++
+		aka, notes := "", ""
+		switch r := g.rng.Intn(100); {
+		case r < 70:
+			notes = noiseNotes(g.rng)
+		case r < 95:
+			aka = g.akaNoise()
+		default:
+			notes = noiseNotes(g.rng)
+			aka = g.akaNoise()
+		}
+		a := g.singletonNet(nm, aka, notes, g.maybeSite(nm, idx))
+		g.ds.Truth.NERKind[a] = RecordNoiseText
+		g.countNumericNoise++
+	}
+
+	// Non-numeric text records.
+	for g.countNonNumeric < g.t.textRecords-g.t.numericRecords {
+		nm := g.company(idx)
+		idx++
+		a := g.singletonNet(nm, "", nonNumericText(g.rng), g.maybeSite(nm, idx))
+		g.ds.Truth.NERKind[a] = RecordNonNumeric
+	}
+
+	// Website fill, including the unreachable share.
+	for g.countWebsites < g.t.websiteNets {
+		nm := g.company(idx)
+		idx++
+		h := g.host("www." + nm + "." + siteTLDs[idx%len(siteTLDs)])
+		if g.countDown < g.t.downNets {
+			g.ds.Web.AddSite(h, "")
+			g.ds.Web.SetDown(h, true)
+			g.countDown++
+		} else {
+			g.ds.Web.AddSite(h, g.siteIcon(h))
+		}
+		g.singletonNet(nm, "", "", "https://"+h+"/")
+	}
+
+	// PeeringDB net fill: plain networks.
+	for g.ds.PDB.NumNets() < g.t.pdbNets {
+		nm := g.company(idx)
+		idx++
+		g.singletonNet(nm, "", "", "")
+	}
+
+	// WHOIS fill: multi-AS filler organizations consume the remaining
+	// (ASNs − orgs) surplus, then singletons pad the org count.
+	remASNs := g.t.whoisASNs - g.ds.WHOIS.NumASNs()
+	remOrgs := g.t.whoisOrgs - g.ds.WHOIS.NumOrgs()
+	extras := remASNs - remOrgs
+	for extras > 0 && remOrgs > 1 {
+		size := 2
+		for g.rng.Float64() < 0.45 && size < 50 {
+			size += 1 + g.rng.Intn(3)
+		}
+		if size-1 > extras {
+			size = extras + 1
+		}
+		nm := g.company(idx)
+		idx++
+		asns := make([]asnum.ASN, size)
+		for i := range asns {
+			asns[i] = g.alloc()
+		}
+		cc := countryPool[idx%len(countryPool)]
+		oid := "ORG-M-" + strings.ToUpper(nm)
+		g.addWHOIS(oid, title(nm), cc, asns)
+		g.ds.Truth.addOrg(&TrueOrg{Key: "m:" + nm, Name: title(nm),
+			ASNs: asns, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+		g.named.plainOrgs = append(g.named.plainOrgs, plainOrg{asn: asns[0], cc: cc})
+		extras -= size - 1
+		remOrgs--
+	}
+	for g.ds.WHOIS.NumOrgs() < g.t.whoisOrgs {
+		nm := fmt.Sprintf("tail%d", idx)
+		idx++
+		a := g.alloc()
+		cc := countryPool[int(a)%len(countryPool)]
+		oid := "ORG-T-" + strings.ToUpper(nm)
+		g.addWHOIS(oid, title(nm), cc, []asnum.ASN{a})
+		g.ds.Truth.addOrg(&TrueOrg{Key: "t:" + nm, Name: title(nm),
+			ASNs: []asnum.ASN{a}, WHOISOrgs: []string{oid}, Countries: []string{cc}})
+		g.named.plainOrgs = append(g.named.plainOrgs, plainOrg{asn: a, cc: cc})
+	}
+
+	g.fillUnchangedUsers()
+}
+
+// fillUnchangedUsers distributes the remaining global population over
+// unchanged organizations so that the Table 7 means reproduce.
+func (g *gen) fillUnchangedUsers() {
+	quota := g.t.unchangedOrgs
+	if quota > len(g.named.plainOrgs) {
+		quota = len(g.named.plainOrgs)
+	}
+	actualChanged := g.t.changedAS2Org + g.t.changedMarginal
+	budget := g.t.totalUsers - actualChanged
+	if budget < 0 || quota == 0 {
+		return
+	}
+	weights := make([]float64, quota)
+	var sum float64
+	for i := range weights {
+		// Heavy tail: mostly small eyeball counts, occasional large.
+		w := 0.1 + g.rng.Float64()
+		if g.rng.Intn(20) == 0 {
+			w *= 25
+		}
+		weights[i] = w
+		sum += w
+	}
+	var given int64
+	for i := 0; i < quota; i++ {
+		var u int64
+		if i == quota-1 {
+			u = budget - given
+		} else {
+			u = int64(float64(budget) * weights[i] / sum)
+		}
+		given += u
+		g.users(g.named.plainOrgs[i].asn, g.named.plainOrgs[i].cc, u)
+	}
+}
+
+// buildRanking materialises AS-Rank: named wants first, then unit
+// tiers, then unranked singletons pad to the ranking size.
+func (g *gen) buildRanking() {
+	ranked := make(map[asnum.ASN]bool)
+	for _, p := range g.named.pendingRanks {
+		if ranked[p.asn] {
+			continue
+		}
+		r := g.rank(p.want)
+		cone := g.t.whoisASNs / (r + 9)
+		if cone < 1 {
+			cone = 1
+		}
+		if err := g.ds.ASRank.Add(asrank.Entry{Rank: r, ASN: p.asn, ConeSize: cone}); err == nil {
+			ranked[p.asn] = true
+		}
+	}
+	for _, a := range g.ds.WHOIS.ASNs() {
+		if g.ds.ASRank.Len() >= g.t.rankSize {
+			break
+		}
+		if ranked[a] {
+			continue
+		}
+		r := g.rank(1)
+		cone := g.t.whoisASNs / (r + 9)
+		if cone < 1 {
+			cone = 1
+		}
+		if err := g.ds.ASRank.Add(asrank.Entry{Rank: r, ASN: a, ConeSize: cone}); err == nil {
+			ranked[a] = true
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+)
+
+// pendingRank defers AS-Rank assignment until all entities exist.
+type pendingRank struct {
+	asn  asnum.ASN
+	want int
+}
+
+// namedState tracks cross-phase bookkeeping populated by the named
+// builders and consumed by the anonymous-unit budget maths.
+type namedState struct {
+	pendingRanks []pendingRank
+	// plainOrgs are candidate (first ASN, country) rows for the
+	// "unchanged" APNIC population.
+	plainOrgs []plainOrg
+	// named changed-org budgets already consumed.
+	namedChanged  int
+	namedAS2Org   int64
+	namedMarginal int64
+	// singleton favicon count (site:… icons used once).
+	uniqueIcons int
+}
+
+type plainOrg struct {
+	asn asnum.ASN
+	cc  string
+}
+
+// label derives the domain brand label from a conglomerate key:
+// "deutsche-telekom" → "deutschetelekom".
+func label(key string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(key, "-", ""), ".", "")
+}
+
+// countriesFor deterministically picks n distinct countries for entity
+// index i.
+func (g *gen) countriesFor(i, n int) []string {
+	if n > len(countryPool) {
+		n = len(countryPool)
+	}
+	start := (i * 7) % len(countryPool)
+	out := make([]string, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, countryPool[(start+j)%len(countryPool)])
+	}
+	return out
+}
+
+// congIcon returns the favicon identity for a conglomerate.
+func congIcon(spec CongSpec) string {
+	if spec.BrandKey != "" {
+		return "brand:" + spec.BrandKey
+	}
+	return "site:cong-" + spec.Key
+}
+
+// buildConglomerates embeds the named international conglomerates with
+// their Table 8 / Table 9 targets.
+func (g *gen) buildConglomerates() {
+	for i, spec := range conglomerates {
+		g.buildConglomerate(i, spec)
+	}
+}
+
+func (g *gen) buildConglomerate(i int, spec CongSpec) {
+	lbl := label(spec.Key)
+	ccs := g.countriesFor(i, spec.CountriesBorges)
+	sameLabelStyle := i%2 == 0
+
+	org := &TrueOrg{Key: "cong:" + spec.Key, Name: spec.Name, Countries: ccs}
+
+	// Main subsidiary: the organization AS2Org already sees.
+	mainASNs := []asnum.ASN{g.claim(spec.MainASN)}
+	for k := 1; k < spec.MainASNs; k++ {
+		mainASNs = append(mainASNs, g.alloc())
+	}
+	mainOID := fmt.Sprintf("ORG-%s-MAIN", strings.ToUpper(lbl))
+	g.addWHOIS(mainOID, spec.Name, ccs[0], mainASNs)
+	org.ASNs = append(org.ASNs, mainASNs...)
+	org.WHOISOrgs = append(org.WHOISOrgs, mainOID)
+
+	// Main APNIC rows: UsersAS2Org split over the first
+	// CountriesAS2Org countries, cycling over the main ASNs.
+	mainSplit := g.splitUsers(spec.UsersAS2Org, spec.CountriesAS2Org)
+	for c := 0; c < spec.CountriesAS2Org; c++ {
+		g.users(mainASNs[c%len(mainASNs)], ccs[c], mainSplit[c])
+	}
+
+	// Main website + PeeringDB org.
+	mainHost := g.host("www." + lbl + ".com")
+	icon := congIcon(spec)
+	g.ds.Web.AddSite(mainHost, icon)
+	g.ds.Truth.registerIcon(icon, IconCompany)
+	mainPDB := g.pdbOrgID()
+	g.ds.PDB.AddOrg(orgFor(mainPDB, spec.Name, "https://"+mainHost))
+	mainURL := "https://" + mainHost + "/"
+	for k, a := range mainASNs {
+		site := ""
+		if k == 0 {
+			site = mainURL
+		}
+		g.addNet(mainPDB, a, fmt.Sprintf("%s AS%d", spec.Name, uint32(a)), "", "", site)
+	}
+
+	// Secondary subsidiaries. Enough subsidiaries are created that no
+	// single one outweighs the main organization — the main must remain
+	// "the largest prior group" (§6.1's marginal-growth definition).
+	numSubs := spec.CountriesBorges - spec.CountriesAS2Org
+	if numSubs < 1 {
+		numSubs = 1
+	}
+	if marginal := spec.UsersBorges - spec.UsersAS2Org; marginal > 0 && spec.UsersAS2Org > 0 {
+		need := int(float64(marginal)/(0.8*float64(spec.UsersAS2Org))) + 1
+		if need > numSubs {
+			numSubs = need
+		}
+	}
+	subShare := g.splitUsers(spec.UsersBorges-spec.UsersAS2Org, numSubs)
+	signals := spec.Signals
+	if len(signals) == 0 {
+		signals = allSignals
+	}
+	var naSiblings []asnum.ASN
+	faviconSites := 0
+	for j := 0; j < numSubs; j++ {
+		cc := ccs[(spec.CountriesAS2Org+j)%len(ccs)]
+		mask := signals[j%len(signals)]
+		subASNs := make([]asnum.ASN, 0, spec.SubASNs)
+		for k := 0; k < spec.SubASNs; k++ {
+			subASNs = append(subASNs, g.alloc())
+		}
+		subOID := fmt.Sprintf("ORG-%s-%s-%d", strings.ToUpper(lbl), cc, j)
+		subName := fmt.Sprintf("%s %s", spec.Name, cc)
+		g.addWHOIS(subOID, subName, cc, subASNs)
+		org.ASNs = append(org.ASNs, subASNs...)
+		org.WHOISOrgs = append(org.WHOISOrgs, subOID)
+		g.users(subASNs[0], cc, subShare[j])
+
+		// PeeringDB object for the subsidiary's lead network.
+		pdbOrg := mainPDB
+		if !mask.Has(SigOIDP) {
+			pdbOrg = g.pdbOrgID()
+			g.ds.PDB.AddOrg(orgFor(pdbOrg, subName, ""))
+		}
+		website := ""
+		switch {
+		case mask.Has(SigRR):
+			switch g.rng.Intn(4) {
+			case 0: // reports the main URL outright
+				website = mainURL
+				g.countDupURLs++
+			case 1: // meta refresh to the main site
+				h := g.host("www." + lbl + "-" + strings.ToLower(cc) + ".com")
+				g.ds.Web.MetaRefreshHost(h, mainURL)
+				website = "https://" + h + "/"
+			default: // HTTP acquisition redirect
+				h := g.host("www." + lbl + "-" + strings.ToLower(cc) + ".net")
+				g.ds.Web.RedirectHost(h, mainURL)
+				website = "https://" + h + "/"
+			}
+		case mask.Has(SigFavicon):
+			var h string
+			if sameLabelStyle {
+				h = g.host("www." + lbl + "." + strings.ToLower(cc))
+			} else {
+				h = g.host("www." + lbl + strings.ToLower(cc) + ".com")
+			}
+			g.ds.Web.AddSite(h, icon)
+			website = "https://" + h + "/"
+			faviconSites++
+		}
+		if mask.Has(SigNotesAka) {
+			naSiblings = append(naSiblings, subASNs[0])
+		}
+		g.addNet(pdbOrg, subASNs[0], subName, "", "", website)
+	}
+
+	// The main network's notes report the N&A-linked subsidiaries
+	// (the Deutsche Telekom pattern of Fig. 4).
+	if len(naSiblings) > 0 {
+		notes := siblingNotes(naSiblings, g.rng)
+		g.setNetText(mainASNs[0], "", notes)
+		g.ds.Truth.NERSiblings[mainASNs[0]] = append([]asnum.ASN(nil), naSiblings...)
+		g.ds.Truth.NERKind[mainASNs[0]] = RecordSiblingText
+		g.countSibling++
+	}
+	if faviconSites > 0 {
+		if sameLabelStyle {
+			g.countSameBrand++
+		} else {
+			g.countDiffRecover++
+		}
+	}
+
+	g.ds.Truth.addOrg(org)
+	g.named.namedChanged++
+	g.named.namedAS2Org += spec.UsersAS2Org
+	g.named.namedMarginal += spec.UsersBorges - spec.UsersAS2Org
+	if spec.TopRank > 0 {
+		g.named.pendingRanks = append(g.named.pendingRanks, pendingRank{mainASNs[0], spec.TopRank})
+	}
+}
+
+// buildHypergiants embeds the 16 hypergiants of §6.1 with the Figure 9
+// gains, including the Edgecast/Limelight consolidation through edg.io.
+func (g *gen) buildHypergiants() {
+	// The shared destination of the Edgio merger.
+	edgHost := g.host("www.edg.io")
+	g.ds.Web.AddSite(edgHost, "brand:edgio")
+	g.ds.Truth.registerIcon("brand:edgio", IconCompany)
+	edgioOrg := &TrueOrg{Key: "hg:edgio", Name: "Edgio"}
+
+	for i, spec := range hypergiants {
+		asns := []asnum.ASN{g.claim(spec.ASN)}
+		for k := 1; k < spec.BaseASNs; k++ {
+			asns = append(asns, g.alloc())
+		}
+		oid := fmt.Sprintf("ORG-HG-%s", strings.ToUpper(label(spec.Key)))
+		g.addWHOIS(oid, spec.Name, "US", asns)
+
+		pdbOrg := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(pdbOrg, spec.Name, ""))
+		var website string
+		isEdgio := spec.Key == "edgecast" || spec.Key == "limelight"
+		if isEdgio {
+			// Both legacy brands redirect to edg.io (Fig. 5a).
+			h := g.host("www." + label(spec.Key) + "-cdn.com")
+			g.ds.Web.RedirectHost(h, "https://"+edgHost+"/")
+			website = "https://" + h + "/"
+			edgioOrg.ASNs = append(edgioOrg.ASNs, asns...)
+			edgioOrg.WHOISOrgs = append(edgioOrg.WHOISOrgs, oid)
+		} else {
+			h := g.host("www." + label(spec.Key) + ".com")
+			icon := "site:hg-" + spec.Key
+			if spec.BrandKey != "" {
+				icon = "brand:" + spec.BrandKey
+			}
+			g.ds.Web.AddSite(h, icon)
+			g.ds.Truth.registerIcon(icon, IconCompany)
+			website = "https://" + h + "/"
+		}
+		g.addNet(pdbOrg, asns[0], spec.Name, "", "", website)
+
+		org := &TrueOrg{Key: "hg:" + spec.Key, Name: spec.Name,
+			ASNs: asns, WHOISOrgs: []string{oid}, Countries: []string{"US"}}
+
+		// The Figure 9 gain unit, attached via the configured signal.
+		if spec.Gain > 0 && !isEdgio {
+			gainASNs := make([]asnum.ASN, 0, spec.Gain)
+			for k := 0; k < spec.Gain; k++ {
+				gainASNs = append(gainASNs, g.alloc())
+			}
+			gainOID := oid + "-UNIT"
+			g.addWHOIS(gainOID, spec.Name+" Unit", "US", gainASNs)
+			org.ASNs = append(org.ASNs, gainASNs...)
+			org.WHOISOrgs = append(org.WHOISOrgs, gainOID)
+			switch spec.GainSignal {
+			case SigOIDP:
+				g.addNet(pdbOrg, gainASNs[0], spec.Name+" Unit", "", "", "")
+			case SigNotesAka:
+				g.setNetText(asns[0], "", siblingNotes(gainASNs[:1], g.rng))
+				g.ds.Truth.NERSiblings[asns[0]] = gainASNs[:1]
+				g.ds.Truth.NERKind[asns[0]] = RecordSiblingText
+				g.countSibling++
+				unitOrg := g.pdbOrgID()
+				g.ds.PDB.AddOrg(orgFor(unitOrg, spec.Name+" Unit", ""))
+				g.addNet(unitOrg, gainASNs[0], spec.Name+" Unit", "", "", "")
+			case SigFavicon:
+				unitOrg := g.pdbOrgID()
+				g.ds.PDB.AddOrg(orgFor(unitOrg, spec.Name+" Cloud", ""))
+				h := g.host("www." + label(spec.Key) + "cloud.com")
+				g.ds.Web.AddSite(h, "brand:"+spec.BrandKey)
+				g.addNet(unitOrg, gainASNs[0], spec.Name+" Cloud", "", "", "https://"+h+"/")
+				g.countDiffRecover++
+			}
+		}
+		if !isEdgio {
+			g.ds.Truth.addOrg(org)
+		}
+		if spec.TopRank > 0 {
+			g.named.pendingRanks = append(g.named.pendingRanks, pendingRank{asns[0], spec.TopRank})
+		}
+		_ = i
+	}
+	g.ds.Truth.addOrg(edgioOrg)
+}
+
+// buildSpecials embeds the remaining named structures: the US DoD (the
+// largest WHOIS organization, 973 networks), ISC (the largest PeeringDB
+// organization, 82 networks), and the DE-CIX family whose shared favicon
+// the classifier cannot resolve (§5.3's reported failure mode).
+func (g *gen) buildSpecials() {
+	// US DoD: WHOIS only.
+	dod := make([]asnum.ASN, 0, g.t.dodASNs)
+	for i := 0; i < g.t.dodASNs; i++ {
+		dod = append(dod, g.alloc())
+	}
+	g.addWHOIS("DNIC-ARIN", "DoD Network Information Center", "US", dod)
+	g.ds.Truth.addOrg(&TrueOrg{Key: "special:dod", Name: "DoD Network Information Center",
+		ASNs: dod, WHOISOrgs: []string{"DNIC-ARIN"}, Countries: []string{"US"}})
+
+	// ISC: one PeeringDB organization with many networks, one website.
+	iscASNs := make([]asnum.ASN, 0, g.t.iscNets)
+	for i := 0; i < g.t.iscNets; i++ {
+		iscASNs = append(iscASNs, g.alloc())
+	}
+	g.addWHOIS("ISC-ARIN", "Internet Systems Consortium", "US", iscASNs)
+	iscPDB := g.pdbOrgID()
+	iscHost := g.host("www.isc.org")
+	g.ds.Web.AddSite(iscHost, "site:isc")
+	g.named.uniqueIcons++
+	g.ds.PDB.AddOrg(orgFor(iscPDB, "Internet Systems Consortium", "https://"+iscHost))
+	for i, a := range iscASNs {
+		g.addNet(iscPDB, a, fmt.Sprintf("ISC-%d", i), "", "", "https://"+iscHost+"/")
+		if i > 0 {
+			g.countDupURLs++
+		}
+	}
+	g.ds.Truth.addOrg(&TrueOrg{Key: "special:isc", Name: "Internet Systems Consortium",
+		ASNs: iscASNs, WHOISOrgs: []string{"ISC-ARIN"}, Countries: []string{"US"}})
+
+	// DE-CIX and subsidiaries: same favicon, unrelated names — the
+	// classifier's designed false negative.
+	decix := &TrueOrg{Key: "special:decix", Name: "DE-CIX"}
+	hosts := []string{"www.de-cix.net", "www.aqaba-ix.com", "www.ruhr-cix.de"}
+	g.ds.Truth.registerIcon("site:decix-logo", IconCompany)
+	for _, h := range hosts {
+		a := g.alloc()
+		oid := "ORG-DECIX-" + strings.ToUpper(label(h))
+		g.addWHOIS(oid, "DE-CIX "+h, "DE", []asnum.ASN{a})
+		decix.ASNs = append(decix.ASNs, a)
+		decix.WHOISOrgs = append(decix.WHOISOrgs, oid)
+		hh := g.host(h)
+		g.ds.Web.AddSite(hh, "site:decix-logo")
+		p := g.pdbOrgID()
+		g.ds.PDB.AddOrg(orgFor(p, "DE-CIX "+h, ""))
+		g.addNet(p, a, "DE-CIX "+h, "", "", "https://"+hh+"/")
+	}
+	g.countDiffUnrecover++
+	g.ds.Truth.addOrg(decix)
+}
+
+// setNetText attaches text to an already-created PeeringDB net.
+func (g *gen) setNetText(a asnum.ASN, aka, notes string) {
+	n := g.ds.PDB.NetByASN(a)
+	if n == nil {
+		return
+	}
+	cp := *n
+	cp.Aka = aka
+	cp.Notes = notes
+	g.ds.PDB.AddNet(cp)
+}
+
+func orgFor(id int, name, website string) peeringdb.Org {
+	return peeringdb.Org{ID: id, Name: name, Website: website}
+}

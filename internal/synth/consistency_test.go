@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/simllm"
+)
+
+// TestEngineMatchesTruthOnEveryRecord runs the extraction engine over
+// every generated text record — not the Table 4 subsample — and demands
+// per-kind agreement with ground truth. This is the contract that keeps
+// the text generator and the cue lexicons from drifting apart: a new
+// template that accidentally triggers (or dodges) a cue fails here
+// immediately.
+func TestEngineMatchesTruthOnEveryRecord(t *testing.T) {
+	ds, err := Generate(Config{Seed: 9, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, n := range ds.PDB.Nets() {
+		kind, ok := ds.Truth.NERKind[n.ASN]
+		if !ok {
+			continue
+		}
+		got, _ := simllm.ExtractSiblings(n.Notes, n.Aka)
+		truth := ds.Truth.NERSiblings[n.ASN]
+		checked++
+		switch kind {
+		case RecordSiblingText:
+			if !equalASNs(got, truth) {
+				t.Errorf("%v (%s): extracted %v, truth %v\nnotes=%q aka=%q",
+					n.ASN, kind, got, truth, n.Notes, n.Aka)
+			}
+		case RecordNoiseText, RecordNonNumeric:
+			if len(got) != 0 {
+				t.Errorf("%v (%s): spurious extraction %v\nnotes=%q aka=%q",
+					n.ASN, kind, got, n.Notes, n.Aka)
+			}
+		case RecordHardFN:
+			if len(got) != 0 {
+				t.Errorf("%v (%s): designed miss was extracted: %v\nnotes=%q",
+					n.ASN, kind, got, n.Notes)
+			}
+		case RecordHardFP:
+			if len(got) == 0 {
+				t.Errorf("%v (%s): designed over-extraction missing\nnotes=%q",
+					n.ASN, kind, n.Notes)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d labelled records checked", checked)
+	}
+}
+
+func equalASNs(a, b []asnum.ASN) bool {
+	as := asnum.Dedup(append([]asnum.ASN(nil), a...))
+	bs := asnum.Dedup(append([]asnum.ASN(nil), b...))
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNoiseTemplatesNeverExtract hammers every noise generator with many
+// seeds: no rendering may ever produce a sibling extraction.
+func TestNoiseTemplatesNeverExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 2000; i++ {
+		notes := noiseNotes(rng)
+		if got, _ := simllm.ExtractSiblings(notes, ""); len(got) != 0 {
+			t.Fatalf("noise notes extracted %v: %q", got, notes)
+		}
+	}
+	g := &gen{rng: rng, cfg: Config{Scale: 1}, t: scaled(Config{Scale: 1})}
+	for i := 0; i < 2000; i++ {
+		aka := g.akaNoise()
+		if got, _ := simllm.ExtractSiblings("", aka); len(got) != 0 {
+			t.Fatalf("noise aka extracted %v: %q", got, aka)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		text := nonNumericText(rng)
+		if got, _ := simllm.ExtractSiblings(text, ""); len(got) != 0 {
+			t.Fatalf("non-numeric text extracted %v: %q", got, text)
+		}
+	}
+}
+
+// TestSiblingTemplatesAlwaysExtract hammers the sibling generator: every
+// rendering must yield exactly the listed siblings (decoy upstream
+// sections included).
+func TestSiblingTemplatesAlwaysExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 2000; i++ {
+		nSib := 1 + rng.Intn(3)
+		siblings := make([]asnum.ASN, nSib)
+		for j := range siblings {
+			siblings[j] = asnum.ASN(200000 + rng.Intn(100000))
+		}
+		siblings = asnum.Dedup(siblings)
+		var got []asnum.ASN
+		if rng.Intn(2) == 0 {
+			got, _ = simllm.ExtractSiblings(siblingNotes(siblings, rng), "")
+		} else {
+			got, _ = simllm.ExtractSiblings("", siblingAka(siblings, rng))
+		}
+		if !equalASNs(got, siblings) {
+			t.Fatalf("sibling rendering mismatch: got %v want %v", got, siblings)
+		}
+	}
+}
+
+// TestHardCaseTemplates verifies the designed failure modes directly.
+func TestHardCaseTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 500; i++ {
+		sib := asnum.ASN(300000 + rng.Intn(1000))
+		if got, _ := simllm.ExtractSiblings(hardFNNotes(sib, rng), ""); len(got) != 0 {
+			t.Fatalf("hard-FN rendering was extracted: %v", got)
+		}
+		wrong := asnum.ASN(400000 + rng.Intn(1000))
+		got, _ := simllm.ExtractSiblings(hardFPNotes(wrong, rng), "")
+		if len(got) != 1 || got[0] != wrong {
+			t.Fatalf("hard-FP rendering not extracted as designed: %v", got)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package synth
+
+import "github.com/nu-aqualab/borges/internal/asnum"
+
+// CongSpec describes one named international conglomerate embedded in
+// the corpus with the user-population and footprint targets of Tables 8
+// and 9. The "main" subsidiary is the organization AS2Org already sees
+// (the largest prior group); the remaining subsidiaries are what Borges
+// must attach to it.
+type CongSpec struct {
+	// Key is the stable identifier; BrandKey selects a simllm-known
+	// logo ("" = unknown logo).
+	Key, Name, BrandKey string
+	// MainASN anchors the main subsidiary (0 = allocate).
+	MainASN asnum.ASN
+	// UsersAS2Org is the main subsidiary's user population (Table 8
+	// AS2Org column); UsersBorges is the whole conglomerate's (Borges
+	// column). Zero for companies without eyeball users.
+	UsersAS2Org, UsersBorges int64
+	// CountriesAS2Org is the number of countries the main subsidiary
+	// serves; CountriesBorges the whole conglomerate (Table 9).
+	CountriesAS2Org, CountriesBorges int
+	// MainASNs / SubASNs: networks in the main org and per secondary
+	// subsidiary.
+	MainASNs, SubASNs int
+	// Signals: which features can discover each secondary subsidiary's
+	// link to the main org. Cycled across subsidiaries.
+	Signals []SignalMask
+	// TopRank places the main ASN in AS-Rank when > 0.
+	TopRank int
+}
+
+// SignalMask marks which Borges features link a subsidiary to its
+// conglomerate.
+type SignalMask uint8
+
+// Signal bits.
+const (
+	SigOIDP SignalMask = 1 << iota
+	SigNotesAka
+	SigRR
+	SigFavicon
+)
+
+// Has reports whether the mask contains sig.
+func (m SignalMask) Has(sig SignalMask) bool { return m&sig != 0 }
+
+// allSignals cycles subsidiaries through rich multi-signal coverage.
+var allSignals = []SignalMask{
+	SigOIDP | SigRR | SigFavicon,
+	SigRR | SigFavicon,
+	SigOIDP | SigNotesAka,
+	SigFavicon | SigOIDP,
+	SigRR,
+	SigOIDP,
+	SigNotesAka | SigFavicon,
+	SigRR | SigOIDP | SigNotesAka | SigFavicon,
+}
+
+// conglomerates is the named-company registry. User numbers are the
+// Table 8 rows; country counts the Table 9 rows; companies appearing in
+// only one table get defaults for the other.
+var conglomerates = []CongSpec{
+	{Key: "deutsche-telekom", Name: "Deutsche Telekom", BrandKey: "deutsche-telekom", MainASN: 3320,
+		UsersAS2Org: 24_779_378, UsersBorges: 46_420_443, CountriesAS2Org: 3, CountriesBorges: 14,
+		MainASNs: 4, SubASNs: 2, TopRank: 12},
+	{Key: "telkom-indonesia", Name: "Telkom Indonesia", BrandKey: "telkom-indonesia", MainASN: 7713,
+		UsersAS2Org: 33_996_157, UsersBorges: 54_540_440, CountriesAS2Org: 1, CountriesBorges: 4,
+		MainASNs: 3, SubASNs: 2, TopRank: 55},
+	{Key: "charter", Name: "Charter", BrandKey: "charter", MainASN: 20115,
+		UsersAS2Org: 26_624_394, UsersBorges: 44_440_982, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 5, SubASNs: 3, TopRank: 40},
+	{Key: "virgin", Name: "Virgin", BrandKey: "virgin", MainASN: 5089,
+		UsersAS2Org: 11_539_556, UsersBorges: 25_973_469, CountriesAS2Org: 1, CountriesBorges: 3,
+		MainASNs: 3, SubASNs: 2, TopRank: 80},
+	{Key: "tigo", Name: "TIGO", BrandKey: "tigo", MainASN: 27882,
+		UsersAS2Org: 2_792_759, UsersBorges: 15_736_350, CountriesAS2Org: 2, CountriesBorges: 9,
+		MainASNs: 2, SubASNs: 1, TopRank: 93},
+	{Key: "claro", Name: "Claro", BrandKey: "claro", MainASN: 27995,
+		UsersAS2Org: 6_274_692, UsersBorges: 18_257_599, CountriesAS2Org: 1, CountriesBorges: 6,
+		MainASNs: 2, SubASNs: 1, TopRank: 64},
+	{Key: "orange", Name: "Orange", BrandKey: "orange", MainASN: 5511,
+		UsersAS2Org: 8_983_260, UsersBorges: 18_711_548, CountriesAS2Org: 2, CountriesBorges: 5,
+		MainASNs: 3, SubASNs: 2, TopRank: 15},
+	{Key: "cablevision-mx", Name: "Cablevision Mexico", BrandKey: "cablevision-mx", MainASN: 28548,
+		UsersAS2Org: 5_992_157, UsersBorges: 12_977_362, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 2, TopRank: 320},
+	{Key: "iliad", Name: "Free (Iliad)", BrandKey: "iliad", MainASN: 12322,
+		UsersAS2Org: 7_085_849, UsersBorges: 13_183_971, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 2, TopRank: 130},
+	{Key: "telefonica", Name: "Telefonica", BrandKey: "telefonica", MainASN: 12956,
+		UsersAS2Org: 11_147_816, UsersBorges: 17_239_924, CountriesAS2Org: 2, CountriesBorges: 4,
+		MainASNs: 4, SubASNs: 2, TopRank: 18},
+	{Key: "lg-powercomm", Name: "LG Powercomm", BrandKey: "lg-powercomm", MainASN: 17858,
+		UsersAS2Org: 6_689_237, UsersBorges: 12_683_677, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 2, TopRank: 210},
+	{Key: "chunghwa", Name: "Chunghwa Telecom", BrandKey: "chunghwa", MainASN: 3462,
+		UsersAS2Org: 7_276_335, UsersBorges: 12_104_016, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 3, SubASNs: 2, TopRank: 150},
+	{Key: "telecom-hulum", Name: "Telecom Hulum", BrandKey: "telecom-hulum", MainASN: 48832,
+		UsersAS2Org: 12_875_363, UsersBorges: 17_124_563, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 1, TopRank: 400},
+	{Key: "claro-brasil", Name: "Claro Brasil", BrandKey: "claro-brasil", MainASN: 28573,
+		UsersAS2Org: 16_912_676, UsersBorges: 20_917_350, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 3, SubASNs: 2, TopRank: 75},
+	{Key: "act-fibernet", Name: "ACT Fibernet", BrandKey: "act-fibernet", MainASN: 24309,
+		UsersAS2Org: 4_007_919, UsersBorges: 7_925_537, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 1, TopRank: 500},
+	{Key: "jcom", Name: "J:COM (Japan)", BrandKey: "jcom", MainASN: 9824,
+		UsersAS2Org: 4_945_904, UsersBorges: 7_905_008, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 1, TopRank: 600},
+	{Key: "telia", Name: "Telia", BrandKey: "telia", MainASN: 1299,
+		UsersAS2Org: 3_159_568, UsersBorges: 5_713_328, CountriesAS2Org: 2, CountriesBorges: 4,
+		MainASNs: 3, SubASNs: 1, TopRank: 3},
+	{Key: "brm", Name: "BRM (Brasil)", BrandKey: "brm", MainASN: 28126,
+		UsersAS2Org: 10_055_599, UsersBorges: 12_248_262, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 1, TopRank: 700},
+	{Key: "gigamais", Name: "GigaMais Telecom", BrandKey: "gigamais", MainASN: 53006,
+		UsersAS2Org: 1_071_147, UsersBorges: 3_134_677, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 2, SubASNs: 1, TopRank: 800},
+	{Key: "telenor", Name: "Telenor", BrandKey: "telenor", MainASN: 2119,
+		UsersAS2Org: 2_415_632, UsersBorges: 4_415_607, CountriesAS2Org: 1, CountriesBorges: 3,
+		MainASNs: 2, SubASNs: 1, TopRank: 90},
+
+	// Table 9 footprint-growth companies without Table 8 rows: small
+	// per-country user counts, wide country coverage.
+	{Key: "digicel", Name: "Digicel", BrandKey: "digicel", MainASN: 23520,
+		UsersAS2Org: 820_000, UsersBorges: 2_350_000, CountriesAS2Org: 4, CountriesBorges: 25,
+		MainASNs: 4, SubASNs: 1, TopRank: 450},
+	{Key: "zscaler", Name: "Zscaler", BrandKey: "zscaler", MainASN: 22616,
+		UsersAS2Org: 110_000, UsersBorges: 290_000, CountriesAS2Org: 16, CountriesBorges: 28,
+		MainASNs: 6, SubASNs: 1, TopRank: 900},
+	{Key: "ntt", Name: "NTT", BrandKey: "ntt", MainASN: 2914,
+		UsersAS2Org: 2_650_000, UsersBorges: 4_100_000, CountriesAS2Org: 2, CountriesBorges: 11,
+		MainASNs: 4, SubASNs: 1, TopRank: 2},
+	{Key: "packethub", Name: "PacketHub", BrandKey: "", MainASN: 62240,
+		UsersAS2Org: 95_000, UsersBorges: 160_000, CountriesAS2Org: 61, CountriesBorges: 70,
+		MainASNs: 5, SubASNs: 1, TopRank: 1500},
+	{Key: "columbus", Name: "Columbus Networks", BrandKey: "columbus", MainASN: 23487,
+		UsersAS2Org: 640_000, UsersBorges: 1_410_000, CountriesAS2Org: 5, CountriesBorges: 13,
+		MainASNs: 3, SubASNs: 1, TopRank: 350},
+	{Key: "cable-wireless", Name: "Cable & Wireless", BrandKey: "cable-wireless", MainASN: 1273,
+		UsersAS2Org: 1_950_000, UsersBorges: 3_260_000, CountriesAS2Org: 7, CountriesBorges: 14,
+		MainASNs: 3, SubASNs: 1, TopRank: 25},
+	{Key: "mainone", Name: "MainOne", BrandKey: "mainone", MainASN: 37282,
+		UsersAS2Org: 310_000, UsersBorges: 740_000, CountriesAS2Org: 3, CountriesBorges: 9,
+		MainASNs: 2, SubASNs: 1, TopRank: 1100},
+	{Key: "cogent", Name: "Cogent", BrandKey: "cogent", MainASN: 174,
+		UsersAS2Org: 1_150_000, UsersBorges: 1_730_000, CountriesAS2Org: 18, CountriesBorges: 24,
+		MainASNs: 5, SubASNs: 1, TopRank: 4},
+	{Key: "leaseweb", Name: "Leaseweb", BrandKey: "leaseweb", MainASN: 60626,
+		UsersAS2Org: 86_000, UsersBorges: 215_000, CountriesAS2Org: 3, CountriesBorges: 9,
+		MainASNs: 3, SubASNs: 1, TopRank: 1300},
+	{Key: "latitude-sh", Name: "Latitude Sh", BrandKey: "", MainASN: 262287,
+		UsersAS2Org: 120_000, UsersBorges: 185_000, CountriesAS2Org: 16, CountriesBorges: 21,
+		MainASNs: 4, SubASNs: 1, TopRank: 2500},
+	{Key: "xtom", Name: "xTom GmbH", BrandKey: "", MainASN: 3214,
+		UsersAS2Org: 54_000, UsersBorges: 130_000, CountriesAS2Org: 4, CountriesBorges: 9,
+		MainASNs: 3, SubASNs: 1, TopRank: 2800},
+	{Key: "contabo", Name: "Contabo", BrandKey: "contabo", MainASN: 51167,
+		UsersAS2Org: 140_000, UsersBorges: 230_000, CountriesAS2Org: 15, CountriesBorges: 20,
+		MainASNs: 3, SubASNs: 1, TopRank: 1800},
+	{Key: "softlayer", Name: "SoftLayer", BrandKey: "softlayer", MainASN: 36351,
+		UsersAS2Org: 230_000, UsersBorges: 420_000, CountriesAS2Org: 7, CountriesBorges: 11,
+		MainASNs: 4, SubASNs: 1, TopRank: 220},
+	{Key: "uninett", Name: "UNINETT", BrandKey: "", MainASN: 224,
+		UsersAS2Org: 480_000, UsersBorges: 960_000, CountriesAS2Org: 1, CountriesBorges: 5,
+		MainASNs: 2, SubASNs: 1, TopRank: 1900},
+	{Key: "iboss", Name: "IBOSS", BrandKey: "", MainASN: 137922,
+		UsersAS2Org: 61_000, UsersBorges: 118_000, CountriesAS2Org: 3, CountriesBorges: 6,
+		MainASNs: 2, SubASNs: 1, TopRank: 3200},
+	{Key: "misaka", Name: "Misaka", BrandKey: "", MainASN: 57695,
+		UsersAS2Org: 42_000, UsersBorges: 99_000, CountriesAS2Org: 2, CountriesBorges: 5,
+		MainASNs: 2, SubASNs: 1, TopRank: 3600},
+
+	// Flagship merger stories used throughout the paper.
+	{Key: "lumen", Name: "Lumen", BrandKey: "lumen", MainASN: 3356,
+		UsersAS2Org: 9_850_000, UsersBorges: 14_230_000, CountriesAS2Org: 2, CountriesBorges: 4,
+		MainASNs: 4, SubASNs: 3, TopRank: 1,
+		Signals: []SignalMask{SigOIDP | SigRR, SigOIDP}},
+	{Key: "t-mobile", Name: "T-Mobile US", BrandKey: "t-mobile", MainASN: 21928,
+		UsersAS2Org: 18_420_000, UsersBorges: 21_730_000, CountriesAS2Org: 1, CountriesBorges: 2,
+		MainASNs: 3, SubASNs: 2, TopRank: 110,
+		Signals: []SignalMask{SigRR}},
+	{Key: "vodafone", Name: "Vodafone", BrandKey: "vodafone", MainASN: 12730,
+		UsersAS2Org: 6_120_000, UsersBorges: 9_870_000, CountriesAS2Org: 2, CountriesBorges: 6,
+		MainASNs: 3, SubASNs: 1, TopRank: 35},
+}
+
+// HGSpec describes one hypergiant (Figure 9).
+type HGSpec struct {
+	Key, Name, BrandKey string
+	ASN                 asnum.ASN
+	// BaseASNs is the AS2Org-visible organization size; Gain is the
+	// extra networks Borges attaches (0 = unchanged).
+	BaseASNs, Gain int
+	// GainSignal selects the feature that discovers the gain.
+	GainSignal SignalMask
+	TopRank    int
+}
+
+// hypergiants is the 16-company list of §6.1 with the Figure 9 deltas:
+// Edgecast +9 (consolidation with Limelight via the edg.io redirect),
+// Google +3, Microsoft +1, Amazon +1.
+var hypergiants = []HGSpec{
+	{Key: "akamai", Name: "Akamai", BrandKey: "akamai", ASN: 20940, BaseASNs: 12, TopRank: 7},
+	{Key: "amazon", Name: "Amazon", BrandKey: "amazon", ASN: 16509, BaseASNs: 9, Gain: 1, GainSignal: SigFavicon, TopRank: 8},
+	{Key: "apple", Name: "Apple", BrandKey: "apple", ASN: 714, BaseASNs: 3, TopRank: 160},
+	{Key: "facebook", Name: "Facebook", BrandKey: "facebook", ASN: 32934, BaseASNs: 4, TopRank: 45},
+	{Key: "google", Name: "Google", BrandKey: "google", ASN: 15169, BaseASNs: 7, Gain: 3, GainSignal: SigOIDP, TopRank: 5},
+	{Key: "netflix", Name: "Netflix", BrandKey: "netflix", ASN: 2906, BaseASNs: 2, TopRank: 140},
+	{Key: "yahoo", Name: "Yahoo!", BrandKey: "", ASN: 10310, BaseASNs: 6, TopRank: 170},
+	{Key: "ovh", Name: "OVH", BrandKey: "", ASN: 16276, BaseASNs: 4, TopRank: 60},
+	{Key: "limelight", Name: "Limelight", BrandKey: "edgio", ASN: 22822, BaseASNs: 9, TopRank: 100},
+	{Key: "microsoft", Name: "Microsoft", BrandKey: "microsoft", ASN: 8075, BaseASNs: 8, Gain: 1, GainSignal: SigNotesAka, TopRank: 9},
+	{Key: "twitter", Name: "Twitter", BrandKey: "", ASN: 13414, BaseASNs: 2, TopRank: 420},
+	{Key: "twitch", Name: "Twitch", BrandKey: "", ASN: 46489, BaseASNs: 2, TopRank: 430},
+	{Key: "cloudflare", Name: "Cloudflare", BrandKey: "cloudflare", ASN: 13335, BaseASNs: 3, TopRank: 11},
+	{Key: "edgecast", Name: "EdgeCast", BrandKey: "edgio", ASN: 15133, BaseASNs: 3, Gain: 9, GainSignal: SigRR, TopRank: 105},
+	{Key: "booking", Name: "Booking.com", BrandKey: "", ASN: 43996, BaseASNs: 2, TopRank: 1200},
+	{Key: "spotify", Name: "Spotify", BrandKey: "", ASN: 8403, BaseASNs: 2, TopRank: 1000},
+}
+
+// countryPool provides country codes for subsidiary allocation.
+var countryPool = []string{
+	"US", "DE", "GB", "FR", "ES", "IT", "NL", "PL", "AT", "CH", "SE", "NO",
+	"DK", "FI", "PT", "GR", "CZ", "SK", "HU", "RO", "HR", "BR", "AR", "CL",
+	"PE", "CO", "MX", "DO", "PR", "EC", "BO", "PY", "UY", "GT", "SV", "HN",
+	"NI", "CR", "PA", "JM", "TT", "BB", "HT", "GY", "SR", "BZ", "LC", "VC",
+	"GD", "DM", "KN", "AG", "BS", "JP", "KR", "TW", "CN", "HK", "SG", "MY",
+	"TH", "VN", "PH", "ID", "IN", "BD", "PK", "LK", "NP", "AU", "NZ", "FJ",
+	"PG", "ZA", "NG", "GH", "KE", "TZ", "UG", "EG", "MA", "TN", "SN", "CI",
+	"CM", "AO", "MZ", "TR", "SA", "AE", "QA", "KW", "BH", "OM", "JO", "LB",
+	"IL", "UA", "KZ", "BY", "RS", "BG", "SI", "LT", "LV", "EE", "IS", "IE",
+	"BE", "LU", "MT", "CY", "AL", "MK", "BA", "ME", "MD", "GE", "AM", "AZ",
+}
+
+// Hypergiants returns the embedded hypergiant registry (read-only).
+func Hypergiants() []HGSpec { return append([]HGSpec(nil), hypergiants...) }
+
+// Conglomerates returns the embedded conglomerate registry (read-only).
+func Conglomerates() []CongSpec { return append([]CongSpec(nil), conglomerates...) }

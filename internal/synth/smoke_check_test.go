@@ -1,0 +1,36 @@
+package synth
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeFullScale prints full-scale corpus statistics; run with
+//
+//	go test ./internal/synth/ -run TestSmokeFullScale -v -tags smoke
+func TestSmokeFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t0 := time.Now()
+	ds, err := Generate(Config{Seed: 1, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("generate:", time.Since(t0))
+	t.Log("WHOIS ASNs:", ds.WHOIS.NumASNs(), "orgs:", ds.WHOIS.NumOrgs())
+	t.Log("PDB nets:", ds.PDB.NumNets(), "orgs:", ds.PDB.NumOrgs())
+	text, numeric := 0, 0
+	for _, n := range ds.PDB.Nets() {
+		if n.HasText() {
+			text++
+			if hasDigits(n.Notes) || hasDigits(n.Aka) {
+				numeric++
+			}
+		}
+	}
+	t.Log("text:", text, "numeric:", numeric)
+	t.Log("websites:", len(ds.PDB.NetsWithWebsite()), "sites:", ds.Web.NumSites())
+	t.Log("APNIC total:", ds.APNIC.TotalUsers(), "records:", ds.APNIC.Len())
+	t.Log("ranking:", ds.ASRank.Len(), "true orgs:", ds.Truth.NumOrgs())
+}

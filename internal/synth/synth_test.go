@@ -1,0 +1,300 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+const testScale = 0.05
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(Config{Seed: 3, Scale: testScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{Scale: 0.0001}); err == nil {
+		t.Error("tiny scale should fail")
+	}
+	if _, err := Generate(Config{Scale: 100}); err == nil {
+		t.Error("huge scale should fail")
+	}
+	// Defaults are applied without error at a small explicit scale.
+	if _, err := Generate(Config{Seed: 0, Scale: 0.01}); err != nil {
+		t.Errorf("defaulted seed should generate: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(Config{Seed: 5, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 5, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WHOIS.NumASNs() != b.WHOIS.NumASNs() || a.PDB.NumNets() != b.PDB.NumNets() {
+		t.Fatal("same seed produced different corpora")
+	}
+	for _, asn := range a.WHOIS.ASNs()[:100] {
+		ra, rb := a.WHOIS.AS(asn), b.WHOIS.AS(asn)
+		if rb == nil || ra.OrgID != rb.OrgID {
+			t.Fatalf("ASN %v differs across identical seeds", asn)
+		}
+	}
+	if a.APNIC.TotalUsers() != b.APNIC.TotalUsers() {
+		t.Error("APNIC totals differ across identical seeds")
+	}
+	// Different seeds must differ somewhere.
+	c, err := Generate(Config{Seed: 6, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.APNIC.TotalUsers() == a.APNIC.TotalUsers() && c.PDB.NumOrgs() == a.PDB.NumOrgs() {
+		// Totals are calibrated so they may match; check the web layout.
+		same := true
+		for _, n := range a.PDB.NetsWithWebsite()[:50] {
+			m := c.PDB.NetByASN(n.ASN)
+			if m == nil || m.Website != n.Website {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestScaledTargets(t *testing.T) {
+	ds := testDataset(t)
+	tol := func(got, want int, name string) {
+		t.Helper()
+		w := int(float64(want) * testScale)
+		lo, hi := w-w/10-10, w+w/10+10
+		if got < lo || got > hi {
+			t.Errorf("%s = %d, want ≈%d (scaled from %d)", name, got, w, want)
+		}
+	}
+	tol(ds.WHOIS.NumASNs(), 117431, "WHOIS ASNs")
+	tol(ds.WHOIS.NumOrgs(), 95300, "WHOIS orgs")
+	tol(ds.PDB.NumNets(), 30955, "PDB nets")
+	// PDB org count drifts more at small scales: the named multi-net
+	// organizations are embedded in full regardless of scale.
+	pdbOrgTarget := 27712
+	if got, w := ds.PDB.NumOrgs(), int(float64(pdbOrgTarget)*testScale); got < w-w/4 || got > w+w/4 {
+		t.Errorf("PDB orgs = %d, want ≈%d ±25%%", got, w)
+	}
+	tol(len(ds.PDB.NetsWithText()), 17633, "text records")
+	tol(len(ds.PDB.NetsWithWebsite()), 26225, "website records")
+}
+
+func TestEveryPDBNetHasWHOISRecord(t *testing.T) {
+	ds := testDataset(t)
+	for _, n := range ds.PDB.Nets() {
+		if ds.WHOIS.AS(n.ASN) == nil {
+			t.Fatalf("PDB net %v missing from WHOIS (universe must cover it)", n.ASN)
+		}
+	}
+}
+
+func TestTruthConsistency(t *testing.T) {
+	ds := testDataset(t)
+	// Every WHOIS ASN belongs to exactly one true org, and the org
+	// lists it back.
+	for _, a := range ds.WHOIS.ASNs() {
+		org := ds.Truth.OrgOf(a)
+		if org == nil {
+			t.Fatalf("ASN %v has no ground-truth org", a)
+		}
+		found := false
+		for _, m := range org.ASNs {
+			if m == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("org %s does not list its member %v", org.Key, a)
+		}
+	}
+	// True orgs never share ASNs.
+	seen := map[asnum.ASN]string{}
+	for _, org := range ds.Truth.Orgs() {
+		for _, a := range org.ASNs {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("ASN %v in both %s and %s", a, prev, org.Key)
+			}
+			seen[a] = org.Key
+		}
+	}
+}
+
+func TestNERTruthLabels(t *testing.T) {
+	ds := testDataset(t)
+	var siblings, noise, hardFN, hardFP int
+	for a, kind := range ds.Truth.NERKind {
+		net := ds.PDB.NetByASN(a)
+		switch kind {
+		case RecordSiblingText, RecordHardFN:
+			if len(ds.Truth.NERSiblings[a]) == 0 {
+				t.Errorf("%v labelled %v but has no truth siblings", a, kind)
+			}
+			if net == nil || !net.HasText() {
+				t.Errorf("%v labelled %v but has no text", a, kind)
+			}
+			if kind == RecordHardFN {
+				hardFN++
+			} else {
+				siblings++
+			}
+		case RecordNoiseText:
+			noise++
+			if len(ds.Truth.NERSiblings[a]) != 0 {
+				t.Errorf("noise record %v has truth siblings", a)
+			}
+		case RecordHardFP:
+			hardFP++
+		}
+		// Truth siblings must belong to the record's own true org
+		// (except hard-FP records, which claim wrongly by design).
+		if kind == RecordSiblingText || kind == RecordHardFN {
+			for _, sib := range ds.Truth.NERSiblings[a] {
+				if !ds.Truth.SameOrg(a, sib) {
+					t.Errorf("record %v claims %v but truth disagrees", a, sib)
+				}
+			}
+		}
+	}
+	if siblings == 0 || noise == 0 || hardFN == 0 || hardFP == 0 {
+		t.Errorf("label counts: sibling=%d noise=%d hardFN=%d hardFP=%d",
+			siblings, noise, hardFN, hardFP)
+	}
+}
+
+func TestNamedEntitiesPresent(t *testing.T) {
+	ds := testDataset(t)
+	for _, spec := range Conglomerates() {
+		org := ds.Truth.Org("cong:" + spec.Key)
+		if org == nil {
+			t.Errorf("conglomerate %s missing", spec.Key)
+			continue
+		}
+		if len(org.WHOISOrgs) < 2 {
+			t.Errorf("%s has %d WHOIS orgs, want ≥2 (it must be mergeable)",
+				spec.Key, len(org.WHOISOrgs))
+		}
+		if got := ds.APNIC.UsersOfSet(org.ASNs); got != spec.UsersBorges {
+			t.Errorf("%s users = %d, want %d", spec.Key, got, spec.UsersBorges)
+		}
+		if got := len(ds.APNIC.CountriesOfSet(org.ASNs)); got != spec.CountriesBorges {
+			t.Errorf("%s countries = %d, want %d", spec.Key, got, spec.CountriesBorges)
+		}
+	}
+	for _, hg := range Hypergiants() {
+		if ds.Truth.OrgOf(hg.ASN) == nil {
+			t.Errorf("hypergiant %s (AS%d) missing", hg.Key, uint32(hg.ASN))
+		}
+	}
+	// Edgecast and Limelight share one true org.
+	if !ds.Truth.SameOrg(15133, 22822) {
+		t.Error("Edgecast and Limelight must share a true org")
+	}
+	// The DoD org is the largest WHOIS org.
+	dod := ds.Truth.Org("special:dod")
+	if dod == nil || len(dod.ASNs) < 10 {
+		t.Errorf("DoD org malformed: %+v", dod)
+	}
+}
+
+func TestWebUniverseServesReportedSites(t *testing.T) {
+	ds := testDataset(t)
+	missing := 0
+	for _, n := range ds.PDB.NetsWithWebsite() {
+		host := hostOf(n.Website)
+		if host == "" {
+			t.Errorf("net %v has unparsable website %q", n.ASN, n.Website)
+			continue
+		}
+		if !ds.Web.HasHost(host) {
+			missing++
+			if missing < 5 {
+				t.Errorf("website %q of %v not in the universe", n.Website, n.ASN)
+			}
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d reported websites missing from the universe", missing)
+	}
+}
+
+func hostOf(u string) string {
+	s := u
+	if i := indexOf(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' || s[i] == ':' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestIconTruthRegistered(t *testing.T) {
+	ds := testDataset(t)
+	// Probe known identities of both kinds.
+	for _, id := range []string{"brand:claro", "brand:edgio", "site:decix-logo"} {
+		if k, ok := ds.Truth.IconKindOf(IconHash(id)); !ok || k != IconCompany {
+			t.Errorf("%s should be a registered company icon", id)
+		}
+	}
+	if k, ok := ds.Truth.IconKindOf(IconHash("framework:bootstrap#0")); !ok || k != IconFramework {
+		t.Error("framework variant icon should be registered as framework")
+	}
+	if _, ok := ds.Truth.IconKindOf("not-a-hash"); ok {
+		t.Error("unknown hash should not resolve")
+	}
+}
+
+func TestRankingStructure(t *testing.T) {
+	ds := testDataset(t)
+	if ds.ASRank.Len() == 0 {
+		t.Fatal("empty ranking")
+	}
+	entries := ds.ASRank.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Rank <= entries[i-1].Rank {
+			t.Fatal("ranks not strictly increasing")
+		}
+	}
+	// Named top entities appear near the top.
+	if r := ds.ASRank.RankOf(3356); r == 0 || r > 5 {
+		t.Errorf("Lumen rank = %d, want ≤5", r)
+	}
+}
+
+func TestRecordKindString(t *testing.T) {
+	kinds := []RecordKind{RecordNoText, RecordNonNumeric, RecordSiblingText,
+		RecordNoiseText, RecordHardFN, RecordHardFP, RecordKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", k)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// Text generation for the PeeringDB notes and aka fields. The corpus
+// mixes the idioms observed in real PeeringDB data: multilingual sibling
+// declarations (the Deutsche Telekom pattern of Fig. 4), upstream
+// connectivity listings (the Maxihost pattern of Listing 1), and plain
+// operational noise containing digits (phone numbers, years, street
+// addresses, prefix limits).
+
+// siblingTemplates phrase a sibling declaration. %s expands to an
+// "AS<digits>[, AS<digits>…]" listing.
+var siblingTemplates = []string{
+	"Our subsidiaries include %s.",
+	"We also operate %s under the same organization.",
+	"Sister networks: %s, all part of the same company.",
+	"This network belongs to the same organization as %s.",
+	"Formerly independent; merged with %s in a recent acquisition.",
+	"Part of our group of networks together with %s.",
+	"Esta red pertenece a la misma organización que %s.",
+	"Somos parte del mismo grupo que %s.",
+	"También operamos %s, filial de la misma empresa.",
+	"Rede do mesmo grupo que %s.",
+	"Também operamos %s, mesma organização.",
+	"Wir sind eine Tochtergesellschaft; %s gehört zu unserem Konzern.",
+	"Diese Netze sind Teil der gleichen Unternehmen: %s.",
+	"Cette société est une filiale; %s fait partie du même groupe.",
+	"Nous opérons aussi %s, même groupe.",
+	"Questa rete appartiene a la stessa organizzazione di %s.",
+}
+
+// upstreamHeaderTemplates introduce a connectivity listing.
+var upstreamHeaderTemplates = []string{
+	"We connect directly with the following ISPs,",
+	"Upstream providers:",
+	"Transit is provided by the following carriers:",
+	"Nossos provedores de trânsito:",
+	"Nuestros proveedores de tránsito:",
+	"Peering with the following networks at multiple IXPs:",
+}
+
+// upstreamNames feed the listing lines.
+var upstreamNames = []string{
+	"Algar", "Sparkle", "Voxility", "GTT", "Cogent", "Lumen", "Arelion",
+	"Zayo", "HE", "Telia", "NTT", "Orange", "PCCW", "Telxius", "Seaborn",
+}
+
+// noiseTemplates carry digits with no sibling meaning.
+var noiseTemplates = []string{
+	"Contact our NOC: phone +%d (%d) %d-%d, available 24/7.",
+	"Founded in %d, we serve residential and business customers.",
+	"Max prefixes accepted: %d (IPv4) / %d (IPv6).",
+	"Visit us at %d Market Street, Suite %d.",
+	"Established %d. Copyright %d.",
+	"Peak traffic: %d Gbps across %d ports.",
+	"MTU %d supported on all peering ports, VLAN %d available.",
+	"Oficina central: Avenida Principal %d, CP %d.",
+	"NOC IP: 192.0.2.%d, looking glass on port %d.",
+	"as-in: %d:100 announces customers; as-out: %d:200.",
+}
+
+// nonNumericTemplates are text fields without any digit (input-filter
+// fodder).
+var nonNumericTemplates = []string{
+	"Regional internet service provider focused on residential fiber.",
+	"Content delivery and cloud hosting. Peering policy: open.",
+	"Please send peering requests to noc at our domain.",
+	"Wholesale transit and IP services across the region.",
+	"Proveedor regional de servicios de internet.",
+	"Provedor regional de acesso à internet.",
+	"Regionaler Internetanbieter für Privat- und Geschäftskunden.",
+	"Open peering policy; we prefer bilateral sessions at IXPs.",
+	"Family-owned ISP serving rural communities since the nineties.",
+}
+
+// asnList renders ASNs as "AS1, AS2 and AS3" style text.
+func asnList(asns []asnum.ASN, rng *rand.Rand) string {
+	parts := make([]string, len(asns))
+	for i, a := range asns {
+		if rng.Intn(4) == 0 {
+			parts[i] = fmt.Sprintf("AS %d", uint32(a))
+		} else {
+			parts[i] = a.String()
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return strings.Join(parts[:len(parts)-1], ", ") + " and " + parts[len(parts)-1]
+}
+
+// siblingNotes renders a notes field that truly reports the given
+// siblings (expected TP for the NER engine).
+func siblingNotes(siblings []asnum.ASN, rng *rand.Rand) string {
+	tpl := siblingTemplates[rng.Intn(len(siblingTemplates))]
+	text := fmt.Sprintf(tpl, asnList(siblings, rng))
+	// Sometimes prepend innocuous prose.
+	if rng.Intn(3) == 0 {
+		text = nonNumericTemplates[rng.Intn(len(nonNumericTemplates))] + "\n\n" + text
+	}
+	// Sometimes append an upstream section after a blank line; its
+	// ASNs must NOT be extracted.
+	if rng.Intn(4) == 0 {
+		text += "\n\n" + upstreamListing(rng, 2+rng.Intn(3))
+	}
+	return text
+}
+
+// siblingAka renders an aka field listing sibling ASNs.
+func siblingAka(siblings []asnum.ASN, rng *rand.Rand) string {
+	parts := make([]string, 0, len(siblings)+1)
+	if rng.Intn(2) == 0 {
+		parts = append(parts, "NetGroup")
+	}
+	for _, a := range siblings {
+		// Bare digits read as brand suffixes for small values, so only
+		// large ASNs are ever listed without the AS prefix.
+		if rng.Intn(3) == 0 && uint32(a) >= 256 {
+			parts = append(parts, fmt.Sprintf("%d", uint32(a)))
+		} else {
+			parts = append(parts, a.String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// upstreamListing renders a Maxihost-style connectivity section whose
+// ASNs are decoys.
+func upstreamListing(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString(upstreamHeaderTemplates[rng.Intn(len(upstreamHeaderTemplates))])
+	for i := 0; i < n; i++ {
+		name := upstreamNames[rng.Intn(len(upstreamNames))]
+		fmt.Fprintf(&b, "\n- %s (AS%d)", name, 100+rng.Intn(65000))
+	}
+	return b.String()
+}
+
+// noiseNotes renders numeric text with no sibling content (expected TN).
+func noiseNotes(rng *rand.Rand) string {
+	if rng.Intn(4) == 0 {
+		return upstreamListing(rng, 2+rng.Intn(4))
+	}
+	tpl := noiseTemplates[rng.Intn(len(noiseTemplates))]
+	nums := []any{
+		1 + rng.Intn(99), 100 + rng.Intn(900), 100 + rng.Intn(900),
+		1000 + rng.Intn(9000),
+	}
+	switch strings.Count(tpl, "%d") {
+	case 2:
+		if strings.Contains(tpl, "Founded") || strings.Contains(tpl, "Established") {
+			return fmt.Sprintf(tpl, 1950+rng.Intn(70), 2000+rng.Intn(25))
+		}
+		return fmt.Sprintf(tpl, nums[2], nums[3])
+	case 1:
+		return fmt.Sprintf(tpl, 1950+rng.Intn(70))
+	default:
+		return fmt.Sprintf(tpl, nums...)
+	}
+}
+
+// hardFNNotes phrases a true sibling so obliquely that a careful reader
+// declines to extract it: a bare number with no affiliation cue (the
+// paper's AT&T example, where the reported relationship is missed).
+func hardFNNotes(sibling asnum.ASN, rng *rand.Rand) string {
+	tpls := []string{
+		"Additional registration: %d. Peering policy selective.",
+		"Secondary number on file: %d. Contact noc for details.",
+		"See record %d for the remainder of our infrastructure.",
+	}
+	return fmt.Sprintf(tpls[rng.Intn(len(tpls))], uint32(sibling))
+}
+
+// hardFPNotes explicitly-but-wrongly claims an unrelated ASN as a
+// sibling (the paper's PACNET/HKBN example: the text is extracted
+// correctly, the claim itself is wrong).
+func hardFPNotes(wrongSibling asnum.ASN, rng *rand.Rand) string {
+	tpls := []string{
+		"Our sister network %s operates the metro ring.",
+		"This network belongs to the same organization as %s.",
+		"We also operate %s under the same organization.",
+	}
+	return fmt.Sprintf(tpls[rng.Intn(len(tpls))], wrongSibling.String())
+}
+
+// nonNumericText renders a digit-free field.
+func nonNumericText(rng *rand.Rand) string {
+	return nonNumericTemplates[rng.Intn(len(nonNumericTemplates))]
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+// RecordKind labels a PeeringDB text record for the Table 4 evaluation.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// RecordNoText marks records without notes/aka text.
+	RecordNoText RecordKind = iota
+	// RecordNonNumeric marks text without digits (input-filter drops).
+	RecordNonNumeric
+	// RecordSiblingText marks numeric text that truly reports sibling
+	// ASNs in an extractable form (expected TP).
+	RecordSiblingText
+	// RecordNoiseText marks numeric text with no sibling content
+	// (expected TN): phones, years, addresses, upstream lists.
+	RecordNoiseText
+	// RecordHardFN marks sibling content phrased so that a careful
+	// reader rejects it (bare numbers, buried context) — the paper's
+	// AT&T AS7132 failure mode. Expected extraction: nothing.
+	RecordHardFN
+	// RecordHardFP marks text that explicitly-but-wrongly claims an
+	// unrelated ASN as a sibling — the paper's PACNET/HKBN failure
+	// mode. Expected extraction: the wrong ASN.
+	RecordHardFP
+)
+
+// String implements fmt.Stringer.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordNoText:
+		return "no-text"
+	case RecordNonNumeric:
+		return "non-numeric"
+	case RecordSiblingText:
+		return "sibling-text"
+	case RecordNoiseText:
+		return "noise-text"
+	case RecordHardFN:
+		return "hard-fn"
+	case RecordHardFP:
+		return "hard-fp"
+	default:
+		return "unknown"
+	}
+}
+
+// IconKind labels a favicon group for the Table 5 evaluation.
+type IconKind uint8
+
+// Icon kinds.
+const (
+	// IconCompany marks an icon genuinely shared by one company.
+	IconCompany IconKind = iota
+	// IconFramework marks a default icon of a web technology shared by
+	// unrelated sites.
+	IconFramework
+)
+
+// TrueOrg is one ground-truth organization.
+type TrueOrg struct {
+	// Key is a stable identifier ("cong:claro", "tail:123", …).
+	Key string
+	// Name is the display name.
+	Name string
+	// ASNs are all member networks.
+	ASNs []asnum.ASN
+	// WHOISOrgs are the OID_W identifiers the org fragments into.
+	WHOISOrgs []string
+	// Countries are the ISO country codes where the org has users.
+	Countries []string
+}
+
+// GroundTruth is the oracle the evaluation harness scores against.
+type GroundTruth struct {
+	orgOf map[asnum.ASN]*TrueOrg
+	orgs  map[string]*TrueOrg
+
+	// NERSiblings maps a record's ASN to the sibling ASNs its text
+	// truly reports (nil for noise records). Only set for records with
+	// numeric text.
+	NERSiblings map[asnum.ASN][]asnum.ASN
+	// NERKind labels each PDB net's record for Table 4 accounting.
+	NERKind map[asnum.ASN]RecordKind
+
+	// iconKind maps favicon *hashes* (hex SHA-256 of the icon bytes,
+	// as the crawler reports them) to their ground-truth kind.
+	iconKind map[string]IconKind
+}
+
+func newGroundTruth() *GroundTruth {
+	return &GroundTruth{
+		orgOf:       make(map[asnum.ASN]*TrueOrg),
+		orgs:        make(map[string]*TrueOrg),
+		NERSiblings: make(map[asnum.ASN][]asnum.ASN),
+		NERKind:     make(map[asnum.ASN]RecordKind),
+		iconKind:    make(map[string]IconKind),
+	}
+}
+
+// addOrg registers a true organization and indexes its members.
+func (g *GroundTruth) addOrg(o *TrueOrg) {
+	g.orgs[o.Key] = o
+	for _, a := range o.ASNs {
+		g.orgOf[a] = o
+	}
+}
+
+// OrgOf returns the true organization of a, or nil.
+func (g *GroundTruth) OrgOf(a asnum.ASN) *TrueOrg { return g.orgOf[a] }
+
+// Org returns the true organization with the given key, or nil.
+func (g *GroundTruth) Org(key string) *TrueOrg { return g.orgs[key] }
+
+// Orgs returns all true organizations sorted by key.
+func (g *GroundTruth) Orgs() []*TrueOrg {
+	out := make([]*TrueOrg, 0, len(g.orgs))
+	for _, o := range g.orgs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// NumOrgs returns the number of true organizations.
+func (g *GroundTruth) NumOrgs() int { return len(g.orgs) }
+
+// SameOrg reports whether two ASNs are truly under one organization.
+func (g *GroundTruth) SameOrg(a, b asnum.ASN) bool {
+	oa, ob := g.orgOf[a], g.orgOf[b]
+	return oa != nil && oa == ob
+}
+
+// registerIcon records the ground-truth kind for a websim favicon
+// identity, keyed by the hash the crawler will compute.
+func (g *GroundTruth) registerIcon(iconID string, kind IconKind) {
+	g.iconKind[IconHash(iconID)] = kind
+}
+
+// IconKindOf returns the ground-truth kind for a favicon hash.
+func (g *GroundTruth) IconKindOf(hash string) (IconKind, bool) {
+	k, ok := g.iconKind[hash]
+	return k, ok
+}
+
+// IconHash computes the hash the crawler reports for a websim favicon
+// identity (hex SHA-256 of the icon payload).
+func IconHash(iconID string) string {
+	sum := sha256.Sum256(websim.FaviconBytes(iconID))
+	return hex.EncodeToString(sum[:])
+}

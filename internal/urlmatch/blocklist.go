@@ -1,0 +1,84 @@
+package urlmatch
+
+import (
+	"sort"
+	"strings"
+)
+
+// Blocklist filters websites that do not point to a company's own web
+// presence but to mainstream communication platforms (Facebook, LinkedIn,
+// GitHub, Discord, …) or shared infrastructure. Grouping networks by such
+// URLs would link unrelated companies, so Borges removes them before
+// sibling inference (§4.3.2, Appendix D).
+type Blocklist struct {
+	labels  map[string]bool // blocked brand labels
+	domains map[string]bool // blocked registrable domains
+}
+
+// NewBlocklist builds a blocklist from blocked brand labels and blocked
+// registrable domains. Entries are lowercased.
+func NewBlocklist(labels, domains []string) *Blocklist {
+	b := &Blocklist{labels: make(map[string]bool), domains: make(map[string]bool)}
+	for _, l := range labels {
+		b.labels[strings.ToLower(l)] = true
+	}
+	for _, d := range domains {
+		b.domains[strings.ToLower(d)] = true
+	}
+	return b
+}
+
+// BlockedURL reports whether the URL's host is blocked, either by brand
+// label or by registrable domain. "bgp.tools"-style entries (containing a
+// dot) are matched against the registrable domain.
+func (b *Blocklist) BlockedURL(raw string) bool {
+	return b.BlockedHost(Host(raw))
+}
+
+// BlockedHost reports whether the host is blocked.
+func (b *Blocklist) BlockedHost(host string) bool {
+	if host == "" {
+		return true // unparsable hosts are never grouping evidence
+	}
+	if b.domains[RegistrableDomain(host)] {
+		return true
+	}
+	return b.labels[BrandLabel(host)]
+}
+
+// Labels returns the blocked brand labels, sorted.
+func (b *Blocklist) Labels() []string { return sortedKeys(b.labels) }
+
+// Domains returns the blocked registrable domains, sorted.
+func (b *Blocklist) Domains() []string { return sortedKeys(b.domains) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultSubdomainBlocklist returns the manually curated list of
+// Appendix D.1: brand labels removed from consideration when inferring
+// siblings across networks reporting the same subdomain.
+func DefaultSubdomainBlocklist() *Blocklist {
+	return NewBlocklist(
+		[]string{
+			"myspace", "github", "he", "facebook", "instagram",
+			"linkedin", "oracle", "discord", "peeringdb",
+		},
+		[]string{"bgp.tools"},
+	)
+}
+
+// DefaultFinalURLBlocklist returns the manually curated list of
+// Appendix D.2: registrable domains excluded from sibling inference when
+// used along with favicons and final-URL matching.
+func DefaultFinalURLBlocklist() *Blocklist {
+	return NewBlocklist(nil, []string{
+		"example.com", "github.com", "linkedin.com", "facebook.com", "discord.com",
+	})
+}

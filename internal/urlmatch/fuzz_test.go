@@ -1,0 +1,49 @@
+package urlmatch
+
+import "testing"
+
+// FuzzCanonicalize: accepted URLs must be stable fixed points, and the
+// function must never panic.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add("https://www.example.com/")
+	f.Add("HTTP://X.COM:80//a//b/#f")
+	f.Add("www.claro.com.do/personas/")
+	f.Add("ftp://nope")
+	f.Add("http://[::1]:8080/x?q=1")
+	f.Add("://")
+	f.Add("https://user:pass@h/p")
+	f.Fuzz(func(t *testing.T, raw string) {
+		once, err := Canonicalize(raw)
+		if err != nil {
+			return
+		}
+		twice, err := Canonicalize(once)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q → %q: %v", raw, once, err)
+		}
+		if once != twice {
+			t.Fatalf("not idempotent: %q → %q → %q", raw, once, twice)
+		}
+	})
+}
+
+// FuzzRegistrableDomain: the result is always a suffix and a fixed point.
+func FuzzRegistrableDomain(f *testing.F) {
+	f.Add("www.orange.es")
+	f.Add("a.b.c.co.uk")
+	f.Add("..")
+	f.Add("localhost")
+	f.Add("x.riau.go.id")
+	f.Fuzz(func(t *testing.T, host string) {
+		rd := RegistrableDomain(host)
+		if rd == "" {
+			return
+		}
+		if RegistrableDomain(rd) != rd {
+			t.Fatalf("not a fixed point: %q → %q → %q", host, rd, RegistrableDomain(rd))
+		}
+		if BrandLabel(host) == "" {
+			t.Fatalf("non-empty registrable domain %q but empty brand label for %q", rd, host)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package urlmatch
+
+import (
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+func TestBlocklistDefaults(t *testing.T) {
+	sub := DefaultSubdomainBlocklist()
+	blockedHosts := []string{
+		"www.facebook.com", "github.com", "he.net", "www.linkedin.com",
+		"bgp.tools", "discord.gg" /* brand label "discord" */, "www.peeringdb.com",
+	}
+	for _, h := range blockedHosts {
+		if !sub.BlockedHost(h) {
+			t.Errorf("subdomain blocklist should block %q", h)
+		}
+	}
+	allowed := []string{"www.lumen.com", "edg.io", "www.orange.es", "hetzner.de"}
+	for _, h := range allowed {
+		if sub.BlockedHost(h) {
+			t.Errorf("subdomain blocklist should allow %q", h)
+		}
+	}
+
+	fin := DefaultFinalURLBlocklist()
+	if !fin.BlockedURL("https://github.com/someorg") {
+		t.Error("final-URL blocklist should block github.com")
+	}
+	if !fin.BlockedURL("https://www.example.com/") {
+		t.Error("final-URL blocklist should block example.com subdomains")
+	}
+	if fin.BlockedURL("https://github.io/x") {
+		t.Error("github.io is not github.com")
+	}
+	if !fin.BlockedHost("") {
+		t.Error("empty host must be blocked (never grouping evidence)")
+	}
+	if len(fin.Domains()) != 5 {
+		t.Errorf("Domains() = %v", fin.Domains())
+	}
+	if got := sub.Labels(); len(got) != 9 {
+		t.Errorf("Labels() = %v", got)
+	}
+}
+
+func TestMatcherGroups(t *testing.T) {
+	m := NewMatcher(nil)
+	finals := []FinalURL{
+		// The Edgio merger: Limelight and Edgecast both land on edg.io.
+		{ASN: 22822, URL: "https://www.edg.io/"},
+		{ASN: 15133, URL: "https://www.edg.io"},
+		// A unique destination.
+		{ASN: 3356, URL: "https://www.lumen.com/"},
+		// Blocklisted platform pages must vanish.
+		{ASN: 64500, URL: "https://www.facebook.com/someisp"},
+		{ASN: 64501, URL: "https://www.facebook.com/someisp"},
+		// Unparsable URL dropped.
+		{ASN: 64502, URL: "http://[::bad"},
+		// Duplicate ASN in same group deduped.
+		{ASN: 22822, URL: "https://www.edg.io/"},
+	}
+	groups := m.Groups(finals)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %v", len(groups), groups)
+	}
+	edgio := groups["https://www.edg.io/"]
+	if len(edgio) != 2 || edgio[0] != 15133 || edgio[1] != 22822 {
+		t.Errorf("edg.io group = %v", edgio)
+	}
+	if got := groups["https://www.lumen.com/"]; len(got) != 1 || got[0] != 3356 {
+		t.Errorf("lumen group = %v", got)
+	}
+}
+
+func TestMatcherSiblingSets(t *testing.T) {
+	m := NewMatcher(nil)
+	finals := []FinalURL{
+		{ASN: 1, URL: "https://b.example.org"},
+		{ASN: 2, URL: "https://a.example.org"},
+		{ASN: 3, URL: "https://a.example.org"},
+	}
+	sets := m.SiblingSets(finals)
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2", len(sets))
+	}
+	// Deterministic URL order: a.example.org before b.example.org.
+	if sets[0].Evidence != "https://a.example.org/" || len(sets[0].ASNs) != 2 {
+		t.Errorf("first set = %+v", sets[0])
+	}
+	for _, s := range sets {
+		if s.Source != cluster.FeatureRR {
+			t.Errorf("source = %v, want R&R", s.Source)
+		}
+	}
+}
+
+func TestMatcherCustomBlocklist(t *testing.T) {
+	m := NewMatcher(NewBlocklist(nil, []string{"evil.test"}))
+	finals := []FinalURL{
+		{ASN: asnum.ASN(1), URL: "https://sub.evil.test/x"},
+		{ASN: asnum.ASN(2), URL: "https://good.test/"},
+	}
+	groups := m.Groups(finals)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if _, ok := groups["https://good.test/"]; !ok {
+		t.Errorf("good.test missing: %v", groups)
+	}
+}

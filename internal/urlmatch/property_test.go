@@ -1,0 +1,114 @@
+package urlmatch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// hostFromSeed builds a plausible hostname from fuzz bytes so the
+// property tests explore realistic inputs instead of rejecting noise.
+func hostFromSeed(labels []uint8) string {
+	words := []string{"www", "net", "claro", "orange", "isp", "telecom",
+		"cdn", "mail", "portal", "fibra"}
+	tlds := []string{"com", "net", "org", "com.br", "co.uk", "de", "es", "io", "cl", "go.id"}
+	if len(labels) == 0 {
+		return "example.com"
+	}
+	parts := make([]string, 0, 3)
+	for i := 0; i < len(labels)%3+1; i++ {
+		parts = append(parts, words[int(labels[i%len(labels)])%len(words)])
+	}
+	return strings.Join(parts, ".") + "." + tlds[int(labels[0])%len(tlds)]
+}
+
+// Canonicalize is idempotent on every URL it accepts.
+func TestCanonicalizeIdempotentProperty(t *testing.T) {
+	f := func(labels []uint8, path uint8, q bool) bool {
+		raw := "https://" + hostFromSeed(labels) + "/p" + strings.Repeat("/x", int(path%4))
+		if q {
+			raw += "?lang=es"
+		}
+		once, err := Canonicalize(raw)
+		if err != nil {
+			return true // rejection is allowed, instability is not
+		}
+		twice, err := Canonicalize(once)
+		return err == nil && once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scheme-default and case normalisation never change identity: the
+// same host spelled differently canonicalises identically.
+func TestCanonicalizeCaseInsensitiveProperty(t *testing.T) {
+	f := func(labels []uint8) bool {
+		host := hostFromSeed(labels)
+		a, err1 := Canonicalize("https://" + host + "/")
+		b, err2 := Canonicalize("HTTPS://" + strings.ToUpper(host))
+		return (err1 != nil && err2 != nil) || (err1 == nil && err2 == nil && a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RegistrableDomain is always a suffix of the host and itself a fixed
+// point of RegistrableDomain.
+func TestRegistrableDomainProperties(t *testing.T) {
+	f := func(labels []uint8) bool {
+		host := hostFromSeed(labels)
+		rd := RegistrableDomain(host)
+		if rd == "" {
+			return host == ""
+		}
+		if !strings.HasSuffix(host, rd) {
+			return false
+		}
+		return RegistrableDomain(rd) == rd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BrandLabel is always the first label of the registrable domain, and
+// stripping arbitrary subdomains never changes it.
+func TestBrandLabelStableUnderSubdomains(t *testing.T) {
+	f := func(labels []uint8, sub uint8) bool {
+		host := hostFromSeed(labels)
+		base := BrandLabel(host)
+		withSub := "x" + string(rune('a'+sub%26)) + "." + host
+		return BrandLabel(withSub) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SharedPrefixLen is symmetric, bounded by both lengths, and the
+// prefixes really match.
+func TestSharedPrefixLenProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		n := SharedPrefixLen(a, b)
+		if n != SharedPrefixLen(b, a) {
+			return false
+		}
+		if n > len(a) || n > len(b) {
+			return false
+		}
+		if a[:n] != b[:n] {
+			return false
+		}
+		// Maximality: the next byte differs (or a string ended).
+		if n < len(a) && n < len(b) && a[n] == b[n] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

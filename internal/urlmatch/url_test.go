@@ -1,0 +1,132 @@
+package urlmatch
+
+import (
+	"testing"
+)
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{"https://www.Lumen.com", "https://www.lumen.com/", false},
+		{"www.lumen.com", "https://www.lumen.com/", false},
+		{"http://WWW.EXAMPLE.com:80/a/", "http://www.example.com/a", false},
+		{"https://x.com:443/b//", "https://x.com/b", false},
+		{"https://x.com:8443/", "https://x.com:8443/", false},
+		{"https://x.com/path#frag", "https://x.com/path", false},
+		{"https://x.com/?lang=es", "https://x.com/?lang=es", false},
+		{"https://user:pw@x.com/", "https://x.com/", false},
+		{"", "", true},
+		{"   ", "", true},
+		{"ftp://x.com", "", true},
+		{"https://", "", true},
+		{"http://[::bad", "", true},
+	}
+	for _, c := range cases {
+		got, err := Canonicalize(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Canonicalize(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	urls := []string{
+		"HTTPS://WWW.Orange.ES/residential/",
+		"t.ht.hr",
+		"http://www.telekom.sk:80",
+		"https://bapenda.riau.go.id/x//",
+	}
+	for _, u := range urls {
+		once, err := Canonicalize(u)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", u, err)
+		}
+		twice, err := Canonicalize(once)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", once, err)
+		}
+		if once != twice {
+			t.Errorf("not idempotent: %q -> %q -> %q", u, once, twice)
+		}
+	}
+}
+
+func TestHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"https://www.Claro.com.do/personas/", "www.claro.com.do"},
+		{"www.clarochile.cl", "www.clarochile.cl"},
+		{"", ""},
+		{"http://[::bad", ""},
+	}
+	for _, c := range cases {
+		if got := Host(c.in); got != c.want {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.orange.es", "orange.es"},
+		{"orange.es", "orange.es"},
+		{"a.b.example.co.uk", "example.co.uk"},
+		{"www.claro.com.do", "claro.com.do"},
+		{"bapenda.riau.go.id", "bapenda.riau.go.id"},
+		{"sub.bapenda.riau.go.id", "bapenda.riau.go.id"},
+		{"www.t.ht.hr", "ht.hr"},
+		{"localhost", "localhost"},
+		{"", ""},
+		{".trailing.dots.", "dots.trailing" /* placeholder, fixed below */},
+	}
+	// Fix the trailing-dots expectation: trimming dots leaves
+	// "trailing.dots" whose registrable domain is itself.
+	cases[len(cases)-1].want = "trailing.dots"
+	for _, c := range cases {
+		if got := RegistrableDomain(c.in); got != c.want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBrandLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.orange.es", "orange"},
+		{"www.orange.pl", "orange"},
+		{"www.clarochile.cl", "clarochile"},
+		{"www.claropr.com", "claropr"},
+		{"www.claro.com.pe", "claro"},
+		{"bgp.tools", "bgp"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := BrandLabel(c.in); got != c.want {
+			t.Errorf("BrandLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := BrandLabelOfURL("https://www.orange.es/home"); got != "orange" {
+		t.Errorf("BrandLabelOfURL = %q", got)
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"clarochile", "claropr", 5},
+		{"same", "same", 4},
+		{"", "x", 0},
+		{"ab", "ba", 0},
+	}
+	for _, c := range cases {
+		if got := SharedPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("SharedPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package websim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Serialization: a Universe round-trips through a JSON-lines manifest,
+// one site per line, so a generated corpus can be persisted alongside
+// the WHOIS/PeeringDB snapshots and reloaded without regenerating.
+
+// PageManifest is the on-disk form of one page.
+type PageManifest struct {
+	Path   string `json:"path"`
+	Kind   uint8  `json:"kind"`
+	Target string `json:"target,omitempty"`
+	Status int    `json:"status,omitempty"`
+	Title  string `json:"title,omitempty"`
+	Body   string `json:"body,omitempty"`
+}
+
+// SiteManifest is the on-disk form of one host.
+type SiteManifest struct {
+	Host    string         `json:"host"`
+	Favicon string         `json:"favicon,omitempty"`
+	Down    bool           `json:"down,omitempty"`
+	Pages   []PageManifest `json:"pages,omitempty"`
+}
+
+// Export dumps every site in deterministic (host-sorted) order.
+func (u *Universe) Export() []SiteManifest {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]SiteManifest, 0, len(u.sites))
+	for host, s := range u.sites {
+		m := SiteManifest{Host: host, Favicon: s.faviconID, Down: s.down}
+		paths := make([]string, 0, len(s.pages))
+		for p := range s.pages {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			pg := s.pages[p]
+			// The default root content page is implied by AddSite and
+			// omitted to keep manifests small.
+			if p == "/" && pg.Kind == KindContent && pg.Target == "" &&
+				pg.Title == "" && pg.Body == "" && pg.Status == 0 {
+				continue
+			}
+			m.Pages = append(m.Pages, PageManifest{
+				Path: p, Kind: uint8(pg.Kind), Target: pg.Target,
+				Status: pg.Status, Title: pg.Title, Body: pg.Body,
+			})
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// WriteManifest serializes the universe as JSON lines.
+func WriteManifest(w io.Writer, u *Universe) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, site := range u.Export() {
+		if err := enc.Encode(site); err != nil {
+			return fmt.Errorf("websim: write %s: %w", site.Host, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadManifest reconstructs a universe from a manifest stream.
+func ReadManifest(r io.Reader) (*Universe, error) {
+	u := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var m SiteManifest
+		if err := json.Unmarshal([]byte(text), &m); err != nil {
+			return nil, fmt.Errorf("websim: line %d: %w", line, err)
+		}
+		if m.Host == "" {
+			return nil, fmt.Errorf("websim: line %d: site without host", line)
+		}
+		u.AddSite(m.Host, m.Favicon)
+		for _, pg := range m.Pages {
+			if PageKind(pg.Kind) > KindServerError {
+				return nil, fmt.Errorf("websim: line %d: unknown page kind %d", line, pg.Kind)
+			}
+			u.SetPage(m.Host, pg.Path, Page{
+				Kind: PageKind(pg.Kind), Target: pg.Target,
+				Status: pg.Status, Title: pg.Title, Body: pg.Body,
+			})
+		}
+		if m.Down {
+			u.SetDown(m.Host, true)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("websim: scan: %w", err)
+	}
+	return u, nil
+}

@@ -1,0 +1,104 @@
+package websim
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func manifestFixture() *Universe {
+	u := New()
+	u.AddSite("www.lumen.com", "lumen")
+	u.SetPage("www.lumen.com", "/about", Page{Kind: KindContent, Title: "About", Body: "<p>hi</p>"})
+	u.RedirectHost("www.level3.com", "https://www.lumen.com/")
+	u.MetaRefreshHost("www.sprint.com", "https://www.t-mobile.com/")
+	u.AddSite("www.t-mobile.com", "tmobile")
+	u.AddSite("down.test", "")
+	u.SetDown("down.test", true)
+	u.SetPage("err.test", "/boom", Page{Kind: KindServerError})
+	return u
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	u1 := manifestFixture()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, u1); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.NumSites() != u1.NumSites() {
+		t.Fatalf("sites: %d vs %d", u2.NumSites(), u1.NumSites())
+	}
+
+	get := func(u *Universe, url string) (*http.Response, error) {
+		req, _ := http.NewRequest("GET", url, nil)
+		return u.RoundTrip(req)
+	}
+	// Behavioural equivalence across representative requests.
+	for _, url := range []string{
+		"https://www.lumen.com/",
+		"https://www.lumen.com/about",
+		"https://www.lumen.com/favicon.ico",
+		"https://www.level3.com/",
+		"https://www.level3.com/any/path",
+		"https://www.sprint.com/",
+		"https://err.test/boom",
+		"https://err.test/",
+	} {
+		r1, e1 := get(u1, url)
+		r2, e2 := get(u2, url)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", url, e1, e2)
+		}
+		if e1 != nil {
+			continue
+		}
+		if r1.StatusCode != r2.StatusCode {
+			t.Errorf("%s: status %d vs %d", url, r1.StatusCode, r2.StatusCode)
+		}
+		if r1.Header.Get("Location") != r2.Header.Get("Location") {
+			t.Errorf("%s: location mismatch", url)
+		}
+		b1, _ := io.ReadAll(r1.Body)
+		b2, _ := io.ReadAll(r2.Body)
+		r1.Body.Close()
+		r2.Body.Close()
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: body mismatch:\n%q\nvs\n%q", url, b1, b2)
+		}
+	}
+	// Down state survives.
+	if _, err := get(u2, "https://down.test/"); err == nil {
+		t.Error("down state lost in round trip")
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := WriteManifest(&buf2, u2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("manifest not deterministic")
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	cases := []string{
+		`{bad json}`,
+		`{"pages":[]}`, // no host
+		`{"host":"x.test","pages":[{"path":"/","kind":99}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadManifest(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadManifest(%q) should fail", c)
+		}
+	}
+	u, err := ReadManifest(strings.NewReader("\n\n"))
+	if err != nil || u.NumSites() != 0 {
+		t.Errorf("empty manifest: %v %v", u, err)
+	}
+}

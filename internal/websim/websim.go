@@ -1,0 +1,320 @@
+// Package websim implements a deterministic, in-memory web universe used
+// in place of the live web the paper scrapes with Selenium. It models the
+// behaviours Borges's web module depends on: HTTP 3xx redirect chains,
+// HTML meta-refresh redirects (the "refreshes and redirects" — R&R — of
+// §4.3.1 that normally require a rendering browser), unavailable sites,
+// favicons, and plain content pages.
+//
+// A Universe implements http.RoundTripper, so the real net/http-based
+// crawler exercises genuine HTTP semantics against it without sockets;
+// Handler additionally exposes the same universe as an http.Handler for
+// serving over real connections in tests (httptest).
+package websim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// PageKind distinguishes how a page responds.
+type PageKind uint8
+
+const (
+	// KindContent serves a 200 HTML page.
+	KindContent PageKind = iota
+	// KindHTTPRedirect serves a 301/302 redirect to Target.
+	KindHTTPRedirect
+	// KindMetaRefresh serves a 200 HTML page whose only effect is a
+	// <meta http-equiv="refresh"> redirect to Target — invisible to
+	// clients that do not interpret HTML, which is why the paper needs
+	// a browser and this repo needs a meta-refresh-aware crawler.
+	KindMetaRefresh
+	// KindNotFound serves a 404.
+	KindNotFound
+	// KindServerError serves a 500.
+	KindServerError
+)
+
+// Page describes one path on a site.
+type Page struct {
+	Kind PageKind
+	// Target is the redirect destination for KindHTTPRedirect and
+	// KindMetaRefresh. It may be absolute or host-relative.
+	Target string
+	// Status overrides the default status code (301 for HTTP
+	// redirects) when non-zero.
+	Status int
+	// Title is rendered into content pages.
+	Title string
+	// Body is extra HTML injected into content pages.
+	Body string
+}
+
+// Site is one simulated host.
+type Site struct {
+	host string
+	// faviconID names the icon identity; sites sharing a faviconID
+	// serve byte-identical icons. Empty means no favicon (404).
+	faviconID string
+	// down marks the whole host unreachable (connection errors).
+	down  bool
+	pages map[string]Page
+}
+
+// Universe is a collection of simulated hosts. It is safe for concurrent
+// use once built; building (Add*/Set*) must complete before serving.
+type Universe struct {
+	mu       sync.RWMutex
+	sites    map[string]*Site
+	requests atomic.Int64
+}
+
+// New returns an empty universe.
+func New() *Universe {
+	return &Universe{sites: make(map[string]*Site)}
+}
+
+// Requests returns the number of HTTP requests served (for crawler
+// budget tests and the input-filter ablation).
+func (u *Universe) Requests() int64 { return u.requests.Load() }
+
+// ResetRequests zeroes the request counter.
+func (u *Universe) ResetRequests() { u.requests.Store(0) }
+
+// NumSites returns the number of hosts.
+func (u *Universe) NumSites() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.sites)
+}
+
+// Hosts returns whether host exists in the universe.
+func (u *Universe) HasHost(host string) bool {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	_, ok := u.sites[strings.ToLower(host)]
+	return ok
+}
+
+// AddSite creates (or returns the existing) site for host. The favicon ID
+// controls icon identity; "" serves no favicon.
+func (u *Universe) AddSite(host, faviconID string) *Site {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	h := strings.ToLower(host)
+	if s, ok := u.sites[h]; ok {
+		if faviconID != "" {
+			s.faviconID = faviconID
+		}
+		return s
+	}
+	s := &Site{host: h, faviconID: faviconID, pages: make(map[string]Page)}
+	s.pages["/"] = Page{Kind: KindContent, Title: h}
+	u.sites[h] = s
+	return s
+}
+
+// SetDown marks a host unreachable; requests to it fail at the transport
+// level, modelling the ~3.5k PeeringDB websites that were not available
+// during the paper's crawl (§5.2).
+func (u *Universe) SetDown(host string, down bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if s, ok := u.sites[strings.ToLower(host)]; ok {
+		s.down = down
+	}
+}
+
+// SetPage installs a page at path on host, creating the site if needed.
+func (u *Universe) SetPage(host, path string, p Page) {
+	s := u.AddSite(host, "")
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if path == "" {
+		path = "/"
+	}
+	s.pages[path] = p
+}
+
+// RedirectHost makes every path on host HTTP-redirect to target,
+// modelling a domain-level acquisition redirect (e.g. clearwire.com →
+// sprint.com).
+func (u *Universe) RedirectHost(host, target string) {
+	u.SetPage(host, "/", Page{Kind: KindHTTPRedirect, Target: target})
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.sites[strings.ToLower(host)].pages["*"] = Page{Kind: KindHTTPRedirect, Target: target}
+}
+
+// MetaRefreshHost makes the root of host meta-refresh to target.
+func (u *Universe) MetaRefreshHost(host, target string) {
+	u.SetPage(host, "/", Page{Kind: KindMetaRefresh, Target: target})
+}
+
+// FaviconBytes derives the deterministic icon payload for a favicon
+// identity. Identical IDs yield identical bytes; distinct IDs collide
+// with probability 2^-128. The payload carries a plausible ICO header so
+// content sniffers treat it as an image.
+func FaviconBytes(id string) []byte {
+	sum := sha256.Sum256([]byte("websim-favicon:" + id))
+	var buf bytes.Buffer
+	// Minimal ICO header: reserved(2) type(2)=1 count(2)=1, then one
+	// 16x16 directory entry.
+	header := []byte{0, 0, 1, 0, 1, 0, 16, 16, 0, 0, 1, 0, 32, 0}
+	buf.Write(header)
+	var size [4]byte
+	binary.LittleEndian.PutUint32(size[:], uint32(len(sum)))
+	buf.Write(size[:])
+	var off [4]byte
+	binary.LittleEndian.PutUint32(off[:], 22)
+	buf.Write(off[:])
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// RoundTrip implements http.RoundTripper over the universe.
+func (u *Universe) RoundTrip(req *http.Request) (*http.Response, error) {
+	u.requests.Add(1)
+	host := strings.ToLower(req.URL.Hostname())
+	u.mu.RLock()
+	site, ok := u.sites[host]
+	u.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("websim: no such host %q", host)
+	}
+	if site.down {
+		return nil, fmt.Errorf("websim: connect %s: connection refused", host)
+	}
+	path := req.URL.Path
+	if path == "" {
+		path = "/"
+	}
+	if path == "/favicon.ico" {
+		return site.faviconResponse(req), nil
+	}
+	page, ok := site.pages[path]
+	if !ok {
+		// Host-level wildcard (acquisition redirects), else 404.
+		if wild, wok := site.pages["*"]; wok {
+			page = wild
+		} else {
+			page = Page{Kind: KindNotFound}
+		}
+	}
+	return site.render(req, page), nil
+}
+
+func (s *Site) faviconResponse(req *http.Request) *http.Response {
+	if s.faviconID == "" {
+		return respond(req, http.StatusNotFound, "text/plain", []byte("no favicon"), nil)
+	}
+	return respond(req, http.StatusOK, "image/x-icon", FaviconBytes(s.faviconID), nil)
+}
+
+func (s *Site) render(req *http.Request, p Page) *http.Response {
+	switch p.Kind {
+	case KindHTTPRedirect:
+		status := p.Status
+		if status == 0 {
+			status = http.StatusMovedPermanently
+		}
+		hdr := http.Header{"Location": []string{absoluteTarget(req, p.Target)}}
+		return respond(req, status, "text/html; charset=utf-8",
+			[]byte("<html><body>Moved</body></html>"), hdr)
+	case KindMetaRefresh:
+		body := fmt.Sprintf(`<!DOCTYPE html>
+<html><head>
+<meta http-equiv="refresh" content="0; url=%s">
+<title>%s</title>
+</head><body>Redirecting…</body></html>`,
+			html.EscapeString(absoluteTarget(req, p.Target)), html.EscapeString(s.host))
+		return respond(req, http.StatusOK, "text/html; charset=utf-8", []byte(body), nil)
+	case KindNotFound:
+		return respond(req, http.StatusNotFound, "text/html; charset=utf-8",
+			[]byte("<html><body>404</body></html>"), nil)
+	case KindServerError:
+		return respond(req, http.StatusInternalServerError, "text/html; charset=utf-8",
+			[]byte("<html><body>500</body></html>"), nil)
+	default: // KindContent
+		title := p.Title
+		if title == "" {
+			title = s.host
+		}
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+		b.WriteString(html.EscapeString(title))
+		b.WriteString("</title>\n")
+		if s.faviconID != "" {
+			b.WriteString(`<link rel="icon" href="/favicon.ico">` + "\n")
+		}
+		b.WriteString("</head><body><h1>")
+		b.WriteString(html.EscapeString(title))
+		b.WriteString("</h1>\n")
+		b.WriteString(p.Body)
+		b.WriteString("\n</body></html>")
+		return respond(req, http.StatusOK, "text/html; charset=utf-8", []byte(b.String()), nil)
+	}
+}
+
+func absoluteTarget(req *http.Request, target string) string {
+	if strings.Contains(target, "://") {
+		return target
+	}
+	ref, err := url.Parse(target)
+	if err != nil {
+		return target
+	}
+	return req.URL.ResolveReference(ref).String()
+}
+
+func respond(req *http.Request, status int, contentType string, body []byte, hdr http.Header) *http.Response {
+	if hdr == nil {
+		hdr = http.Header{}
+	}
+	hdr.Set("Content-Type", contentType)
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Handler exposes the universe as an http.Handler that dispatches on the
+// Host header, allowing it to be served over real sockets with httptest.
+func (u *Universe) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		clone := r.Clone(r.Context())
+		clone.URL.Scheme = "http"
+		clone.URL.Host = r.Host
+		resp, err := u.RoundTrip(clone)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package websim
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, u *Universe, rawurl string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", rawurl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := u.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip(%s): %v", rawurl, err)
+	}
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestContentPage(t *testing.T) {
+	u := New()
+	u.AddSite("www.lumen.com", "lumen")
+	resp := get(t, u, "https://www.lumen.com/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	b := body(t, resp)
+	if !strings.Contains(b, "www.lumen.com") || !strings.Contains(b, "favicon.ico") {
+		t.Errorf("body = %q", b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHTTPRedirect(t *testing.T) {
+	u := New()
+	u.AddSite("www.sprint.com", "tmobile")
+	u.RedirectHost("www.clearwire.com", "https://www.sprint.com/")
+	resp := get(t, u, "http://www.clearwire.com/")
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "https://www.sprint.com/" {
+		t.Errorf("Location = %q", loc)
+	}
+	resp.Body.Close()
+	// Wildcard: any path redirects too.
+	resp = get(t, u, "http://www.clearwire.com/deep/page")
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Errorf("wildcard path status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestMetaRefresh(t *testing.T) {
+	u := New()
+	u.AddSite("www.t-mobile.com", "tmobile")
+	u.MetaRefreshHost("www.sprint.com", "https://www.t-mobile.com/")
+	resp := get(t, u, "https://www.sprint.com/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("meta refresh should be HTTP 200, got %d", resp.StatusCode)
+	}
+	b := body(t, resp)
+	if !strings.Contains(b, `http-equiv="refresh"`) ||
+		!strings.Contains(b, "url=https://www.t-mobile.com/") {
+		t.Errorf("body = %q", b)
+	}
+}
+
+func TestRelativeRedirectTarget(t *testing.T) {
+	u := New()
+	u.SetPage("x.test", "/old", Page{Kind: KindHTTPRedirect, Target: "/new"})
+	req, _ := http.NewRequest("GET", "https://x.test/old", nil)
+	resp, err := u.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if loc := resp.Header.Get("Location"); loc != "https://x.test/new" {
+		t.Errorf("Location = %q", loc)
+	}
+}
+
+func TestUnknownHostAndDown(t *testing.T) {
+	u := New()
+	req, _ := http.NewRequest("GET", "https://nowhere.test/", nil)
+	if _, err := u.RoundTrip(req); err == nil {
+		t.Error("unknown host should error")
+	}
+	u.AddSite("down.test", "")
+	u.SetDown("down.test", true)
+	req, _ = http.NewRequest("GET", "https://down.test/", nil)
+	if _, err := u.RoundTrip(req); err == nil {
+		t.Error("down host should error")
+	}
+	u.SetDown("down.test", false)
+	resp := get(t, u, "https://down.test/")
+	resp.Body.Close()
+	if !u.HasHost("down.test") || u.HasHost("other.test") {
+		t.Error("HasHost misbehaves")
+	}
+}
+
+func TestNotFoundAndServerError(t *testing.T) {
+	u := New()
+	u.AddSite("a.test", "")
+	resp := get(t, u, "https://a.test/missing")
+	if resp.StatusCode != 404 {
+		t.Errorf("missing page status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	u.SetPage("a.test", "/boom", Page{Kind: KindServerError})
+	resp = get(t, u, "https://a.test/boom")
+	if resp.StatusCode != 500 {
+		t.Errorf("boom status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestFavicons(t *testing.T) {
+	u := New()
+	u.AddSite("www.clarochile.cl", "claro")
+	u.AddSite("www.claropr.com", "claro")
+	u.AddSite("other.test", "other")
+	u.AddSite("none.test", "")
+
+	r1 := get(t, u, "https://www.clarochile.cl/favicon.ico")
+	r2 := get(t, u, "https://www.claropr.com/favicon.ico")
+	r3 := get(t, u, "https://other.test/favicon.ico")
+	b1, b2, b3 := body(t, r1), body(t, r2), body(t, r3)
+	if b1 != b2 {
+		t.Error("same favicon ID should yield identical bytes")
+	}
+	if b1 == b3 {
+		t.Error("different favicon IDs should differ")
+	}
+	if r1.Header.Get("Content-Type") != "image/x-icon" {
+		t.Errorf("favicon content type = %q", r1.Header.Get("Content-Type"))
+	}
+	r4 := get(t, u, "https://none.test/favicon.ico")
+	if r4.StatusCode != 404 {
+		t.Errorf("no-favicon site should 404, got %d", r4.StatusCode)
+	}
+	r4.Body.Close()
+}
+
+func TestFaviconBytesDeterministic(t *testing.T) {
+	a, b := FaviconBytes("x"), FaviconBytes("x")
+	if !bytes.Equal(a, b) {
+		t.Error("FaviconBytes not deterministic")
+	}
+	if bytes.Equal(FaviconBytes("x"), FaviconBytes("y")) {
+		t.Error("distinct IDs should differ")
+	}
+	// ICO magic: reserved=0, type=1.
+	if a[0] != 0 || a[2] != 1 {
+		t.Errorf("missing ICO header: % x", a[:4])
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	u := New()
+	u.AddSite("a.test", "")
+	get(t, u, "https://a.test/").Body.Close()
+	get(t, u, "https://a.test/").Body.Close()
+	if u.Requests() != 2 {
+		t.Errorf("Requests = %d", u.Requests())
+	}
+	u.ResetRequests()
+	if u.Requests() != 0 {
+		t.Error("ResetRequests failed")
+	}
+}
+
+func TestAddSiteIdempotentFaviconUpgrade(t *testing.T) {
+	u := New()
+	u.AddSite("a.test", "")
+	u.SetPage("a.test", "/p", Page{Kind: KindContent, Title: "p"})
+	u.AddSite("a.test", "brand") // late favicon assignment must not wipe pages
+	resp := get(t, u, "https://a.test/p")
+	if resp.StatusCode != 200 {
+		t.Errorf("page lost after AddSite: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = get(t, u, "https://a.test/favicon.ico")
+	if resp.StatusCode != 200 {
+		t.Errorf("favicon not upgraded: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if u.NumSites() != 1 {
+		t.Errorf("NumSites = %d", u.NumSites())
+	}
+}
+
+// TestHandlerOverRealSockets serves the universe through httptest and an
+// http.Client, proving the same universe works over genuine HTTP.
+func TestHandlerOverRealSockets(t *testing.T) {
+	u := New()
+	u.AddSite("site.test", "icon")
+	u.SetPage("site.test", "/hello", Page{Kind: KindContent, Title: "Hello"})
+	srv := httptest.NewServer(u.Handler())
+	defer srv.Close()
+
+	// Dispatch on Host header: rewrite requests to the test server but
+	// carry the simulated host.
+	client := srv.Client()
+	req, err := http.NewRequest("GET", srv.URL+"/hello", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = "site.test"
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(b), "Hello") {
+		t.Errorf("status=%d body=%q", resp.StatusCode, b)
+	}
+
+	// Unknown host via the handler returns 502.
+	req2, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req2.Host = "unknown.test"
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Errorf("unknown host status = %d", resp2.StatusCode)
+	}
+}
+
+func TestEscapingInTitles(t *testing.T) {
+	u := New()
+	u.SetPage("x.test", "/", Page{Kind: KindContent, Title: `<script>alert(1)</script>`})
+	b := body(t, get(t, u, "https://x.test/"))
+	if strings.Contains(b, "<script>") {
+		t.Error("title not escaped")
+	}
+
+}

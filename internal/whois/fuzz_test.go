@@ -1,0 +1,37 @@
+package whois
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the CAIDA JSON-lines parser on arbitrary input:
+// it must either reject cleanly or produce a snapshot that round-trips.
+func FuzzParse(f *testing.F) {
+	f.Add(`{"type":"Organization","organizationId":"A","name":"Acme","country":"US","source":"ARIN"}`)
+	f.Add(`{"type":"ASN","asn":"3356","organizationId":"A","name":"LEVEL3","source":"ARIN"}`)
+	f.Add("# comment\n\n")
+	f.Add(`{"type":"ASN","asn":"not-a-number","organizationId":"A"}`)
+	f.Add(`{"type":"Organization"}`)
+	f.Add(`{]`)
+	f.Add(strings.Repeat(`{"type":"Organization","organizationId":"X"}`+"\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("Write after successful Parse: %v", err)
+		}
+		s2, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput: %q", err, buf.String())
+		}
+		if s2.NumOrgs() != s.NumOrgs() || s2.NumASNs() != s.NumASNs() {
+			t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+				s2.NumOrgs(), s2.NumASNs(), s.NumOrgs(), s.NumASNs())
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package whois
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// record is the on-disk shape of one CAIDA AS2Org JSON-lines record. The
+// dataset mixes two record types distinguished by the "type" field:
+//
+//	{"type":"Organization","organizationId":"LVLT-ARIN","name":"Level 3 Parent, LLC","country":"US","source":"ARIN"}
+//	{"type":"ASN","asn":"3356","organizationId":"LVLT-ARIN","name":"LEVEL3","opaqueId":"…","source":"ARIN"}
+type record struct {
+	Type     string `json:"type"`
+	OrgID    string `json:"organizationId"`
+	Name     string `json:"name"`
+	Country  string `json:"country,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Changed  string `json:"changed,omitempty"`
+	ASN      string `json:"asn,omitempty"`
+	OpaqueID string `json:"opaqueId,omitempty"`
+}
+
+// Parse reads a CAIDA AS2Org JSON-lines stream into a Snapshot. Blank
+// lines and '#' comment lines are skipped. Unknown record types are an
+// error; malformed lines report their line number.
+func Parse(r io.Reader, date string) (*Snapshot, error) {
+	s := NewSnapshot(date)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("whois: line %d: %w", line, err)
+		}
+		switch rec.Type {
+		case "Organization":
+			if rec.OrgID == "" {
+				return nil, fmt.Errorf("whois: line %d: Organization record missing organizationId", line)
+			}
+			s.AddOrg(Org{ID: rec.OrgID, Name: rec.Name, Country: rec.Country,
+				Source: rec.Source, Changed: rec.Changed})
+		case "ASN":
+			if rec.OrgID == "" {
+				return nil, fmt.Errorf("whois: line %d: ASN record missing organizationId", line)
+			}
+			a, err := asnum.Parse(rec.ASN)
+			if err != nil {
+				return nil, fmt.Errorf("whois: line %d: %w", line, err)
+			}
+			s.AddAS(ASRecord{ASN: a, OrgID: rec.OrgID, Name: rec.Name,
+				OpaqueID: rec.OpaqueID, Source: rec.Source})
+		default:
+			return nil, fmt.Errorf("whois: line %d: unknown record type %q", line, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("whois: scan: %w", err)
+	}
+	return s, nil
+}
+
+// Write serializes the snapshot back to CAIDA AS2Org JSON-lines form,
+// organizations first, then AS records, both in sorted order for
+// deterministic output.
+func Write(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range s.OrgIDs() {
+		o := s.Org(id)
+		if err := enc.Encode(record{Type: "Organization", OrgID: o.ID,
+			Name: o.Name, Country: o.Country, Source: o.Source, Changed: o.Changed}); err != nil {
+			return fmt.Errorf("whois: write org %s: %w", id, err)
+		}
+	}
+	for _, a := range s.ASNs() {
+		r := s.AS(a)
+		if err := enc.Encode(record{Type: "ASN",
+			ASN:   fmt.Sprintf("%d", uint32(r.ASN)),
+			OrgID: r.OrgID, Name: r.Name, OpaqueID: r.OpaqueID, Source: r.Source}); err != nil {
+			return fmt.Errorf("whois: write asn %v: %w", a, err)
+		}
+	}
+	return bw.Flush()
+}

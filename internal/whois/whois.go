@@ -1,0 +1,161 @@
+// Package whois models WHOIS-derived AS-to-Organization data in the
+// format published by CAIDA's AS2Org dataset: a JSON-lines file mixing
+// Organization records and ASN records, linked by organizationId. This is
+// the OID_W source of Borges (§4.1).
+//
+// Each ASN must be assigned to an organization when allocated, so WHOIS
+// provides an AS-to-Organization mapping for all allocated networks; the
+// paper uses this universe as the vertex set for the Organization Factor
+// (§5.4).
+package whois
+
+import (
+	"sort"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// Org is one WHOIS organization record (CAIDA "Organization" type).
+type Org struct {
+	// ID is the RIR organization identifier, e.g. "LVLT-ARIN".
+	ID string `json:"organizationId"`
+	// Name is the registered organization name.
+	Name string `json:"name"`
+	// Country is the ISO 3166-1 alpha-2 registration country.
+	Country string `json:"country"`
+	// Source is the RIR the record came from (ARIN, RIPE, APNIC, …).
+	Source string `json:"source"`
+	// Changed is the RIR's last-modified date (YYYYMMDD), if known.
+	Changed string `json:"changed,omitempty"`
+}
+
+// ASRecord links one ASN to its WHOIS organization (CAIDA "ASN" type).
+type ASRecord struct {
+	ASN asnum.ASN
+	// OrgID references Org.ID.
+	OrgID string
+	// Name is the AS's registered network name (e.g. "LEVEL3").
+	Name string
+	// OpaqueID is the RIR's opaque handle, if published.
+	OpaqueID string
+	// Source is the RIR the record came from.
+	Source string
+}
+
+// Snapshot is a parsed AS2Org snapshot.
+type Snapshot struct {
+	// Date is the snapshot date in YYYYMMDD form (e.g. "20240701").
+	Date string
+
+	orgs    map[string]*Org
+	asns    map[asnum.ASN]*ASRecord
+	members map[string][]asnum.ASN
+}
+
+// NewSnapshot returns an empty snapshot for the given date.
+func NewSnapshot(date string) *Snapshot {
+	return &Snapshot{
+		Date:    date,
+		orgs:    make(map[string]*Org),
+		asns:    make(map[asnum.ASN]*ASRecord),
+		members: make(map[string][]asnum.ASN),
+	}
+}
+
+// AddOrg inserts or replaces an organization record.
+func (s *Snapshot) AddOrg(o Org) {
+	cp := o
+	s.orgs[o.ID] = &cp
+}
+
+// AddAS inserts or replaces an AS record. If the record's organization is
+// unknown a stub Org is created, mirroring CAIDA's behaviour of keeping
+// every allocated ASN mapped.
+func (s *Snapshot) AddAS(r ASRecord) {
+	if prev, ok := s.asns[r.ASN]; ok {
+		// Replacement: remove from old membership list.
+		old := s.members[prev.OrgID]
+		for i, a := range old {
+			if a == r.ASN {
+				s.members[prev.OrgID] = append(old[:i], old[i+1:]...)
+				break
+			}
+		}
+	}
+	cp := r
+	s.asns[r.ASN] = &cp
+	if _, ok := s.orgs[r.OrgID]; !ok {
+		s.orgs[r.OrgID] = &Org{ID: r.OrgID, Source: r.Source}
+	}
+	s.members[r.OrgID] = append(s.members[r.OrgID], r.ASN)
+}
+
+// NumOrgs returns the number of organization records.
+func (s *Snapshot) NumOrgs() int { return len(s.orgs) }
+
+// NumASNs returns the number of AS records.
+func (s *Snapshot) NumASNs() int { return len(s.asns) }
+
+// Org returns the organization record for id, or nil.
+func (s *Snapshot) Org(id string) *Org { return s.orgs[id] }
+
+// AS returns the AS record for a, or nil.
+func (s *Snapshot) AS(a asnum.ASN) *ASRecord { return s.asns[a] }
+
+// OrgOf returns the organization record owning a, or nil if a is unknown.
+func (s *Snapshot) OrgOf(a asnum.ASN) *Org {
+	r := s.asns[a]
+	if r == nil {
+		return nil
+	}
+	return s.orgs[r.OrgID]
+}
+
+// Members returns the sorted ASNs registered under org id.
+func (s *Snapshot) Members(id string) []asnum.ASN {
+	m := append([]asnum.ASN(nil), s.members[id]...)
+	asnum.Sort(m)
+	return m
+}
+
+// ASNs returns all ASNs in the snapshot, sorted.
+func (s *Snapshot) ASNs() []asnum.ASN {
+	out := make([]asnum.ASN, 0, len(s.asns))
+	for a := range s.asns {
+		out = append(out, a)
+	}
+	asnum.Sort(out)
+	return out
+}
+
+// OrgIDs returns all organization IDs, sorted.
+func (s *Snapshot) OrgIDs() []string {
+	out := make([]string, 0, len(s.orgs))
+	for id := range s.orgs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SiblingSets converts the snapshot's organization memberships into
+// sibling sets (the OID_W feature). Every organization — including
+// single-AS organizations — yields one set, so consumers can register the
+// full WHOIS universe.
+func (s *Snapshot) SiblingSets() []cluster.SiblingSet {
+	ids := s.OrgIDs()
+	out := make([]cluster.SiblingSet, 0, len(ids))
+	for _, id := range ids {
+		members := s.Members(id)
+		if len(members) == 0 {
+			continue
+		}
+		out = append(out, cluster.SiblingSet{
+			ASNs:     members,
+			Source:   cluster.FeatureOIDW,
+			Evidence: asnum.WhoisOrg(id).String(),
+		})
+	}
+	return out
+}

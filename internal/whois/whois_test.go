@@ -1,0 +1,140 @@
+package whois
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+const sample = `
+# CAIDA AS2Org sample
+{"type":"Organization","organizationId":"LVLT-ARIN","name":"Level 3 Parent, LLC","country":"US","source":"ARIN"}
+{"type":"Organization","organizationId":"CL-1234-ARIN","name":"CenturyLink Communications, LLC","country":"US","source":"ARIN"}
+{"type":"ASN","asn":"3356","organizationId":"LVLT-ARIN","name":"LEVEL3","source":"ARIN"}
+{"type":"ASN","asn":"3549","organizationId":"LVLT-ARIN","name":"LVLT-3549","source":"ARIN"}
+{"type":"ASN","asn":"209","organizationId":"CL-1234-ARIN","name":"CENTURYLINK-US-LEGACY-QWEST","source":"ARIN"}
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample), "20240701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumOrgs() != 2 || s.NumASNs() != 3 {
+		t.Fatalf("got %d orgs / %d ASNs, want 2/3", s.NumOrgs(), s.NumASNs())
+	}
+	org := s.OrgOf(3356)
+	if org == nil || org.Name != "Level 3 Parent, LLC" {
+		t.Fatalf("OrgOf(3356) = %+v", org)
+	}
+	if got := s.Members("LVLT-ARIN"); len(got) != 2 || got[0] != 3356 || got[1] != 3549 {
+		t.Fatalf("Members(LVLT-ARIN) = %v", got)
+	}
+	if s.OrgOf(999) != nil {
+		t.Error("OrgOf(unknown) should be nil")
+	}
+	if s.AS(209).Name != "CENTURYLINK-US-LEGACY-QWEST" {
+		t.Errorf("AS(209) = %+v", s.AS(209))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{"type":"Mystery"}`,
+		`{"type":"ASN","asn":"notanumber","organizationId":"X"}`,
+		`{"type":"Organization","name":"missing id"}`,
+		`{not json}`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c), "x"); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s1, err := Parse(strings.NewReader(sample), "20240701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytes.NewReader(buf.Bytes()), "20240701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumOrgs() != s1.NumOrgs() || s2.NumASNs() != s1.NumASNs() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			s2.NumOrgs(), s2.NumASNs(), s1.NumOrgs(), s1.NumASNs())
+	}
+	for _, a := range s1.ASNs() {
+		if s2.AS(a) == nil || s2.AS(a).OrgID != s1.AS(a).OrgID {
+			t.Errorf("ASN %v lost or remapped in round trip", a)
+		}
+	}
+	// Writing twice must be byte-identical (deterministic order).
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Write output is not deterministic")
+	}
+}
+
+func TestAddASStubOrgAndReplace(t *testing.T) {
+	s := NewSnapshot("x")
+	s.AddAS(ASRecord{ASN: 64496 + 1, OrgID: "STUB-1", Source: "RIPE"})
+	if s.Org("STUB-1") == nil {
+		t.Fatal("stub org not created")
+	}
+	// Re-assign the ASN to another org; membership must move.
+	s.AddAS(ASRecord{ASN: 64497, OrgID: "STUB-2", Source: "RIPE"})
+	if len(s.Members("STUB-1")) != 0 {
+		t.Errorf("old org still has members: %v", s.Members("STUB-1"))
+	}
+	if got := s.Members("STUB-2"); len(got) != 1 || got[0] != 64497 {
+		t.Errorf("Members(STUB-2) = %v", got)
+	}
+}
+
+func TestSiblingSets(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample), "20240701")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := s.SiblingSets()
+	if len(sets) != 2 {
+		t.Fatalf("got %d sibling sets, want 2", len(sets))
+	}
+	for _, set := range sets {
+		if set.Source != cluster.FeatureOIDW {
+			t.Errorf("source = %v, want OID_W", set.Source)
+		}
+	}
+	// Deterministic order (sorted org IDs): CL-1234-ARIN before LVLT-ARIN.
+	if sets[0].Evidence != asnum.WhoisOrg("CL-1234-ARIN").String() {
+		t.Errorf("first set evidence = %q", sets[0].Evidence)
+	}
+	if len(sets[1].ASNs) != 2 {
+		t.Errorf("LVLT set = %v", sets[1].ASNs)
+	}
+}
+
+func TestEmptyAndCommentOnly(t *testing.T) {
+	s, err := Parse(strings.NewReader("\n# only comments\n\n"), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumOrgs() != 0 || s.NumASNs() != 0 {
+		t.Error("expected empty snapshot")
+	}
+	if got := s.SiblingSets(); len(got) != 0 {
+		t.Errorf("SiblingSets on empty = %v", got)
+	}
+}
