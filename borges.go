@@ -49,6 +49,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/mapdiff"
 	"github.com/nu-aqualab/borges/internal/orgfactor"
 	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/serve"
 	"github.com/nu-aqualab/borges/internal/simllm"
 	"github.com/nu-aqualab/borges/internal/synth"
 	"github.com/nu-aqualab/borges/internal/websim"
@@ -253,6 +254,48 @@ func ReadMapping(r io.Reader) (*Mapping, error) { return cluster.ReadJSONL(r) }
 // (§5.4; 0 = every organization manages one network, → 1 = one
 // organization manages everything).
 func Theta(m *Mapping) (float64, error) { return orgfactor.Theta(m) }
+
+// Serving layer.
+type (
+	// Snapshot is an immutable, pre-indexed view of a Mapping (ASN
+	// lookup, name search, θ, size histogram) safe for lock-free
+	// concurrent reads.
+	Snapshot = serve.Snapshot
+	// SnapshotStats are a snapshot's precomputed corpus statistics.
+	SnapshotStats = serve.Stats
+	// SnapshotSource produces replacement mappings for hot reloads.
+	SnapshotSource = serve.Source
+	// ServeOptions tune a lookup server (reload source, per-request
+	// timeout, structured logging).
+	ServeOptions = serve.Options
+	// LookupServer serves a Snapshot over HTTP with atomic hot reload.
+	LookupServer = serve.Server
+)
+
+// NewSnapshot indexes a mapping for serving; source labels its origin
+// in /v1/stats and /metrics. Nil or empty mappings are rejected.
+func NewSnapshot(m *Mapping, source string) (*Snapshot, error) {
+	return serve.NewSnapshot(m, source)
+}
+
+// NewLookupServer returns an HTTP server over an initial snapshot. Use
+// its Handler with any http mux/listener, or call Serve for the
+// one-call daemon path.
+func NewLookupServer(snap *Snapshot, opts ServeOptions) (*LookupServer, error) {
+	return serve.NewServer(snap, opts)
+}
+
+// MappingFileSource reloads mappings from a JSONL file written with
+// WriteMapping (borges -format jsonl).
+func MappingFileSource(path string) SnapshotSource { return serve.FileSource(path) }
+
+// Serve listens on addr and serves the snapshot's JSON lookup API
+// (/v1/as/{asn}, /v1/org/{id}, /v1/search, /v1/stats, /admin/reload,
+// /healthz, /metrics) until ctx is cancelled, then drains in-flight
+// requests and shuts down gracefully.
+func Serve(ctx context.Context, addr string, snap *Snapshot, opts ServeOptions) error {
+	return serve.Serve(ctx, addr, snap, opts)
+}
 
 // Synthetic corpus generation.
 type (

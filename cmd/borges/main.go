@@ -45,6 +45,14 @@ func main() {
 	verbose := flag.Bool("v", false, "log pipeline stage progress to stderr")
 	flag.Parse()
 
+	// Reject a bad -format before the pipeline runs: a multi-minute
+	// crawl+extract batch must not complete only to fail at write time.
+	switch *format {
+	case "csv", "jsonl":
+	default:
+		log.Fatalf("unknown format %q (valid: csv, jsonl)", *format)
+	}
+
 	in := borges.Inputs{}
 	if *as2orgPath != "" {
 		w, err := parseFile(*as2orgPath, func(r io.Reader) (*borges.WHOISSnapshot, error) {
@@ -115,12 +123,11 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	switch *format {
-	case "jsonl":
+	if *format == "jsonl" {
 		if err := borges.WriteMapping(w, res.Mapping); err != nil {
 			log.Fatal(err)
 		}
-	case "csv":
+	} else {
 		fmt.Fprintln(w, "org_id,org_name,asns")
 		for _, c := range res.Mapping.Clusters {
 			asns := make([]string, len(c.ASNs))
@@ -129,8 +136,6 @@ func main() {
 			}
 			fmt.Fprintf(w, "%d,%s,%s\n", c.ID, csvEscape(c.Name), strings.Join(asns, " "))
 		}
-	default:
-		log.Fatalf("unknown format %q (valid: csv, jsonl)", *format)
 	}
 
 	theta, err := borges.Theta(res.Mapping)

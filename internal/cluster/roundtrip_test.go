@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+// randomMapping builds a mapping from a random universe partitioned
+// into random sibling sets with random feature provenance — the
+// property-test generator for serialization round trips.
+func randomMapping(rng *rand.Rand) *Mapping {
+	b := NewBuilder()
+	n := 1 + rng.Intn(300)
+	universe := make([]asnum.ASN, 0, n)
+	seen := make(map[asnum.ASN]bool, n)
+	for len(universe) < n {
+		a := asnum.ASN(1 + rng.Intn(400_000))
+		if !seen[a] {
+			seen[a] = true
+			universe = append(universe, a)
+		}
+	}
+	b.AddUniverse(universe...)
+	// Partition a random prefix into groups of 1..8 ASNs; each group
+	// gets 1..3 random features.
+	rng.Shuffle(len(universe), func(i, j int) {
+		universe[i], universe[j] = universe[j], universe[i]
+	})
+	for i := 0; i < len(universe); {
+		size := 1 + rng.Intn(8)
+		if i+size > len(universe) {
+			size = len(universe) - i
+		}
+		group := universe[i : i+size]
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			b.Add(SiblingSet{
+				ASNs:     group,
+				Source:   Feature(rng.Intn(NumFeatures)),
+				Evidence: fmt.Sprintf("ev-%d", i),
+			})
+		}
+		i += size
+		if rng.Intn(4) == 0 {
+			break // leave a tail of universe-only singletons
+		}
+	}
+	return b.Build(func(members []asnum.ASN) string {
+		if rng.Intn(3) == 0 {
+			return "" // some clusters stay unnamed
+		}
+		// Names exercise CSV/JSON-hostile characters too.
+		return fmt.Sprintf("Org %s, \"%d\"", members[0], len(members))
+	})
+}
+
+// TestJSONLRoundTripProperty checks, over many random mappings, that
+// WriteJSONL→ReadJSONL preserves everything borgesd's serving index
+// depends on: per-ASN cluster membership (the byASN index), sorted
+// sibling lists, display names, and feature provenance.
+func TestJSONLRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 50; trial++ {
+		orig := randomMapping(rng)
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, orig); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if got.NumOrgs() != orig.NumOrgs() || got.NumASNs() != orig.NumASNs() {
+			t.Fatalf("trial %d: %d/%d orgs/asns, want %d/%d",
+				trial, got.NumOrgs(), got.NumASNs(), orig.NumOrgs(), orig.NumASNs())
+		}
+		for i := range orig.Clusters {
+			oc := &orig.Clusters[i]
+			for _, a := range oc.ASNs {
+				gc := got.ClusterOf(a)
+				if gc == nil {
+					t.Fatalf("trial %d: %s unmapped after round trip", trial, a)
+				}
+				if !reflect.DeepEqual(gc.ASNs, oc.ASNs) {
+					t.Fatalf("trial %d: Siblings(%s) = %v, want %v", trial, a, gc.ASNs, oc.ASNs)
+				}
+				if !reflect.DeepEqual(got.Siblings(a), orig.Siblings(a)) {
+					t.Fatalf("trial %d: Siblings(%s) mismatch", trial, a)
+				}
+				if gc.Name != oc.Name {
+					t.Fatalf("trial %d: name of %s = %q, want %q", trial, a, gc.Name, oc.Name)
+				}
+				// Feature provenance survives; a cluster with no
+				// recorded features (universe-only singleton) reads
+				// back with ReadJSONL's documented OID_W default.
+				want := oc.Features
+				if want == [NumFeatures]bool{} {
+					want[FeatureOIDW] = true
+				}
+				if gc.Features != want {
+					t.Fatalf("trial %d: features of %s = %v, want %v", trial, a, gc.Features, want)
+				}
+			}
+		}
+	}
+}
+
+// TestJSONLRoundTripSingletons pins the edge case the property test
+// only sometimes hits: a mapping that is mostly universe-only
+// singletons with no features beyond the OID_W default.
+func TestJSONLRoundTripSingletons(t *testing.T) {
+	b := NewBuilder()
+	b.AddUniverse(1, 2, 3)
+	m := b.Build(nil)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumOrgs() != 3 || got.NumASNs() != 3 {
+		t.Fatalf("round trip = %d/%d, want 3/3", got.NumOrgs(), got.NumASNs())
+	}
+	for _, a := range []asnum.ASN{1, 2, 3} {
+		if sib := got.Siblings(a); len(sib) != 1 || sib[0] != a {
+			t.Fatalf("Siblings(%s) = %v", a, sib)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies each endpoint
+// retains for quantile estimation. A bounded ring keeps the cost of a
+// busy endpoint constant regardless of traffic volume.
+const latencyWindow = 1024
+
+// endpointStats accumulates one endpoint's counters and a sliding
+// window of latencies.
+type endpointStats struct {
+	requests  int64
+	errors    int64 // responses with status >= 500
+	latencies [latencyWindow]time.Duration
+	n         int // valid entries in latencies
+	next      int // ring cursor
+}
+
+// Metrics tracks the serving layer's operational counters: per-endpoint
+// request totals and latency quantiles, plus reload outcomes. Snapshot
+// identity metrics (age, θ, sizes) are read from the live snapshot at
+// render time so they are always current.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	reloadOK  int64
+	reloadErr int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one served request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.endpoints[endpoint]
+	if es == nil {
+		es = &endpointStats{}
+		m.endpoints[endpoint] = es
+	}
+	es.requests++
+	if status >= 500 {
+		es.errors++
+	}
+	es.latencies[es.next] = d
+	es.next = (es.next + 1) % latencyWindow
+	if es.n < latencyWindow {
+		es.n++
+	}
+}
+
+// ObserveReload records a reload outcome.
+func (m *Metrics) ObserveReload(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.reloadOK++
+	} else {
+		m.reloadErr++
+	}
+}
+
+// Reloads returns the success and failure counts.
+func (m *Metrics) Reloads() (ok, failed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reloadOK, m.reloadErr
+}
+
+// Requests returns an endpoint's request count.
+func (m *Metrics) Requests(endpoint string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.endpoints[endpoint]
+	if es == nil {
+		return 0
+	}
+	return es.requests
+}
+
+// quantiles reported on /metrics.
+var quantileLevels = []float64{0.5, 0.9, 0.99}
+
+// quantile returns the q-th latency quantile of a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// WriteTo renders the registry in the Prometheus text exposition
+// format. The snapshot gauges come from snap (may be nil before the
+// first load) evaluated at now.
+func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP borgesd_requests_total Requests served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "borgesd_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests)
+	}
+	fmt.Fprintf(w, "# HELP borgesd_errors_total Responses with status >= 500, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "borgesd_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors)
+	}
+	fmt.Fprintf(w, "# HELP borgesd_request_latency_seconds Request latency quantiles over a sliding window.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_request_latency_seconds summary\n")
+	for _, name := range names {
+		es := m.endpoints[name]
+		sample := make([]time.Duration, es.n)
+		copy(sample, es.latencies[:es.n])
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		for _, q := range quantileLevels {
+			fmt.Fprintf(w, "borgesd_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %.9f\n",
+				name, q, quantile(sample, q).Seconds())
+		}
+	}
+	fmt.Fprintf(w, "# HELP borgesd_reloads_total Snapshot reload attempts, by result.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_reloads_total counter\n")
+	fmt.Fprintf(w, "borgesd_reloads_total{result=\"success\"} %d\n", m.reloadOK)
+	fmt.Fprintf(w, "borgesd_reloads_total{result=\"failure\"} %d\n", m.reloadErr)
+	m.mu.Unlock()
+
+	if snap == nil {
+		return
+	}
+	st := snap.Stats()
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_age_seconds Seconds since the serving snapshot was built.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_age_seconds gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_age_seconds %.3f\n", now.Sub(snap.LoadedAt()).Seconds())
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_orgs Organizations in the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_orgs gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_orgs %d\n", st.Orgs)
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_asns Networks covered by the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_asns gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_asns %d\n", st.ASNs)
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_theta Normalised Organization Factor of the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_theta gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_theta %.6f\n", st.Theta)
+}

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// Source produces a fresh mapping for a (re)load: reading a JSONL file,
+// re-running the pipeline in-process, or regenerating a synthetic
+// corpus. It is called with the reload request's context.
+type Source func(ctx context.Context) (*cluster.Mapping, error)
+
+// FileSource returns a Source that parses a mapping file written with
+// cluster.WriteJSONL (borges -format jsonl).
+func FileSource(path string) Source {
+	return func(ctx context.Context) (*cluster.Mapping, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return cluster.ReadJSONL(f)
+	}
+}
+
+// Options tune a Server.
+type Options struct {
+	// Source supplies replacement mappings for /admin/reload. With a
+	// nil Source, reloads are rejected with 501 Not Implemented.
+	Source Source
+	// RequestTimeout bounds each request's handling time (default 10s).
+	RequestTimeout time.Duration
+	// Logf receives one structured line per request and per reload.
+	// Nil disables request logging.
+	Logf func(format string, args ...any)
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server serves an AS-to-Organization snapshot over HTTP. The current
+// Snapshot sits behind an atomic pointer: request handlers load it once
+// and serve the whole request from that immutable view, so a concurrent
+// reload never tears a response or drops an in-flight request.
+type Server struct {
+	snap    atomic.Pointer[Snapshot]
+	metrics *Metrics
+	opts    Options
+	mux     *http.ServeMux
+	// reloading serializes reloads so concurrent /admin/reload posts
+	// cannot interleave validate-then-swap sequences.
+	reloading chan struct{}
+}
+
+// NewServer returns a Server publishing the given initial snapshot.
+func NewServer(snap *Snapshot, opts Options) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil initial snapshot")
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	s := &Server{
+		metrics:   NewMetrics(),
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		reloading: make(chan struct{}, 1),
+	}
+	s.snap.Store(snap)
+	s.mux.HandleFunc("GET /v1/as/{asn}", s.instrument("as", s.handleAS))
+	s.mux.HandleFunc("GET /v1/org/{id}", s.instrument("org", s.handleOrg))
+	s.mux.HandleFunc("GET /v1/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Snapshot returns the currently served snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Reload pulls a fresh mapping from the configured Source, validates
+// and indexes it, and atomically publishes the result. On any error the
+// previous snapshot keeps serving.
+func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
+	if s.opts.Source == nil {
+		return nil, fmt.Errorf("serve: no reload source configured")
+	}
+	select {
+	case s.reloading <- struct{}{}:
+		defer func() { <-s.reloading }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	old := s.snap.Load()
+	m, err := s.opts.Source(ctx)
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	var next *Snapshot
+	if err == nil {
+		next, err = newSnapshotAt(m, old.Source(), s.opts.now())
+	}
+	if err != nil {
+		s.metrics.ObserveReload(false)
+		s.logf(`{"event":"reload","ok":false,"error":%q}`, err.Error())
+		return nil, err
+	}
+	s.snap.Store(next)
+	s.metrics.ObserveReload(true)
+	s.logf(`{"event":"reload","ok":true,"orgs":%d,"asns":%d,"theta":%.6f}`,
+		next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta)
+	return next, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-request timeout, metrics
+// observation, and structured request logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		start := s.opts.now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := s.opts.now().Sub(start)
+		s.metrics.Observe(endpoint, sw.status, d)
+		s.logf(`{"event":"request","endpoint":%q,"method":%q,"path":%q,"status":%d,"duration_us":%d}`,
+			endpoint, r.Method, r.URL.RequestURI(), sw.status, d.Microseconds())
+	}
+}
+
+// orgJSON is the wire form of one organization.
+type orgJSON struct {
+	Org      int      `json:"org"`
+	Name     string   `json:"name,omitempty"`
+	Size     int      `json:"size"`
+	ASNs     []uint32 `json:"asns"`
+	Features []string `json:"features,omitempty"`
+}
+
+func orgToJSON(c *cluster.Cluster) orgJSON {
+	out := orgJSON{
+		Org:      c.ID,
+		Name:     c.Name,
+		Size:     c.Size(),
+		ASNs:     make([]uint32, len(c.ASNs)),
+		Features: FeatureNames(c),
+	}
+	for i, a := range c.ASNs {
+		out.ASNs[i] = uint32(a)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
+	a, err := asnum.Parse(r.PathValue("asn"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid ASN %q", r.PathValue("asn"))
+		return
+	}
+	snap := s.snap.Load()
+	c := snap.Lookup(a)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "%s is not in the mapping", a)
+		return
+	}
+	siblings := make([]uint32, len(c.ASNs))
+	for i, sib := range c.ASNs {
+		siblings[i] = uint32(sib)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ASN      uint32   `json:"asn"`
+		Org      orgJSON  `json:"org"`
+		Siblings []uint32 `json:"siblings"`
+	}{ASN: uint32(a), Org: orgToJSON(c), Siblings: siblings})
+}
+
+func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
+	var id int
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid organization id %q", r.PathValue("id"))
+		return
+	}
+	snap := s.snap.Load()
+	c := snap.Org(id)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "organization %d is not in the mapping", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, orgToJSON(c))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("name")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name= query")
+		return
+	}
+	limit := 50
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if _, err := fmt.Sscanf(ls, "%d", &limit); err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid ?limit=%q", ls)
+			return
+		}
+	}
+	snap := s.snap.Load()
+	hits := snap.Search(q, limit)
+	out := struct {
+		Query   string    `json:"query"`
+		Matches []orgJSON `json:"matches"`
+	}{Query: q, Matches: make([]orgJSON, len(hits))}
+	for i, c := range hits {
+		out.Matches[i] = orgToJSON(c)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// bucketJSON is the wire form of one histogram bucket.
+type bucketJSON struct {
+	Size string `json:"size"`
+	Orgs int    `json:"orgs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	st := snap.Stats()
+	hist := make([]bucketJSON, len(st.SizeHistogram))
+	for i, b := range st.SizeHistogram {
+		hist[i] = bucketJSON{Size: b.Label(), Orgs: b.Orgs}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Orgs          int          `json:"orgs"`
+		ASNs          int          `json:"asns"`
+		Theta         float64      `json:"theta"`
+		MultiASOrgs   int          `json:"multi_as_orgs"`
+		LargestOrg    int          `json:"largest_org"`
+		SizeHistogram []bucketJSON `json:"size_histogram"`
+		Source        string       `json:"source"`
+		LoadedAt      time.Time    `json:"loaded_at"`
+		AgeSeconds    float64      `json:"age_seconds"`
+	}{
+		Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
+		MultiASOrgs: st.MultiASOrgs, LargestOrg: st.LargestOrg,
+		SizeHistogram: hist, Source: snap.Source(),
+		LoadedAt:   snap.LoadedAt().UTC(),
+		AgeSeconds: s.opts.now().Sub(snap.LoadedAt()).Seconds(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Source == nil {
+		writeError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	snap, err := s.Reload(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "reload failed: %v", err)
+		return
+	}
+	st := snap.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Status string  `json:"status"`
+		Orgs   int     `json:"orgs"`
+		ASNs   int     `json:"asns"`
+		Theta  float64 `json:"theta"`
+	}{Status: "ok", Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, struct {
+		Status     string  `json:"status"`
+		AgeSeconds float64 `json:"snapshot_age_seconds"`
+	}{Status: "ok", AgeSeconds: s.opts.now().Sub(snap.LoadedAt()).Seconds()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, s.snap.Load(), s.opts.now())
+}
+
+// Serve listens on addr and serves snap until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get up to the request
+// timeout to finish). It is the one-call entry point the borgesd daemon
+// and the facade use.
+func Serve(ctx context.Context, addr string, snap *Snapshot, opts Options) error {
+	srv, err := NewServer(snap, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.ServeListener(ctx, ln)
+}
+
+// ServeListener serves on an existing listener until ctx is cancelled.
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	// No BaseContext wiring ctx into requests: cancellation must stop
+	// accepting, not kill in-flight requests — Shutdown drains them.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.opts.RequestTimeout,
+		WriteTimeout:      2 * s.opts.RequestTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.logf(`{"event":"listening","addr":%q}`, ln.Addr().String())
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		defer cancel()
+		err := hs.Shutdown(shutCtx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		s.logf(`{"event":"shutdown","ok":%v}`, err == nil)
+		return err
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,266 @@
+// Package serve turns a consolidated AS-to-Organization mapping into a
+// queryable network service: an immutable, pre-indexed Snapshot served
+// lock-free behind an atomic pointer, JSON lookup/search/stats
+// endpoints, hot snapshot reload without dropping in-flight requests,
+// and per-endpoint operational metrics.
+//
+// The serving layer is read-mostly by construction. A Snapshot is built
+// once (indexes, θ, histogram) and never mutated afterwards; the Server
+// publishes it through an atomic.Pointer so concurrent request handlers
+// take a consistent view with a single atomic load. Reloads build and
+// validate a complete replacement Snapshot off to the side and swap it
+// in atomically — a failed reload leaves the previous snapshot serving.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/orgfactor"
+)
+
+// SizeBucket is one bar of a snapshot's organization-size histogram.
+// Buckets are powers of two: [1,1], [2,2], [3,4], [5,8], [9,16], …
+type SizeBucket struct {
+	// Lo and Hi bound the member counts falling in this bucket
+	// (inclusive).
+	Lo, Hi int
+	// Orgs is the number of organizations of that size.
+	Orgs int
+}
+
+// Label renders the bucket bounds ("1", "2", "3-4", …).
+func (b SizeBucket) Label() string {
+	if b.Lo == b.Hi {
+		return fmt.Sprintf("%d", b.Lo)
+	}
+	return fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+}
+
+// Stats are a snapshot's precomputed corpus-level statistics.
+type Stats struct {
+	// Orgs and ASNs count organizations and covered networks.
+	Orgs, ASNs int
+	// Theta is the normalised Organization Factor (§5.4).
+	Theta float64
+	// MultiASOrgs counts organizations managing more than one network.
+	MultiASOrgs int
+	// LargestOrg is the member count of the biggest organization.
+	LargestOrg int
+	// SizeHistogram is the power-of-two organization-size distribution.
+	SizeHistogram []SizeBucket
+}
+
+// Snapshot is an immutable, pre-indexed view of a Mapping ready to
+// serve point lookups, name search, and statistics. All fields are
+// computed at construction; a Snapshot is safe for unbounded concurrent
+// use without locks.
+type Snapshot struct {
+	mapping *cluster.Mapping
+	stats   Stats
+
+	// tokens maps each lowercase name token to the sorted cluster IDs
+	// whose display name contains it; tokenList keeps the tokens sorted
+	// for deterministic substring scans.
+	tokens    map[string][]int
+	tokenList []string
+	// lowerNames[i] is the lowercase display name of cluster i, for
+	// multi-word substring queries that cross token boundaries.
+	lowerNames []string
+
+	source   string
+	loadedAt time.Time
+}
+
+// NewSnapshot indexes a mapping for serving. The source string labels
+// where the mapping came from (a file path, "pipeline", "synthetic:…")
+// and is reported by /v1/stats and /metrics. It rejects nil or empty
+// mappings — a serving snapshot must always answer lookups.
+func NewSnapshot(m *cluster.Mapping, source string) (*Snapshot, error) {
+	return newSnapshotAt(m, source, time.Now())
+}
+
+// newSnapshotAt is NewSnapshot with an injectable clock for tests.
+func newSnapshotAt(m *cluster.Mapping, source string, now time.Time) (*Snapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil mapping")
+	}
+	if m.NumASNs() == 0 || m.NumOrgs() == 0 {
+		return nil, fmt.Errorf("serve: refusing to serve an empty mapping (%d orgs, %d networks)",
+			m.NumOrgs(), m.NumASNs())
+	}
+	theta, err := orgfactor.Theta(m)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mapping fails θ validation: %w", err)
+	}
+	s := &Snapshot{
+		mapping:    m,
+		tokens:     make(map[string][]int),
+		lowerNames: make([]string, len(m.Clusters)),
+		source:     source,
+		loadedAt:   now,
+	}
+	s.stats = Stats{
+		Orgs:  m.NumOrgs(),
+		ASNs:  m.NumASNs(),
+		Theta: theta,
+	}
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		if n := c.Size(); n > 1 {
+			s.stats.MultiASOrgs++
+			if n > s.stats.LargestOrg {
+				s.stats.LargestOrg = n
+			}
+		} else if s.stats.LargestOrg == 0 {
+			s.stats.LargestOrg = 1
+		}
+		lower := strings.ToLower(c.Name)
+		s.lowerNames[i] = lower
+		for _, tok := range tokenize(lower) {
+			ids := s.tokens[tok]
+			if len(ids) == 0 || ids[len(ids)-1] != i {
+				s.tokens[tok] = append(ids, i)
+			}
+		}
+	}
+	s.tokenList = make([]string, 0, len(s.tokens))
+	for tok := range s.tokens {
+		s.tokenList = append(s.tokenList, tok)
+	}
+	sort.Strings(s.tokenList)
+	s.stats.SizeHistogram = sizeHistogram(m.Sizes())
+	return s, nil
+}
+
+// tokenize splits an already-lowercased name into indexable tokens
+// (maximal runs of letters and digits).
+func tokenize(lower string) []string {
+	var out []string
+	start := -1
+	for i, r := range lower {
+		alnum := r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r >= 0x80
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			out = append(out, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, lower[start:])
+	}
+	return out
+}
+
+// sizeHistogram buckets descending cluster sizes into power-of-two
+// bins.
+func sizeHistogram(sizes []int) []SizeBucket {
+	counts := make(map[int]int) // bucket index -> org count
+	maxBucket := 0
+	for _, n := range sizes {
+		b := 0
+		for lo, hi := 1, 1; ; b, lo, hi = b+1, hi+1, hi*2 {
+			if n >= lo && n <= hi {
+				break
+			}
+		}
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	out := make([]SizeBucket, 0, maxBucket+1)
+	lo, hi := 1, 1
+	for b := 0; b <= maxBucket; b++ {
+		out = append(out, SizeBucket{Lo: lo, Hi: hi, Orgs: counts[b]})
+		lo, hi = hi+1, hi*2
+	}
+	return out
+}
+
+// Mapping returns the underlying consolidated mapping. Callers must
+// treat it as read-only.
+func (s *Snapshot) Mapping() *cluster.Mapping { return s.mapping }
+
+// Stats returns the snapshot's precomputed statistics.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Source returns the label describing where the mapping came from.
+func (s *Snapshot) Source() string { return s.source }
+
+// LoadedAt returns when the snapshot was constructed.
+func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
+
+// Lookup returns the organization containing a, or nil when a is
+// unmapped.
+func (s *Snapshot) Lookup(a asnum.ASN) *cluster.Cluster { return s.mapping.ClusterOf(a) }
+
+// Org returns the organization with the given cluster ID, or nil.
+func (s *Snapshot) Org(id int) *cluster.Cluster {
+	if id < 0 || id >= len(s.mapping.Clusters) {
+		return nil
+	}
+	return &s.mapping.Clusters[id]
+}
+
+// Search returns up to limit organizations whose display name contains
+// the query (case-insensitive), in ascending cluster-ID order. A
+// single-word query scans the token index; a multi-word query falls
+// back to whole-name substring matching. limit <= 0 means no limit.
+func (s *Snapshot) Search(query string, limit int) []*cluster.Cluster {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" {
+		return nil
+	}
+	if limit <= 0 {
+		limit = len(s.mapping.Clusters)
+	}
+	var ids []int
+	if strings.ContainsAny(q, " \t") {
+		for i, name := range s.lowerNames {
+			if strings.Contains(name, q) {
+				ids = append(ids, i)
+			}
+		}
+	} else {
+		seen := make(map[int]bool)
+		for _, tok := range s.tokenList {
+			if !strings.Contains(tok, q) {
+				continue
+			}
+			for _, id := range s.tokens[tok] {
+				if !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+		}
+		sort.Ints(ids)
+	}
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]*cluster.Cluster, len(ids))
+	for i, id := range ids {
+		out[i] = &s.mapping.Clusters[id]
+	}
+	return out
+}
+
+// FeatureNames renders a cluster's contributing features in the
+// paper's shorthand (OID_W, OID_P, N&A, R&R, F).
+func FeatureNames(c *cluster.Cluster) []string {
+	var out []string
+	for f := 0; f < cluster.NumFeatures; f++ {
+		if c.Features[f] {
+			out = append(out, cluster.Feature(f).String())
+		}
+	}
+	return out
+}
