@@ -1,0 +1,210 @@
+// Benchmarks for the overlapped pipeline and the content-addressed
+// cache: cold vs warm full runs, crawl-level dedup of duplicate URLs,
+// and a 16-cell ablation grid sharing one cache. Besides the standard
+// -bench output, these benches append machine-readable observations
+// that TestMain serializes to BENCH_pipeline.json, so CI smoke runs
+// leave a comparable artifact.
+//
+//	go test -run=NONE -bench='ColdVsWarm|DuplicateURLs|AblationGrid' -benchtime=1x
+package borges_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	borges "github.com/nu-aqualab/borges"
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/crawler"
+	"github.com/nu-aqualab/borges/internal/websim"
+)
+
+// benchRecord is one serialized benchmark observation.
+type benchRecord struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+var (
+	benchRecMu sync.Mutex
+	benchRecs  []benchRecord
+)
+
+// recordBench snapshots a finished benchmark's timing plus extra
+// metrics for the BENCH_pipeline.json artifact.
+func recordBench(b *testing.B, metrics map[string]float64) {
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	r := benchRecord{Name: b.Name(), N: b.N, Metrics: metrics}
+	if b.N > 0 {
+		r.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	benchRecs = append(benchRecs, r)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchRecMu.Lock()
+	recs := benchRecs
+	benchRecMu.Unlock()
+	if len(recs) > 0 {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+		blob, err := json.MarshalIndent(struct {
+			Benchmarks []benchRecord `json:"benchmarks"`
+		}{recs}, "", "  ")
+		if err == nil {
+			blob = append(blob, '\n')
+			err = os.WriteFile("BENCH_pipeline.json", blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "writing BENCH_pipeline.json:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func pipelineInputs(b *testing.B, ds *borges.Dataset) borges.Inputs {
+	b.Helper()
+	return borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,
+		Provider:  borges.NewSimulatedLLM(),
+	}
+}
+
+// BenchmarkRunColdVsWarm contrasts a full-feature run that starts with
+// an empty cache against one whose cache was primed by a previous run.
+// The warm runs replay every LLM completion and crawl outcome from the
+// cache, so the gap is the cost the cache removes from re-runs.
+func BenchmarkRunColdVsWarm(b *testing.B) {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: pipelineScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store, err := borges.NewCache(borges.CacheOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := borges.Run(ctx, pipelineInputs(b, ds), borges.Options{Cache: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recordBench(b, nil)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		store, err := borges.NewCache(borges.CacheOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := borges.Run(ctx, pipelineInputs(b, ds), borges.Options{Cache: store}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := borges.Run(ctx, pipelineInputs(b, ds), borges.Options{Cache: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := store.Stats()
+		recordBench(b, map[string]float64{
+			"cache_hits":   float64(st.Hits),
+			"cache_misses": float64(st.Misses),
+		})
+	})
+}
+
+// BenchmarkCrawlDuplicateURLs measures CrawlAll over a task list where
+// every site is reported through three URL spellings; the per-op
+// transport request count shows one fetch per unique canonical URL.
+func BenchmarkCrawlDuplicateURLs(b *testing.B) {
+	u := websim.New()
+	var tasks []crawler.Task
+	const sites = 8
+	for i := 0; i < sites; i++ {
+		host := fmt.Sprintf("www.site%d.example", i)
+		u.AddSite(host, fmt.Sprintf("icon%d", i%3))
+		tasks = append(tasks,
+			crawler.Task{ASN: asnum.ASN(3*i + 1), URL: "https://" + host},
+			crawler.Task{ASN: asnum.ASN(3*i + 2), URL: "https://" + host + "/"},
+			crawler.Task{ASN: asnum.ASN(3*i + 3), URL: host},
+		)
+	}
+	u.ResetRequests()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := crawler.New(crawler.Options{Transport: u, Concurrency: 8})
+		res := c.CrawlAll(context.Background(), tasks)
+		if len(res) != len(tasks) {
+			b.Fatalf("got %d results for %d tasks", len(res), len(tasks))
+		}
+	}
+	b.StopTimer()
+	reqsPerOp := float64(u.Requests()) / float64(b.N)
+	b.ReportMetric(reqsPerOp, "transport-reqs/op")
+	recordBench(b, map[string]float64{
+		"tasks":                 float64(len(tasks)),
+		"unique_urls":           sites,
+		"transport_reqs_per_op": reqsPerOp,
+	})
+}
+
+// BenchmarkAblationGridSharedCache runs all 16 feature combinations
+// over one shared cache, the way an evaluation sweep would: every LLM
+// completion and crawl is paid for once across the whole grid.
+func BenchmarkAblationGridSharedCache(b *testing.B) {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 1, Scale: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := borges.NewCache(borges.CacheOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	combos := make([]borges.Features, 0, 16)
+	for i := 0; i < 16; i++ {
+		combos = append(combos, borges.Features{
+			OIDP:     i&1 != 0,
+			NotesAka: i&2 != 0,
+			RR:       i&4 != 0,
+			Favicons: i&8 != 0,
+		})
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range combos {
+			f := combos[j]
+			if _, err := borges.Run(ctx, pipelineInputs(b, ds), borges.Options{Features: &f, Cache: store}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := store.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(b.N), "cache-hits/op")
+	recordBench(b, map[string]float64{
+		"grid_cells":   16,
+		"cache_hits":   float64(st.Hits),
+		"cache_misses": float64(st.Misses),
+		"cache_dedups": float64(st.Dedups),
+	})
+}

@@ -41,6 +41,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/asrank"
 	"github.com/nu-aqualab/borges/internal/baseline"
+	"github.com/nu-aqualab/borges/internal/cache"
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/core"
 	"github.com/nu-aqualab/borges/internal/eval"
@@ -223,6 +224,26 @@ func NewCachingProvider(inner LLMProvider) *llm.Caching { return llm.NewCaching(
 func NewRateLimitedProvider(inner LLMProvider, rps float64, burst int) LLMProvider {
 	return &llm.RateLimited{Inner: inner, RPS: rps, Burst: burst}
 }
+
+// Content-addressed pipeline cache types.
+type (
+	// Cache is a content-addressed store memoizing LLM completions and
+	// crawl outcomes across runs. Pass one via Options.Cache; a single
+	// Cache may be shared by concurrent runs (an ablation grid, a
+	// borgesd reload loop) and deduplicates identical in-flight work.
+	Cache = cache.Cache
+	// CacheOptions configure a Cache (memory bound, optional disk
+	// directory whose contents survive process restarts).
+	CacheOptions = cache.Options
+	// CacheStats are a Cache's hit/miss/dedup counters.
+	CacheStats = cache.Stats
+)
+
+// NewCache opens a content-addressed cache. With a zero CacheOptions
+// it is memory-only; set Dir to persist entries across processes.
+// Close flushes the disk tier; callers owning a disk-backed Cache
+// should defer it.
+func NewCache(opts CacheOptions) (*Cache, error) { return cache.New(opts) }
 
 // Run executes the Borges pipeline.
 func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {

@@ -42,8 +42,14 @@ func main() {
 	features := flag.String("features", "all", "comma-separated features: oidp,na,rr,f (or 'all')")
 	out := flag.String("o", "-", "output file for the mapping ('-' = stdout)")
 	format := flag.String("format", "csv", "mapping output format: csv or jsonl")
+	cacheDir := flag.String("cache-dir", "", "persist the LLM/crawl cache in this directory (reused across runs)")
+	noCache := flag.Bool("no-cache", false, "disable the in-process LLM/crawl cache")
 	verbose := flag.Bool("v", false, "log pipeline stage progress to stderr")
 	flag.Parse()
+
+	if *noCache && *cacheDir != "" {
+		log.Fatal("-no-cache and -cache-dir are mutually exclusive")
+	}
 
 	// Reject a bad -format before the pipeline runs: a multi-minute
 	// crawl+extract batch must not complete only to fail at write time.
@@ -104,6 +110,14 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := borges.Options{Features: &feats}
+	if !*noCache {
+		store, err := borges.NewCache(borges.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		opts.Cache = store
+	}
 	if *verbose {
 		opts.Progress = func(f string, args ...any) {
 			fmt.Fprintf(os.Stderr, "borges: "+f+"\n", args...)

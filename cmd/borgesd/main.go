@@ -21,6 +21,7 @@
 //	POST /admin/reload    re-read -mapping (or re-run the pipeline)
 //	GET  /healthz         liveness + snapshot age
 //	GET  /metrics         Prometheus text format
+//	GET  /debug/pprof/*   runtime profiles (only with -pprof)
 //
 // POST /admin/reload swaps the snapshot atomically: in-flight requests
 // finish on the old view, new requests see the new one, and a reload
@@ -48,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic corpus seed (when -mapping is unset)")
 	scale := flag.Float64("scale", 0.05, "synthetic corpus scale (when -mapping is unset)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
+	pprof := flag.Bool("pprof", false, "expose /debug/pprof/* profiling handlers")
 	quiet := flag.Bool("q", false, "suppress structured request logging")
 	flag.Parse()
 
@@ -59,7 +61,14 @@ func main() {
 		source = borges.MappingFileSource(*mapping)
 		label = *mapping
 	} else {
-		source = pipelineSource(*seed, *scale)
+		// One cache outlives the source closure so every /admin/reload
+		// replays memoized LLM completions and crawl outcomes instead of
+		// re-running them.
+		store, err := borges.NewCache(borges.CacheOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		source = pipelineSource(*seed, *scale, store)
 		label = "synthetic pipeline"
 	}
 
@@ -80,7 +89,7 @@ func main() {
 	log.Printf("serving %d organizations / %d networks (θ = %.4f) on %s",
 		st.Orgs, st.ASNs, st.Theta, *addr)
 
-	opts := borges.ServeOptions{Source: source, RequestTimeout: *timeout}
+	opts := borges.ServeOptions{Source: source, RequestTimeout: *timeout, EnablePprof: *pprof}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}
@@ -92,8 +101,10 @@ func main() {
 
 // pipelineSource builds a Source that regenerates the seeded synthetic
 // corpus and runs the full Borges pipeline in-process — the -seed/-scale
-// self-bootstrap mode, also exercised on every /admin/reload.
-func pipelineSource(seed int64, scale float64) borges.SnapshotSource {
+// self-bootstrap mode, also exercised on every /admin/reload. The cache
+// is shared across reloads, so only the first run pays for LLM
+// completions and crawls.
+func pipelineSource(seed int64, scale float64, store *borges.Cache) borges.SnapshotSource {
 	return func(ctx context.Context) (*borges.Mapping, error) {
 		ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: seed, Scale: scale})
 		if err != nil {
@@ -104,7 +115,7 @@ func pipelineSource(seed int64, scale float64) borges.SnapshotSource {
 			PDB:       ds.PDB,
 			Transport: ds.Web,
 			Provider:  borges.NewSimulatedLLM(),
-		}, borges.Options{})
+		}, borges.Options{Cache: store})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,342 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // refresh a; b is now the LRU victim
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestSingleflight launches many goroutines missing on one key and
+// requires exactly one underlying fill.
+func TestSingleflight(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	start := make(chan struct{})
+	release := make(chan struct{})
+	fill := func(ctx context.Context) ([]byte, error) {
+		calls.Add(1)
+		<-release // hold the flight open so followers must piggyback
+		return []byte("shared"), nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrFill(context.Background(), "hot", fill)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	// Let the leader enter the fill, then release it. A short busy
+	// wait on the calls counter avoids a timing-dependent sleep.
+	for calls.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("underlying fills = %d, want 1", calls.Load())
+	}
+	for i, v := range results {
+		if string(v) != "shared" {
+			t.Errorf("worker %d got %q", i, v)
+		}
+	}
+	if st := c.Stats(); st.Dedups == 0 {
+		t.Errorf("expected dedups > 0, stats = %+v", st)
+	}
+}
+
+func TestGetOrFillErrorNotCached(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("backend down")
+	if _, err := c.GetOrFill(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.GetOrFill(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("recovery fill: %q, %v", v, err)
+	}
+}
+
+// TestDiskTierSurvivesRestart writes through one Cache instance and
+// reads through a second instance opened on the same directory — the
+// cross-process warm-start path.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("llm:abc", []byte(`{"Content":"Orange"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("crawl:def", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, ok := c2.Get("llm:abc")
+	if !ok || string(v) != `{"Content":"Orange"}` {
+		t.Fatalf("disk round-trip: %q, %v", v, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.DiskEntries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// A second Get is served from memory (promoted on the disk hit).
+	if _, ok := c2.Get("llm:abc"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("second read should not touch disk: %+v", st)
+	}
+}
+
+// TestDiskTierToleratesTornTail simulates a crash mid-append: the torn
+// trailing line is discarded on reopen and the log stays usable.
+func TestDiskTierToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("k1", []byte("v1"))
+	// Simulate the torn write directly on the log handle.
+	if _, err := c1.log.WriteAt([]byte(`{"k":"k2","v":"InRv`), c1.logSize); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v, ok := c2.Get("k1"); !ok || string(v) != "v1" {
+		t.Fatalf("intact entry lost: %q, %v", v, ok)
+	}
+	if err := c2.Put("k3", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if v, ok := c3.Get("k3"); !ok || string(v) != "v3" {
+		t.Fatalf("post-recovery append lost: %q, %v", v, ok)
+	}
+}
+
+func TestKeyNamespacesAndSensitivity(t *testing.T) {
+	if Key("llm", "a", "b") == Key("llm", "ab") {
+		t.Error("length-prefixing must separate part boundaries")
+	}
+	if Key("llm", "x") == Key("crawl", "x") {
+		t.Error("namespaces must not collide")
+	}
+	if Key("llm", "x") != Key("llm", "x") {
+		t.Error("keys must be deterministic")
+	}
+}
+
+// countingProvider echoes requests and counts backend calls.
+type countingProvider struct {
+	calls atomic.Int64
+	fail  atomic.Bool
+}
+
+func (p *countingProvider) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	p.calls.Add(1)
+	if p.fail.Load() {
+		return llm.Response{}, errors.New("backend down")
+	}
+	content := ""
+	if len(req.Messages) > 0 {
+		content = req.Messages[len(req.Messages)-1].Content
+	}
+	return llm.Response{Content: "re: " + content, Model: req.Model}, nil
+}
+
+func TestProviderMemoizes(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingProvider{}
+	p := &Provider{Inner: inner, Cache: c}
+	req := llm.Request{Model: "m", Messages: []llm.Message{{Role: llm.RoleUser, Content: "hello"}}}
+	ctx := context.Background()
+	r1, err := p.Complete(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Complete(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("cached response differs: %+v vs %+v", r1, r2)
+	}
+	if inner.calls.Load() != 1 {
+		t.Errorf("backend calls = %d, want 1", inner.calls.Load())
+	}
+	// A different prompt misses.
+	req2 := req
+	req2.Messages = []llm.Message{{Role: llm.RoleUser, Content: "other"}}
+	if _, err := p.Complete(ctx, req2); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Errorf("backend calls = %d, want 2", inner.calls.Load())
+	}
+}
+
+func TestProviderDiskWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingProvider{}
+	req := llm.Request{Model: "m", Messages: []llm.Message{{Role: llm.RoleUser, Content: "q"}}}
+	if _, err := (&Provider{Inner: inner, Cache: c1}).Complete(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	inner2 := &countingProvider{}
+	resp, err := (&Provider{Inner: inner2, Cache: c2}).Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner2.calls.Load() != 0 {
+		t.Errorf("warm start hit the backend %d times", inner2.calls.Load())
+	}
+	if resp.Content != "re: q" {
+		t.Errorf("warm response = %+v", resp)
+	}
+}
+
+func TestProviderErrorsPropagate(t *testing.T) {
+	c, _ := New(Options{})
+	inner := &countingProvider{}
+	inner.fail.Store(true)
+	p := &Provider{Inner: inner, Cache: c}
+	req := llm.Request{Model: "m", Messages: []llm.Message{{Role: llm.RoleUser, Content: "x"}}}
+	if _, err := p.Complete(context.Background(), req); err == nil {
+		t.Fatal("want error")
+	}
+	inner.fail.Store(false)
+	if _, err := p.Complete(context.Background(), req); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", inner.calls.Load())
+	}
+}
+
+// TestConcurrentMixedUse hammers one cache from many goroutines across
+// overlapping keys with the race detector in mind.
+func TestConcurrentMixedUse(t *testing.T) {
+	c, err := New(Options{MaxEntries: 8, Dir: filepath.Join(t.TempDir(), "d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%12)
+			if i%3 == 0 {
+				c.Put(key, []byte(key))
+				return
+			}
+			v, err := c.GetOrFill(context.Background(), key, func(context.Context) ([]byte, error) {
+				return []byte(key), nil
+			})
+			if err != nil || string(v) != key {
+				t.Errorf("GetOrFill(%s) = %q, %v", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -185,7 +185,9 @@ func (c *Classifier) Classify(ctx context.Context, g favicon.Group) Outcome {
 }
 
 // ClassifyAll runs every group with bounded concurrency, preserving
-// input order.
+// input order. When ctx is cancelled mid-batch, groups still waiting
+// for a worker slot are marked Unknown with ctx.Err() instead of
+// issuing further model calls.
 func (c *Classifier) ClassifyAll(ctx context.Context, groups []favicon.Group) []Outcome {
 	conc := c.Concurrency
 	if conc <= 0 {
@@ -196,9 +198,13 @@ func (c *Classifier) ClassifyAll(ctx context.Context, groups []favicon.Group) []
 	done := make(chan struct{})
 	for i, g := range groups {
 		go func(i int, g favicon.Group) {
-			sem <- struct{}{}
-			out[i] = c.Classify(ctx, g)
-			<-sem
+			select {
+			case sem <- struct{}{}:
+				out[i] = c.Classify(ctx, g)
+				<-sem
+			case <-ctx.Done():
+				out[i] = Outcome{Group: g, Decision: DecisionUnknown, Err: ctx.Err()}
+			}
 			done <- struct{}{}
 		}(i, g)
 	}

@@ -16,6 +16,7 @@ import (
 	"net/http"
 
 	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cache"
 	"github.com/nu-aqualab/borges/internal/classify"
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/crawler"
@@ -106,8 +107,19 @@ type Options struct {
 	// SubdomainBlocklist overrides the Appendix D.1 default.
 	SubdomainBlocklist *urlmatch.Blocklist
 	// Progress, when non-nil, receives a line per pipeline stage —
-	// what an unattended multi-hour crawl+extract batch logs.
+	// what an unattended multi-hour crawl+extract batch logs. The NER
+	// and web stages run concurrently, but their lines are emitted in
+	// the canonical stage order (universe, org keys, notes/aka, crawl,
+	// R&R, favicons, consolidated) so logs stay deterministic.
 	Progress func(format string, args ...any)
+	// Cache, when non-nil, memoizes the run's expensive work: LLM
+	// completions (NER extraction and favicon classification, keyed by
+	// full prompt + model) and crawl outcomes (keyed by canonical URL +
+	// crawl options). A cache shared across runs — ablation grids,
+	// snapshot re-runs, borgesd reloads — answers repeated work without
+	// touching the backend or the network; a cache with a disk tier
+	// survives process restarts.
+	Cache *cache.Cache
 }
 
 // progress emits a stage line when a sink is configured.
@@ -148,7 +160,10 @@ type Stats struct {
 
 	NetsWithWebsite int
 	UniqueURLs      int
-	ReachableURLs   int
+	// BadURLs counts reported websites whose URL failed
+	// canonicalization and therefore never became a crawl task.
+	BadURLs       int
+	ReachableURLs int
 	UniqueFinalURLs int
 	FaviconStats    favicon.Stats
 	CompanyGroups   int
@@ -159,6 +174,36 @@ type Stats struct {
 	Step2Companies  int
 }
 
+// merge folds a stage's privately accumulated counters into s. Stages
+// run concurrently but each populates its own Stats value; merging
+// happens on the orchestrating goroutine after the join, so no counter
+// is ever written from two goroutines.
+func (s *Stats) merge(o Stats) {
+	s.NetsWithText += o.NetsWithText
+	s.NumericEntries += o.NumericEntries
+	s.NumericInAka += o.NumericInAka
+	s.NumericInNotes += o.NumericInNotes
+	s.ExtractedASNs += o.ExtractedASNs
+	s.RecordsWithSibs += o.RecordsWithSibs
+
+	s.NetsWithWebsite += o.NetsWithWebsite
+	s.UniqueURLs += o.UniqueURLs
+	s.BadURLs += o.BadURLs
+	s.ReachableURLs += o.ReachableURLs
+	s.UniqueFinalURLs += o.UniqueFinalURLs
+	s.FaviconStats.FinalURLs += o.FaviconStats.FinalURLs
+	s.FaviconStats.UniqueFavicons += o.FaviconStats.UniqueFavicons
+	s.FaviconStats.SharedFavicons += o.FaviconStats.SharedFavicons
+	s.FaviconStats.URLsInSharedGroups += o.FaviconStats.URLsInSharedGroups
+	s.FaviconStats.SharedSameBrand += o.FaviconStats.SharedSameBrand
+	s.CompanyGroups += o.CompanyGroups
+	s.FrameworkGroups += o.FrameworkGroups
+	s.UnknownGroups += o.UnknownGroups
+	s.DiscardedGroups += o.DiscardedGroups
+	s.Step1Companies += o.Step1Companies
+	s.Step2Companies += o.Step2Companies
+}
+
 // Result is the output of a pipeline run.
 type Result struct {
 	// Mapping is the consolidated AS-to-Organization mapping over the
@@ -166,6 +211,23 @@ type Result struct {
 	Mapping   *cluster.Mapping
 	Artifacts Artifacts
 	Stats     Stats
+}
+
+// stageLog buffers one concurrent stage's progress lines so they can
+// be replayed in canonical stage order after the join, keeping
+// Progress output deterministic while the stages themselves overlap.
+type stageLog struct {
+	lines []string
+}
+
+func (l *stageLog) printf(format string, args ...any) {
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *stageLog) flush(opts Options) {
+	for _, line := range l.lines {
+		opts.progress("%s", line)
+	}
 }
 
 // Run executes the pipeline.
@@ -205,17 +267,56 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 		opts.progress("org keys: %d PeeringDB organizations joined", len(res.Artifacts.OIDPSets))
 	}
 
+	// The NER stage (LLM extraction over notes/aka) and the web stage
+	// (crawl → R&R → favicons) are independent until consolidation, so
+	// they overlap: each runs under a shared cancellable context,
+	// accumulates its own Stats and progress lines, and hands its
+	// sibling sets back here. The Builder is touched only from this
+	// goroutine, in the fixed feature order, so cluster IDs stay
+	// deterministic.
+	provider := in.Provider
+	if opts.Cache != nil && provider != nil {
+		provider = &cache.Provider{Inner: provider, Cache: opts.Cache}
+	}
+	var (
+		nerOut         nerOutput
+		webOut         webOutput
+		nerLog, webLog stageLog
+	)
+	g, gctx := startGroup(ctx)
 	if feats.NotesAka {
-		if err := runNER(ctx, in, opts, res, b); err != nil {
-			return nil, err
-		}
+		g.Go(func() error {
+			var err error
+			nerOut, err = runNER(gctx, in, opts, provider, &nerLog)
+			return err
+		})
 	}
-
 	if feats.RR || feats.Favicons {
-		if err := runWeb(ctx, in, opts, feats, res, b); err != nil {
-			return nil, err
-		}
+		g.Go(func() error {
+			var err error
+			webOut, err = runWeb(gctx, in, opts, feats, provider, &webLog)
+			return err
+		})
 	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	res.Stats.merge(nerOut.stats)
+	res.Stats.merge(webOut.stats)
+	nerLog.flush(opts)
+	webLog.flush(opts)
+
+	res.Artifacts.Extractions = nerOut.extractions
+	res.Artifacts.NASets = nerOut.sets
+	b.AddAll(res.Artifacts.NASets)
+
+	res.Artifacts.CrawlResults = webOut.crawls
+	res.Artifacts.RRSets = webOut.rrSets
+	res.Artifacts.FaviconIndex = webOut.faviconIndex
+	res.Artifacts.ClassifyOutcomes = webOut.outcomes
+	res.Artifacts.FaviconSets = webOut.faviconSets
+	b.AddAll(res.Artifacts.RRSets)
+	b.AddAll(res.Artifacts.FaviconSets)
 
 	res.Mapping = b.Build(namer(in))
 	opts.progress("consolidated: %d networks in %d organizations",
@@ -242,139 +343,163 @@ func namer(in Inputs) cluster.Namer {
 	}
 }
 
-func runNER(ctx context.Context, in Inputs, opts Options, res *Result, b *cluster.Builder) error {
+// nerOutput is everything the notes/aka stage produces.
+type nerOutput struct {
+	extractions []ner.Extraction
+	sets        []cluster.SiblingSet
+	stats       Stats
+}
+
+func runNER(ctx context.Context, in Inputs, opts Options, provider llm.Provider, log *stageLog) (nerOutput, error) {
+	var out nerOutput
 	records := ner.RecordsFromPDB(in.PDB)
-	res.Stats.NetsWithText = len(records)
+	out.stats.NetsWithText = len(records)
 	for _, r := range records {
 		numeric := false
 		if hasDigit(r.Aka) {
-			res.Stats.NumericInAka++
+			out.stats.NumericInAka++
 			numeric = true
 		}
 		if hasDigit(r.Notes) {
-			res.Stats.NumericInNotes++
+			out.stats.NumericInNotes++
 			numeric = true
 		}
 		if numeric {
-			res.Stats.NumericEntries++
+			out.stats.NumericEntries++
 		}
 	}
 	ex := &ner.Extractor{
-		Provider:            in.Provider,
+		Provider:            provider,
 		Concurrency:         opts.LLMConcurrency,
 		DisableInputFilter:  opts.DisableInputFilter,
 		DisableOutputFilter: opts.DisableOutputFilter,
 	}
-	res.Artifacts.Extractions = ex.ExtractAll(ctx, records)
+	out.extractions = ex.ExtractAll(ctx, records)
 	if err := ctx.Err(); err != nil {
-		return err
+		return out, err
 	}
 	seen := make(map[asnum.ASN]bool)
-	for _, x := range res.Artifacts.Extractions {
+	for _, x := range out.extractions {
 		if len(x.Siblings) > 0 {
-			res.Stats.RecordsWithSibs++
+			out.stats.RecordsWithSibs++
 			for _, a := range x.Siblings {
 				if !seen[a] {
 					seen[a] = true
-					res.Stats.ExtractedASNs++
+					out.stats.ExtractedASNs++
 				}
 			}
 		}
 	}
-	res.Artifacts.NASets = ner.SiblingSets(res.Artifacts.Extractions)
-	b.AddAll(res.Artifacts.NASets)
-	opts.progress("notes/aka: %d of %d numeric records yielded %d sibling ASNs",
-		res.Stats.RecordsWithSibs, res.Stats.NumericEntries, res.Stats.ExtractedASNs)
-	return nil
+	out.sets = ner.SiblingSets(out.extractions)
+	log.printf("notes/aka: %d of %d numeric records yielded %d sibling ASNs",
+		out.stats.RecordsWithSibs, out.stats.NumericEntries, out.stats.ExtractedASNs)
+	return out, nil
 }
 
-func runWeb(ctx context.Context, in Inputs, opts Options, feats Features, res *Result, b *cluster.Builder) error {
+// webOutput is everything the crawl → R&R → favicon stage produces.
+type webOutput struct {
+	crawls       []crawler.Result
+	rrSets       []cluster.SiblingSet
+	faviconIndex *favicon.Index
+	outcomes     []classify.Outcome
+	faviconSets  []cluster.SiblingSet
+	stats        Stats
+}
+
+func runWeb(ctx context.Context, in Inputs, opts Options, feats Features, provider llm.Provider, log *stageLog) (webOutput, error) {
+	var out webOutput
 	copts := opts.Crawler
 	copts.Transport = in.Transport
 	copts.SkipFavicons = !feats.Favicons
+	copts.Cache = opts.Cache
 	cr := crawler.New(copts)
 
+	// One pass builds the task list and the unique-URL count together;
+	// websites that fail canonicalization never become tasks (the
+	// crawler could only fail them again) and are surfaced in BadURLs
+	// instead of being silently dropped from the unique count.
 	nets := in.PDB.NetsWithWebsite()
-	res.Stats.NetsWithWebsite = len(nets)
+	out.stats.NetsWithWebsite = len(nets)
 	tasks := make([]crawler.Task, 0, len(nets))
-	uniqueReported := make(map[string]bool)
+	uniqueReported := make(map[string]bool, len(nets))
 	for _, n := range nets {
-		tasks = append(tasks, crawler.Task{ASN: n.ASN, URL: n.Website})
-		if canon, err := urlmatch.Canonicalize(n.Website); err == nil {
-			uniqueReported[canon] = true
+		canon, err := urlmatch.Canonicalize(n.Website)
+		if err != nil {
+			out.stats.BadURLs++
+			continue
 		}
+		tasks = append(tasks, crawler.Task{ASN: n.ASN, URL: n.Website})
+		uniqueReported[canon] = true
 	}
-	res.Stats.UniqueURLs = len(uniqueReported)
+	out.stats.UniqueURLs = len(uniqueReported)
 
-	opts.progress("crawl: resolving %d reported websites (%d unique URLs)",
-		len(tasks), res.Stats.UniqueURLs)
-	res.Artifacts.CrawlResults = cr.CrawlAll(ctx, tasks)
+	log.printf("crawl: resolving %d reported websites (%d unique URLs, %d malformed)",
+		len(tasks), out.stats.UniqueURLs, out.stats.BadURLs)
+	out.crawls = cr.CrawlAll(ctx, tasks)
 	if err := ctx.Err(); err != nil {
-		return err
+		return out, err
 	}
 	uniqueFinal := make(map[string]bool)
-	for _, r := range res.Artifacts.CrawlResults {
+	for _, r := range out.crawls {
 		if r.OK {
-			res.Stats.ReachableURLs++
+			out.stats.ReachableURLs++
 			uniqueFinal[r.FinalURL] = true
 		}
 	}
-	res.Stats.UniqueFinalURLs = len(uniqueFinal)
+	out.stats.UniqueFinalURLs = len(uniqueFinal)
 
-	opts.progress("crawl: %d reachable, %d unique final URLs",
-		res.Stats.ReachableURLs, res.Stats.UniqueFinalURLs)
+	log.printf("crawl: %d reachable, %d unique final URLs",
+		out.stats.ReachableURLs, out.stats.UniqueFinalURLs)
 	if feats.RR {
 		m := urlmatch.NewMatcher(opts.FinalURLBlocklist)
-		res.Artifacts.RRSets = m.SiblingSets(crawler.FinalURLs(res.Artifacts.CrawlResults))
-		b.AddAll(res.Artifacts.RRSets)
-		opts.progress("R&R: %d final-URL groups", len(res.Artifacts.RRSets))
+		out.rrSets = m.SiblingSets(crawler.FinalURLs(out.crawls))
+		log.printf("R&R: %d final-URL groups", len(out.rrSets))
 	}
 
 	if feats.Favicons {
 		idx := favicon.NewIndex()
-		for _, r := range res.Artifacts.CrawlResults {
+		for _, r := range out.crawls {
 			if r.OK {
 				idx.Add(r.FinalURL, r.FaviconHash, r.Task.ASN)
 			}
 		}
-		res.Artifacts.FaviconIndex = idx
-		res.Stats.FaviconStats = idx.Stats()
+		out.faviconIndex = idx
+		out.stats.FaviconStats = idx.Stats()
 
 		cls := &classify.Classifier{
-			Provider:     in.Provider,
+			Provider:     provider,
 			Blocklist:    opts.SubdomainBlocklist,
 			IconSource:   cr.IconBytes,
 			DisableStep2: opts.DisableClassifierStep2,
 			Concurrency:  opts.LLMConcurrency,
 		}
-		res.Artifacts.ClassifyOutcomes = cls.ClassifyAll(ctx, idx.SharedGroups())
+		out.outcomes = cls.ClassifyAll(ctx, idx.SharedGroups())
 		if err := ctx.Err(); err != nil {
-			return err
+			return out, err
 		}
-		for _, o := range res.Artifacts.ClassifyOutcomes {
+		for _, o := range out.outcomes {
 			switch o.Decision {
 			case classify.DecisionCompany:
-				res.Stats.CompanyGroups++
+				out.stats.CompanyGroups++
 				if o.Step == 1 {
-					res.Stats.Step1Companies++
+					out.stats.Step1Companies++
 				} else {
-					res.Stats.Step2Companies++
+					out.stats.Step2Companies++
 				}
 			case classify.DecisionFramework:
-				res.Stats.FrameworkGroups++
+				out.stats.FrameworkGroups++
 			case classify.DecisionUnknown:
-				res.Stats.UnknownGroups++
+				out.stats.UnknownGroups++
 			case classify.DecisionDiscarded:
-				res.Stats.DiscardedGroups++
+				out.stats.DiscardedGroups++
 			}
 		}
-		res.Artifacts.FaviconSets = classify.SiblingSets(res.Artifacts.ClassifyOutcomes)
-		b.AddAll(res.Artifacts.FaviconSets)
-		opts.progress("favicons: %d shared groups → %d companies (%d step 1, %d step 2), %d frameworks",
-			len(res.Artifacts.ClassifyOutcomes), res.Stats.CompanyGroups,
-			res.Stats.Step1Companies, res.Stats.Step2Companies, res.Stats.FrameworkGroups)
+		out.faviconSets = classify.SiblingSets(out.outcomes)
+		log.printf("favicons: %d shared groups → %d companies (%d step 1, %d step 2), %d frameworks",
+			len(out.outcomes), out.stats.CompanyGroups,
+			out.stats.Step1Companies, out.stats.Step2Companies, out.stats.FrameworkGroups)
 	}
-	return nil
+	return out, nil
 }
 
 func hasDigit(s string) bool {

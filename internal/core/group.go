@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// group is a minimal errgroup: goroutines run under a shared derived
+// context that is cancelled when any of them returns an error, and
+// Wait returns the first error. It exists because the pipeline's NER
+// and web stages are independent until consolidation and should
+// overlap, while a failure in either must stop the other's LLM fan-out
+// and crawl promptly.
+type group struct {
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+	once   sync.Once
+	err    error
+}
+
+// startGroup returns a group and the derived context its goroutines
+// must run under.
+func startGroup(ctx context.Context) (*group, context.Context) {
+	gctx, cancel := context.WithCancel(ctx)
+	return &group{cancel: cancel}, gctx
+}
+
+// Go runs fn in a goroutine; the first non-nil error cancels the
+// group's context.
+func (g *group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// Wait blocks until every goroutine finishes, releases the group's
+// context, and returns the first error.
+func (g *group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}

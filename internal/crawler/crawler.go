@@ -17,16 +17,20 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cache"
 	"github.com/nu-aqualab/borges/internal/urlmatch"
 )
 
@@ -78,6 +82,15 @@ type Options struct {
 	SkipFavicons bool
 	// UserAgent is sent with every request.
 	UserAgent string
+	// Cache, when non-nil, memoizes crawl outcomes content-addressed
+	// by canonical URL and the options that shape a result (MaxHops,
+	// MaxBody, SkipFavicons, UserAgent). Concurrent crawls of one
+	// canonical URL collapse to a single fetch, and with a disk-tier
+	// cache a warm re-run resolves every previously seen URL without a
+	// network round-trip. Cached entries carry the favicon hash and
+	// payload, so the classifier's image prompts are byte-identical
+	// across runs.
+	Cache *cache.Cache
 }
 
 // Crawler resolves reported URLs to final URLs and favicons.
@@ -130,14 +143,101 @@ func New(opts Options) *Crawler {
 
 func (o Options) faviconsEnabled() bool { return !o.SkipFavicons }
 
-// Crawl resolves one task.
+// Crawl resolves one task, consulting the result cache when one is
+// configured.
 func (c *Crawler) Crawl(ctx context.Context, t Task) Result {
-	res := Result{Task: t}
-	cur, err := urlmatch.Canonicalize(t.URL)
+	canon, err := urlmatch.Canonicalize(t.URL)
 	if err != nil {
-		res.Err = fmt.Errorf("crawler: %w", err)
-		return res
+		return Result{Task: t, Err: fmt.Errorf("crawler: %w", err)}
 	}
+	if c.opts.Cache == nil {
+		return c.resolve(ctx, t, canon)
+	}
+	raw, err := c.opts.Cache.GetOrFill(ctx, c.cacheKey(canon), func(ctx context.Context) ([]byte, error) {
+		r := c.resolve(ctx, t, canon)
+		if r.Err != nil && (errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)) {
+			// A cancelled crawl says nothing about the site; caching it
+			// would poison warm runs.
+			return nil, r.Err
+		}
+		return json.Marshal(c.toCached(r))
+	})
+	if err != nil {
+		return Result{Task: t, Err: err}
+	}
+	var ce cachedCrawl
+	if err := json.Unmarshal(raw, &ce); err != nil {
+		return Result{Task: t, Err: fmt.Errorf("crawler: decode cached crawl: %w", err)}
+	}
+	return c.fromCached(t, ce)
+}
+
+// cacheKey fingerprints a canonical URL together with every option
+// that shapes the outcome. Transport identity is deliberately
+// excluded: a cache directory belongs to one web (live or one
+// simulated universe), which the caller controls.
+func (c *Crawler) cacheKey(canon string) string {
+	return cache.Key("crawl", canon,
+		strconv.Itoa(c.opts.MaxHops),
+		strconv.FormatInt(c.opts.MaxBody, 10),
+		strconv.FormatBool(c.opts.SkipFavicons),
+		c.opts.UserAgent,
+	)
+}
+
+// cachedCrawl is the task-independent wire form of a crawl outcome.
+type cachedCrawl struct {
+	OK          bool     `json:"ok"`
+	FinalURL    string   `json:"final_url,omitempty"`
+	Chain       []string `json:"chain,omitempty"`
+	Hops        int      `json:"hops,omitempty"`
+	FaviconHash string   `json:"favicon,omitempty"`
+	Err         string   `json:"err,omitempty"`
+	// Icon carries the favicon payload (bounded by maxRetainedIcon) so
+	// warm runs can rebuild the classifier's image prompts without
+	// refetching.
+	Icon []byte `json:"icon,omitempty"`
+}
+
+func (c *Crawler) toCached(r Result) cachedCrawl {
+	ce := cachedCrawl{
+		OK: r.OK, FinalURL: r.FinalURL, Chain: r.Chain,
+		Hops: r.Hops, FaviconHash: r.FaviconHash,
+	}
+	if r.Err != nil {
+		ce.Err = r.Err.Error()
+	}
+	if r.FaviconHash != "" {
+		ce.Icon = c.IconBytes(r.FaviconHash)
+	}
+	return ce
+}
+
+// fromCached rebuilds a Result for t and rehydrates the icon caches so
+// IconBytes serves warm runs.
+func (c *Crawler) fromCached(t Task, ce cachedCrawl) Result {
+	r := Result{
+		Task: t, OK: ce.OK, FinalURL: ce.FinalURL, Chain: ce.Chain,
+		Hops: ce.Hops, FaviconHash: ce.FaviconHash,
+	}
+	if ce.Err != "" {
+		r.Err = errors.New(ce.Err)
+	}
+	if ce.FaviconHash != "" {
+		c.mu.Lock()
+		c.favCache[urlmatch.Host(ce.FinalURL)] = ce.FaviconHash
+		if _, ok := c.iconBytes[ce.FaviconHash]; !ok && len(ce.Icon) > 0 {
+			c.iconBytes[ce.FaviconHash] = ce.Icon
+		}
+		c.mu.Unlock()
+	}
+	return r
+}
+
+// resolve follows the redirect chain from a canonicalized URL — the
+// actual network work behind Crawl.
+func (c *Crawler) resolve(ctx context.Context, t Task, cur string) Result {
+	res := Result{Task: t}
 	seen := make(map[string]bool)
 	for {
 		if ctx.Err() != nil {
@@ -377,25 +477,51 @@ func (c *Crawler) IconBytes(hash string) []byte {
 	return c.iconBytes[hash]
 }
 
-// CrawlAll resolves all tasks with bounded concurrency. Results are
-// returned in task order regardless of completion order. The context
-// cancels outstanding work; cancelled tasks carry ctx.Err().
+// CrawlAll resolves all tasks with bounded concurrency. Tasks whose
+// reported URLs canonicalize identically are deduplicated: each unique
+// canonical URL is fetched exactly once and the outcome is fanned back
+// out to every task that shares it (different networks routinely
+// report the same website — "https://corp.example" vs
+// "corp.example/"). Results are returned in task order regardless of
+// completion order. The context cancels outstanding work; cancelled
+// tasks carry ctx.Err().
 func (c *Crawler) CrawlAll(ctx context.Context, tasks []Task) []Result {
 	results := make([]Result, len(tasks))
+	groups := make(map[string][]int, len(tasks))
+	order := make([]string, 0, len(tasks))
+	for i, t := range tasks {
+		canon, err := urlmatch.Canonicalize(t.URL)
+		if err != nil {
+			results[i] = Result{Task: t, Err: fmt.Errorf("crawler: %w", err)}
+			continue
+		}
+		if _, ok := groups[canon]; !ok {
+			order = append(order, canon)
+		}
+		groups[canon] = append(groups[canon], i)
+	}
 	sem := make(chan struct{}, c.opts.Concurrency)
 	var wg sync.WaitGroup
-	for i, t := range tasks {
+	for _, canon := range order {
+		idxs := groups[canon]
 		wg.Add(1)
-		go func(i int, t Task) {
+		go func(canon string, idxs []int) {
 			defer wg.Done()
+			var r Result
 			select {
 			case sem <- struct{}{}:
-				defer func() { <-sem }()
-				results[i] = c.Crawl(ctx, t)
+				r = c.Crawl(ctx, tasks[idxs[0]])
+				<-sem
 			case <-ctx.Done():
-				results[i] = Result{Task: t, Err: ctx.Err()}
+				r = Result{Err: ctx.Err()}
 			}
-		}(i, t)
+			// Fan the shared outcome back out; the Chain slice is
+			// shared read-only across the group's results.
+			for _, i := range idxs {
+				r.Task = tasks[i]
+				results[i] = r
+			}
+		}(canon, idxs)
 	}
 	wg.Wait()
 	return results

@@ -33,9 +33,13 @@ func NewCaching(inner Provider) *Caching {
 	return &Caching{Inner: inner, entries: make(map[string]Response)}
 }
 
-// key derives a stable fingerprint for a request: model, sampling
-// parameters, and every message (including image bytes).
-func (c *Caching) key(req Request) (string, error) {
+// RequestKey derives a stable content-addressed fingerprint for a
+// request — the hex SHA-256 over model, sampling parameters, and every
+// message (including image bytes). Identical requests always yield
+// identical keys, so under the temperature-0 determinism contract a
+// key fully identifies the response. Both Caching and the pipeline's
+// persistent result cache (internal/cache.Provider) key on it.
+func RequestKey(req Request) (string, error) {
 	h := sha256.New()
 	enc := json.NewEncoder(h)
 	meta := struct {
@@ -63,7 +67,7 @@ func (c *Caching) key(req Request) (string, error) {
 
 // Complete implements Provider.
 func (c *Caching) Complete(ctx context.Context, req Request) (Response, error) {
-	k, err := c.key(req)
+	k, err := RequestKey(req)
 	if err != nil {
 		return Response{}, err
 	}

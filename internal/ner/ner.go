@@ -223,7 +223,10 @@ func (e *Extractor) Extract(ctx context.Context, r Record) Extraction {
 }
 
 // ExtractAll runs every record with bounded concurrency, preserving
-// input order in the result slice.
+// input order in the result slice. When ctx is cancelled mid-batch,
+// records still waiting for a worker slot are marked with ctx.Err()
+// instead of issuing further model calls, so a failing sibling
+// pipeline stage stops the LLM fan-out promptly.
 func (e *Extractor) ExtractAll(ctx context.Context, records []Record) []Extraction {
 	conc := e.Concurrency
 	if conc <= 0 {
@@ -234,9 +237,13 @@ func (e *Extractor) ExtractAll(ctx context.Context, records []Record) []Extracti
 	done := make(chan int)
 	for i, r := range records {
 		go func(i int, r Record) {
-			sem <- struct{}{}
-			results[i] = e.Extract(ctx, r)
-			<-sem
+			select {
+			case sem <- struct{}{}:
+				results[i] = e.Extract(ctx, r)
+				<-sem
+			case <-ctx.Done():
+				results[i] = Extraction{Record: r, Err: ctx.Err()}
+			}
 			done <- i
 		}(i, r)
 	}

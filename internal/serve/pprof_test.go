@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestPprofHandlersGated(t *testing.T) {
+	off := newTestServer(t, Options{})
+	if rec := do(t, off, "GET", "/debug/pprof/", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("without EnablePprof: /debug/pprof/ = %d, want 404", rec.Code)
+	}
+
+	on := newTestServer(t, Options{EnablePprof: true})
+	rec := do(t, on, "GET", "/debug/pprof/", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("with EnablePprof: /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not list profiles: %q", body[:min(len(body), 120)])
+	}
+	// A named profile resolves through the index handler's path routing.
+	if rec := do(t, on, "GET", "/debug/pprof/goroutine?debug=1", nil); rec.Code != http.StatusOK {
+		t.Errorf("goroutine profile = %d, want 200", rec.Code)
+	}
+	// The service API is unaffected by the extra mounts.
+	if rec := do(t, on, "GET", "/v1/as/3356", nil); rec.Code != http.StatusOK {
+		t.Errorf("/v1/as with pprof enabled = %d, want 200", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,13 @@ type Options struct {
 	// Logf receives one structured line per request and per reload.
 	// Nil disables request logging.
 	Logf func(format string, args ...any)
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: the profiling surface exposes heap
+	// and goroutine internals and should only be reachable when the
+	// operator asks for it. CPU profile captures are bounded by the
+	// server's write timeout (2× RequestTimeout), so pass
+	// ?seconds= values below that.
+	EnablePprof bool
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -86,6 +94,16 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		// Mounted directly on the mux, not via instrument: the
+		// per-request timeout would cut off long CPU/trace captures, and
+		// profiler hits should not skew the service's latency metrics.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
