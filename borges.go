@@ -80,6 +80,16 @@ type (
 	// Result is a pipeline run's output: the mapping plus retained
 	// artifacts and corpus statistics.
 	Result = core.Result
+
+	// RunReport is a run's machine-readable fault accounting: per-source
+	// status, quarantined items, retries spent, breaker trips.
+	RunReport = core.RunReport
+	// SourceReport summarizes one inference chain's health within a
+	// RunReport.
+	SourceReport = core.SourceReport
+	// QuarantinedItem is one unit of work a run dropped after a
+	// transient fault exhausted its retry budget.
+	QuarantinedItem = core.QuarantinedItem
 )
 
 // ParseASN parses "AS3356", "asn 3356", or bare digits.
@@ -286,6 +296,14 @@ type (
 	SnapshotStats = serve.Stats
 	// SnapshotSource produces replacement mappings for hot reloads.
 	SnapshotSource = serve.Source
+	// SnapshotHealthSource produces replacement mappings together with
+	// the producing run's health, so degradation travels with the
+	// snapshot through hot reloads.
+	SnapshotHealthSource = serve.HealthSource
+	// SnapshotHealth describes the provenance quality of a snapshot's
+	// mapping ("ok" vs "degraded"), surfaced by /healthz, /v1/stats,
+	// and /metrics.
+	SnapshotHealth = serve.Health
 	// ServeOptions tune a lookup server (reload source, per-request
 	// timeout, structured logging).
 	ServeOptions = serve.Options
@@ -293,10 +311,47 @@ type (
 	LookupServer = serve.Server
 )
 
+// Snapshot health status values.
+const (
+	SnapshotHealthOK       = serve.HealthOK
+	SnapshotHealthDegraded = serve.HealthDegraded
+)
+
 // NewSnapshot indexes a mapping for serving; source labels its origin
 // in /v1/stats and /metrics. Nil or empty mappings are rejected.
 func NewSnapshot(m *Mapping, source string) (*Snapshot, error) {
 	return serve.NewSnapshot(m, source)
+}
+
+// NewSnapshotWithHealth is NewSnapshot carrying the producing run's
+// health, for pipeline-backed daemons.
+func NewSnapshotWithHealth(m *Mapping, source string, h SnapshotHealth) (*Snapshot, error) {
+	return serve.NewSnapshotWithHealth(m, source, h)
+}
+
+// HealthFromReport folds a pipeline RunReport into a serving health: a
+// clean run maps to SnapshotHealthOK, a degraded one to
+// SnapshotHealthDegraded with the quarantine count and the degraded
+// sources named. A nil report (e.g. a mapping loaded from a file) is
+// healthy — absence of provenance is not evidence of faults.
+func HealthFromReport(rep *RunReport) SnapshotHealth {
+	if rep == nil || !rep.Degraded() {
+		return SnapshotHealth{Status: SnapshotHealthOK}
+	}
+	detail := ""
+	for _, s := range rep.Sources {
+		if s.Status == core.StatusDegraded || s.Status == core.StatusFailed {
+			if detail != "" {
+				detail += ", "
+			}
+			detail += s.Name + " " + s.Status
+		}
+	}
+	return SnapshotHealth{
+		Status:      SnapshotHealthDegraded,
+		Quarantined: len(rep.Quarantined),
+		Detail:      detail,
+	}
 }
 
 // NewLookupServer returns an HTTP server over an initial snapshot. Use

@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist the LLM/crawl cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the in-process LLM/crawl cache")
 	verbose := flag.Bool("v", false, "log pipeline stage progress to stderr")
+	maxRetries := flag.Int("max-retries", 2, "retries per transient fault before quarantining the item (0 = no retries)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a host/model circuit opens (0 = no breakers)")
+	failFast := flag.Bool("fail-fast", false, "abort the run on the first error instead of quarantining and degrading")
+	reportPath := flag.String("report", "", "write the run's fault report (JSON) to this file ('-' = stderr)")
 	flag.Parse()
 
 	if *noCache && *cacheDir != "" {
@@ -109,7 +114,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := borges.Options{Features: &feats}
+	opts := borges.Options{
+		Features:         &feats,
+		MaxRetries:       *maxRetries,
+		BreakerThreshold: *breakerThreshold,
+		FailFast:         *failFast,
+	}
 	if !*noCache {
 		store, err := borges.NewCache(borges.CacheOptions{Dir: *cacheDir})
 		if err != nil {
@@ -152,12 +162,40 @@ func main() {
 		}
 	}
 
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, res.Report); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if res.Report.Degraded() {
+		fmt.Fprintf(os.Stderr, "run degraded: %d items quarantined (rerun with a warm cache to heal)\n",
+			len(res.Report.Quarantined))
+	}
+
 	theta, err := borges.Theta(res.Mapping)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "mapped %d networks into %d organizations (θ = %.4f)\n",
 		res.Mapping.NumASNs(), res.Mapping.NumOrgs(), theta)
+}
+
+// writeReport emits the machine-readable RunReport so operators can
+// diff degraded runs or alert on quarantine counts without scraping
+// logs.
+func writeReport(path string, rep *borges.RunReport) error {
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func parseFile[T any](path string, parse func(io.Reader) (T, error)) (T, error) {

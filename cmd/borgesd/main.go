@@ -19,7 +19,7 @@
 //	GET  /v1/search?name= case-insensitive organization-name search
 //	GET  /v1/stats        θ, org/ASN counts, size histogram
 //	POST /admin/reload    re-read -mapping (or re-run the pipeline)
-//	GET  /healthz         liveness + snapshot age
+//	GET  /healthz         liveness + snapshot age + degraded/ok run health
 //	GET  /metrics         Prometheus text format
 //	GET  /debug/pprof/*   runtime profiles (only with -pprof)
 //
@@ -51,74 +51,98 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
 	pprof := flag.Bool("pprof", false, "expose /debug/pprof/* profiling handlers")
 	quiet := flag.Bool("q", false, "suppress structured request logging")
+	maxRetries := flag.Int("max-retries", 2, "retries per transient pipeline fault (0 = fail on first error)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a host/model circuit opens (0 = no breakers)")
+	failFast := flag.Bool("fail-fast", false, "abort pipeline runs on the first error instead of quarantining and serving a degraded mapping")
 	flag.Parse()
-
-	var (
-		source borges.SnapshotSource
-		label  string
-	)
-	if *mapping != "" {
-		source = borges.MappingFileSource(*mapping)
-		label = *mapping
-	} else {
-		// One cache outlives the source closure so every /admin/reload
-		// replays memoized LLM completions and crawl outcomes instead of
-		// re-running them.
-		store, err := borges.NewCache(borges.CacheOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		source = pipelineSource(*seed, *scale, store)
-		label = "synthetic pipeline"
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("loading mapping from %s", label)
-	m, err := source(ctx)
-	if err != nil {
-		log.Fatal(err)
+	opts := borges.ServeOptions{RequestTimeout: *timeout, EnablePprof: *pprof}
+	if !*quiet {
+		opts.Logf = log.Printf
 	}
-	snap, err := borges.NewSnapshot(m, label)
-	if err != nil {
-		log.Fatal(err)
+
+	var (
+		snap  *borges.Snapshot
+		label string
+	)
+	if *mapping != "" {
+		source := borges.MappingFileSource(*mapping)
+		label = *mapping
+		opts.Source = source
+		log.Printf("loading mapping from %s", label)
+		m, err := source(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if snap, err = borges.NewSnapshot(m, label); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		// One cache outlives the source closure so every /admin/reload
+		// replays memoized LLM completions and crawl outcomes instead of
+		// re-running them — including healing reloads after a degraded
+		// run, which re-fetch only the quarantined items.
+		store, err := borges.NewCache(borges.CacheOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		source := pipelineSource(*seed, *scale, store, borges.Options{
+			MaxRetries:       *maxRetries,
+			BreakerThreshold: *breakerThreshold,
+			FailFast:         *failFast,
+		})
+		label = "synthetic pipeline"
+		opts.HealthSource = source
+		log.Printf("loading mapping from %s", label)
+		m, health, err := source(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if health.Status != borges.SnapshotHealthOK {
+			log.Printf("pipeline degraded: %d quarantined (%s)", health.Quarantined, health.Detail)
+		}
+		if snap, err = borges.NewSnapshotWithHealth(m, label, health); err != nil {
+			log.Fatal(err)
+		}
 	}
+
 	st := snap.Stats()
 	log.Printf("serving %d organizations / %d networks (θ = %.4f) on %s",
 		st.Orgs, st.ASNs, st.Theta, *addr)
 
-	opts := borges.ServeOptions{Source: source, RequestTimeout: *timeout, EnablePprof: *pprof}
-	if !*quiet {
-		opts.Logf = log.Printf
-	}
 	if err := borges.Serve(ctx, *addr, snap, opts); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("shut down cleanly")
 }
 
-// pipelineSource builds a Source that regenerates the seeded synthetic
-// corpus and runs the full Borges pipeline in-process — the -seed/-scale
-// self-bootstrap mode, also exercised on every /admin/reload. The cache
-// is shared across reloads, so only the first run pays for LLM
-// completions and crawls.
-func pipelineSource(seed int64, scale float64, store *borges.Cache) borges.SnapshotSource {
-	return func(ctx context.Context) (*borges.Mapping, error) {
+// pipelineSource builds a health-aware Source that regenerates the
+// seeded synthetic corpus and runs the full Borges pipeline in-process —
+// the -seed/-scale self-bootstrap mode, also exercised on every
+// /admin/reload. The cache is shared across reloads, so only the first
+// run pays for LLM completions and crawls, and the run's fault report
+// travels with the snapshot into /healthz, /v1/stats, and /metrics.
+func pipelineSource(seed int64, scale float64, store *borges.Cache, base borges.Options) borges.SnapshotHealthSource {
+	return func(ctx context.Context) (*borges.Mapping, borges.SnapshotHealth, error) {
+		opts := base
+		opts.Cache = store
 		ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: seed, Scale: scale})
 		if err != nil {
-			return nil, err
+			return nil, borges.SnapshotHealth{}, err
 		}
 		res, err := borges.Run(ctx, borges.Inputs{
 			WHOIS:     ds.WHOIS,
 			PDB:       ds.PDB,
 			Transport: ds.Web,
 			Provider:  borges.NewSimulatedLLM(),
-		}, borges.Options{Cache: store})
+		}, opts)
 		if err != nil {
-			return nil, err
+			return nil, borges.SnapshotHealth{}, err
 		}
-		return res.Mapping, nil
+		return res.Mapping, borges.HealthFromReport(res.Report), nil
 	}
 }

@@ -1,0 +1,373 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cache"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/core"
+	"github.com/nu-aqualab/borges/internal/faultinject"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/simllm"
+	"github.com/nu-aqualab/borges/internal/synth"
+	"github.com/nu-aqualab/borges/internal/urlmatch"
+	"github.com/nu-aqualab/borges/internal/websim"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// chaosOpts are pipeline options for fault cells: retries on, tiny
+// delays so injected Retry-After hints (whole seconds on the wire) are
+// capped instead of actually slept.
+func chaosOpts(f core.Features) core.Options {
+	return core.Options{
+		Features:       &f,
+		MaxRetries:     2,
+		RetryBaseDelay: time.Microsecond,
+		RetryMaxDelay:  5 * time.Microsecond,
+		RetrySeed:      7,
+	}
+}
+
+// flatUniverse builds n single-page sites with matching WHOIS and
+// PeeringDB records. Single-hop resolution makes the injector's
+// per-key ledger map 1:1 onto crawl tasks, which is what lets the
+// chaos cells assert *exact* quarantine accounting.
+func flatUniverse(n int) (*whois.Snapshot, *peeringdb.Snapshot, *websim.Universe) {
+	w := whois.NewSnapshot("20240701")
+	p := peeringdb.NewSnapshot("20240724")
+	u := websim.New()
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("site%02d.test", i)
+		u.AddSite(host, "")
+		orgID := fmt.Sprintf("ORG-%02d", i)
+		a := asnum.ASN(1000 + i)
+		w.AddOrg(whois.Org{ID: orgID, Name: fmt.Sprintf("Org %02d", i)})
+		w.AddAS(whois.ASRecord{ASN: a, OrgID: orgID})
+		p.AddOrg(peeringdb.Org{ID: i + 1, Name: fmt.Sprintf("Org %02d", i)})
+		p.AddNet(peeringdb.Net{ID: i + 1, OrgID: i + 1, ASN: a, Website: "https://" + host + "/"})
+	}
+	return w, p, u
+}
+
+// TestChaosQuarantineCountsExact is the acceptance cell: a run with
+// ~30% injected transport faults must terminate, and its RunReport
+// must quarantine exactly the keys whose faults were persistent (the
+// ones that exhausted the retry budget) — no more, no fewer.
+func TestChaosQuarantineCountsExact(t *testing.T) {
+	w, p, u := flatUniverse(24)
+	tr := faultinject.NewTransport(u, faultinject.Config{
+		Seed:             3,
+		Rate:             0.3,
+		PersistentRate:   0.5,
+		SkipFaviconPaths: true,
+		Stall:            time.Millisecond,
+	})
+	res, err := core.Run(context.Background(), core.Inputs{
+		WHOIS: w, PDB: p, Transport: tr,
+	}, chaosOpts(core.Features{RR: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if len(st.ExhaustedKeys) == 0 || len(st.HealedKeys) == 0 {
+		t.Fatalf("vacuous cell: exhausted=%v healed=%v (pick another seed)",
+			st.ExhaustedKeys, st.HealedKeys)
+	}
+
+	want := make(map[string]bool)
+	for _, key := range st.ExhaustedKeys {
+		canon, err := urlmatch.Canonicalize("https://" + strings.TrimSuffix(key, "/") + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[canon] = true
+	}
+	got := make(map[string]bool)
+	for _, q := range res.Report.QuarantinedBy(core.SourceCrawl) {
+		got[q.Key] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("quarantined %d keys, want exactly %d (got %v, want %v)",
+			len(got), len(want), got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("exhausted key %s missing from quarantine", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("quarantined %s, but its faults never exhausted the retry budget", k)
+		}
+	}
+
+	if !res.Report.Degraded() || res.Report.Status != core.StatusDegraded {
+		t.Errorf("report status = %q, want degraded", res.Report.Status)
+	}
+	if res.Report.Retries == 0 {
+		t.Error("report records zero retries; the healed keys retried")
+	}
+	var crawlSrc core.SourceReport
+	for _, s := range res.Report.Sources {
+		if s.Name == core.SourceCrawl {
+			crawlSrc = s
+		}
+	}
+	if crawlSrc.Status != core.StatusDegraded || crawlSrc.Quarantined != len(want) {
+		t.Errorf("crawl source = %+v, want degraded with %d quarantined", crawlSrc, len(want))
+	}
+	// Degradation never shrinks the universe: every WHOIS ASN stays
+	// mapped, quarantined or not.
+	if res.Mapping.NumASNs() != w.NumASNs() {
+		t.Errorf("mapping covers %d ASNs, want %d", res.Mapping.NumASNs(), w.NumASNs())
+	}
+}
+
+// recordingTransport remembers every request key it forwards.
+type recordingTransport struct {
+	inner http.RoundTripper
+	mu    sync.Mutex
+	keys  []string
+}
+
+func (r *recordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r.mu.Lock()
+	r.keys = append(r.keys, faultinject.Key(req.URL.Host, req.URL.Path))
+	r.mu.Unlock()
+	return r.inner.RoundTrip(req)
+}
+
+func (r *recordingTransport) seen() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.keys...)
+}
+
+// TestChaosCacheHealsByteIdentical proves the degraded run does not
+// poison the content-addressed cache: a healthy re-run over the same
+// cache restores the fault-free mapping byte for byte, re-crawling
+// only the keys the degraded run quarantined — previously-succeeded
+// URLs are served from cache with zero round-trips.
+func TestChaosCacheHealsByteIdentical(t *testing.T) {
+	w, p, u := flatUniverse(16)
+	in := core.Inputs{WHOIS: w, PDB: p, Transport: u}
+	feats := core.Features{RR: true}
+
+	clean, err := core.Run(context.Background(), in, core.Options{Features: &feats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanBytes bytes.Buffer
+	if err := cluster.WriteJSONL(&cleanBytes, clean.Mapping); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed:             11,
+		Rate:             0.4,
+		PersistentRate:   0.6,
+		SkipFaviconPaths: true,
+		Stall:            time.Millisecond,
+	})
+	opts := chaosOpts(feats)
+	opts.Cache = store
+	degraded, err := core.Run(context.Background(), core.Inputs{WHOIS: w, PDB: p, Transport: faulty}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := faulty.Stats()
+	if !degraded.Report.Degraded() || len(st.ExhaustedKeys) == 0 {
+		t.Fatalf("vacuous cell: report=%v exhausted=%v", degraded.Report.Status, st.ExhaustedKeys)
+	}
+
+	// Healthy re-run over the same cache: only quarantined keys may
+	// touch the network again.
+	rec := &recordingTransport{inner: u}
+	opts2 := core.Options{Features: &feats, Cache: store}
+	healed, err := core.Run(context.Background(), core.Inputs{WHOIS: w, PDB: p, Transport: rec}, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Report.Status != core.StatusOK {
+		t.Errorf("healed run status = %q, want ok (quarantined: %v)",
+			healed.Report.Status, healed.Report.Quarantined)
+	}
+	var healedBytes bytes.Buffer
+	if err := cluster.WriteJSONL(&healedBytes, healed.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healedBytes.Bytes(), cleanBytes.Bytes()) {
+		t.Errorf("healed mapping differs from fault-free mapping:\nhealed: %s\nclean:  %s",
+			healedBytes.String(), cleanBytes.String())
+	}
+	exhausted := make(map[string]bool)
+	for _, k := range st.ExhaustedKeys {
+		exhausted[k] = true
+	}
+	seen := rec.seen()
+	if len(seen) == 0 {
+		t.Error("healed run made no requests; it had quarantined keys to redo")
+	}
+	for _, k := range seen {
+		if !exhausted[k] {
+			t.Errorf("healed run re-crawled %s, which the degraded run already resolved", k)
+		}
+	}
+
+	// A further warm run touches nothing: the heal repaired the cache.
+	rec2 := &recordingTransport{inner: u}
+	if _, err := core.Run(context.Background(), core.Inputs{WHOIS: w, PDB: p, Transport: rec2},
+		core.Options{Features: &feats, Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec2.seen()); n != 0 {
+		t.Errorf("fully healed cache still issued %d requests, want 0", n)
+	}
+}
+
+// TestChaosLLMQuarantineExact injects faults into the LLM provider:
+// notes/aka extractions whose prompts persistently fault are
+// quarantined — exactly those, counted per exhausted prompt key.
+func TestChaosLLMQuarantineExact(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 21, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := faultinject.NewProvider(simllm.NewModel(), faultinject.Config{
+		Seed:           5,
+		Rate:           0.3,
+		PersistentRate: 0.5,
+		RetryAfter:     time.Millisecond,
+	})
+	res, err := core.Run(context.Background(), core.Inputs{
+		WHOIS: ds.WHOIS, PDB: ds.PDB, Transport: ds.Web, Provider: prov,
+	}, chaosOpts(core.Features{OIDP: true, NotesAka: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prov.Stats()
+	if len(st.ExhaustedKeys) == 0 || len(st.HealedKeys) == 0 {
+		t.Fatalf("vacuous cell: exhausted=%v healed=%v", st.ExhaustedKeys, st.HealedKeys)
+	}
+	q := res.Report.QuarantinedBy(core.SourceNotesAka)
+	if len(q) != len(st.ExhaustedKeys) {
+		t.Errorf("quarantined %d records, want exactly %d (one per exhausted prompt): %v",
+			len(q), len(st.ExhaustedKeys), q)
+	}
+	if !res.Report.Degraded() {
+		t.Error("report not degraded despite exhausted prompts")
+	}
+	if res.Mapping.NumASNs() != ds.WHOIS.NumASNs() {
+		t.Errorf("mapping covers %d ASNs, want %d", res.Mapping.NumASNs(), ds.WHOIS.NumASNs())
+	}
+}
+
+// meltdown fails every request to one host with a timeout; everything
+// else passes through.
+type meltdown struct {
+	inner http.RoundTripper
+	host  string
+}
+
+func (m *meltdown) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Host == m.host {
+		return nil, &net.DNSError{Err: "injected meltdown", Name: m.host, IsTimeout: true}
+	}
+	return m.inner.RoundTrip(req)
+}
+
+// TestChaosBreakerIsolatesMeltingHost: with breakers enabled, a host
+// that times out on every attempt trips its circuit; the trip and the
+// still-open breaker surface in the report, and healthy hosts resolve
+// untouched.
+func TestChaosBreakerIsolatesMeltingHost(t *testing.T) {
+	w, p, u := flatUniverse(6)
+	melt := &meltdown{inner: u, host: "site03.test"}
+	opts := chaosOpts(core.Features{RR: true})
+	opts.BreakerThreshold = 3
+	opts.BreakerCooldown = time.Hour
+	res, err := core.Run(context.Background(), core.Inputs{WHOIS: w, PDB: p, Transport: melt}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.BreakerTrips == 0 {
+		t.Error("melting host never tripped its breaker")
+	}
+	found := false
+	for _, k := range res.Report.OpenBreakers {
+		if k == "crawl:site03.test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("open breakers = %v, want crawl:site03.test", res.Report.OpenBreakers)
+	}
+	q := res.Report.QuarantinedBy(core.SourceCrawl)
+	if len(q) != 1 || !strings.Contains(q[0].Key, "site03.test") {
+		t.Errorf("quarantine = %v, want exactly the melting host", q)
+	}
+	if res.Mapping.NumASNs() != w.NumASNs() {
+		t.Errorf("mapping covers %d ASNs, want %d", res.Mapping.NumASNs(), w.NumASNs())
+	}
+}
+
+// TestChaosDegradedMappingRefinesClean is the no-invented-merges
+// property: whatever a degraded full-feature run loses, every merge it
+// *does* make must also exist in the fault-free mapping. Degradation
+// may split organizations, never conflate them.
+func TestChaosDegradedMappingRefinesClean(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 21, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := core.Run(context.Background(), core.Inputs{
+		WHOIS: ds.WHOIS, PDB: ds.PDB, Transport: ds.Web, Provider: simllm.NewModel(),
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := faultinject.NewTransport(ds.Web, faultinject.Config{
+		Seed:           9,
+		Rate:           0.3,
+		PersistentRate: 0.5,
+		Stall:          time.Millisecond,
+	})
+	prov := faultinject.NewProvider(simllm.NewModel(), faultinject.Config{
+		Seed:           9,
+		Rate:           0.2,
+		PersistentRate: 0.5,
+		RetryAfter:     time.Millisecond,
+	})
+	degraded, err := core.Run(context.Background(), core.Inputs{
+		WHOIS: ds.WHOIS, PDB: ds.PDB, Transport: tr, Provider: prov,
+	}, chaosOpts(core.AllFeatures()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Mapping.NumASNs() != clean.Mapping.NumASNs() {
+		t.Errorf("degraded run lost networks: %d vs %d", degraded.Mapping.NumASNs(), clean.Mapping.NumASNs())
+	}
+	for i := range degraded.Mapping.Clusters {
+		c := &degraded.Mapping.Clusters[i]
+		first := clean.Mapping.ClusterOf(c.ASNs[0])
+		for _, a := range c.ASNs[1:] {
+			if got := clean.Mapping.ClusterOf(a); got != first {
+				t.Fatalf("degraded run merged AS%v and AS%v; the clean run keeps them apart", c.ASNs[0], a)
+			}
+		}
+	}
+}

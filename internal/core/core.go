@@ -14,6 +14,8 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cache"
@@ -24,6 +26,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/llm"
 	"github.com/nu-aqualab/borges/internal/ner"
 	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/resilience"
 	"github.com/nu-aqualab/borges/internal/urlmatch"
 	"github.com/nu-aqualab/borges/internal/whois"
 )
@@ -120,6 +123,69 @@ type Options struct {
 	// touching the backend or the network; a cache with a disk tier
 	// survives process restarts.
 	Cache *cache.Cache
+
+	// MaxRetries bounds additional attempts per backend call — crawl
+	// fetches, favicon fetches, and LLM completions — after a transient
+	// fault (timeouts, resets, 429/5xx, torn bodies). 0 disables
+	// retries: every fault surfaces after a single attempt and is
+	// quarantined in the RunReport instead of being retried.
+	MaxRetries int
+	// RetryBaseDelay is the first retry's backoff (default 250ms);
+	// later retries double it, with jitter, up to RetryMaxDelay.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps both computed backoff and server Retry-After
+	// hints (default 30s).
+	RetryMaxDelay time.Duration
+	// RetryBudget bounds total retries across the whole run, shared by
+	// the crawl and LLM chains (0 = unbounded). When the budget is
+	// spent, remaining faults quarantine immediately.
+	RetryBudget int
+	// RetrySeed seeds backoff jitter so retry schedules — and
+	// therefore chaos tests — are reproducible.
+	RetrySeed int64
+	// BreakerThreshold, when > 0, enables circuit breakers: that many
+	// consecutive transient failures against one host ("crawl:<host>")
+	// or model ("llm:<model>") open its circuit, shedding further
+	// calls until a cooldown probe succeeds, so one melting backend
+	// cannot absorb the run's retry budget.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting a probe (default 30s).
+	BreakerCooldown time.Duration
+	// FailFast restores abort-on-first-stage-error: a stage failure
+	// cancels the sibling stage and fails the run. The default is
+	// graceful degradation — the NER and web chains fail
+	// independently, per-item failures are quarantined in the
+	// RunReport, and consolidation proceeds with whatever survived.
+	FailFast bool
+}
+
+// retryPolicy builds the run's shared retry policy, or nil when
+// retries are disabled. Both chains draw on one budget; each gets its
+// own Policy value because the classification of "retryable" differs
+// (the LLM chain also retries the ErrRateLimited/ErrServer sentinels).
+func (o Options) retryPolicy(budget *resilience.Budget, retryable func(error) bool) *resilience.Policy {
+	if o.MaxRetries <= 0 {
+		return nil
+	}
+	return &resilience.Policy{
+		MaxAttempts: o.MaxRetries + 1,
+		BaseDelay:   o.RetryBaseDelay,
+		MaxDelay:    o.RetryMaxDelay,
+		Seed:        o.RetrySeed,
+		Budget:      budget,
+		Retryable:   retryable,
+	}
+}
+
+// breakerSet builds the run's shared breaker registry, or nil when
+// breaking is disabled. One registry serves both chains; the key
+// namespaces ("crawl:", "llm:") keep their circuits independent.
+func (o Options) breakerSet() *resilience.BreakerSet {
+	if o.BreakerThreshold <= 0 {
+		return nil
+	}
+	return &resilience.BreakerSet{Threshold: o.BreakerThreshold, Cooldown: o.BreakerCooldown}
 }
 
 // progress emits a stage line when a sink is configured.
@@ -162,8 +228,8 @@ type Stats struct {
 	UniqueURLs      int
 	// BadURLs counts reported websites whose URL failed
 	// canonicalization and therefore never became a crawl task.
-	BadURLs       int
-	ReachableURLs int
+	BadURLs         int
+	ReachableURLs   int
 	UniqueFinalURLs int
 	FaviconStats    favicon.Stats
 	CompanyGroups   int
@@ -211,6 +277,10 @@ type Result struct {
 	Mapping   *cluster.Mapping
 	Artifacts Artifacts
 	Stats     Stats
+	// Report is the machine-readable fault accounting for the run:
+	// per-source status, quarantined items, retries spent, breaker
+	// trips. Always non-nil on success.
+	Report *RunReport
 }
 
 // stageLog buffers one concurrent stage's progress lines so they can
@@ -267,39 +337,88 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 		opts.progress("org keys: %d PeeringDB organizations joined", len(res.Artifacts.OIDPSets))
 	}
 
-	// The NER stage (LLM extraction over notes/aka) and the web stage
-	// (crawl → R&R → favicons) are independent until consolidation, so
-	// they overlap: each runs under a shared cancellable context,
-	// accumulates its own Stats and progress lines, and hands its
-	// sibling sets back here. The Builder is touched only from this
-	// goroutine, in the fixed feature order, so cluster IDs stay
-	// deterministic.
+	// Fault-tolerance plumbing: one retry budget and one breaker
+	// registry serve both chains. The crawler takes them via its
+	// options (keyed "crawl:<host>"); the provider is wrapped in
+	// llm.Resilient (keyed "llm:<model>") *inside* the cache layer, so
+	// cache hits never touch a breaker and retried successes are
+	// memoized like any other.
+	var budget *resilience.Budget
+	if opts.RetryBudget > 0 {
+		budget = resilience.NewBudget(opts.RetryBudget)
+	}
+	breakers := opts.breakerSet()
+	if opts.Crawler.Retry == nil {
+		opts.Crawler.Retry = opts.retryPolicy(budget, nil)
+	}
+	if opts.Crawler.Breakers == nil {
+		opts.Crawler.Breakers = breakers
+	}
 	provider := in.Provider
+	var llmExec *resilience.Executor
+	if llmPolicy := opts.retryPolicy(budget, llm.Retryable); provider != nil && (llmPolicy != nil || breakers != nil) {
+		llmExec = &resilience.Executor{Policy: llmPolicy, Breakers: breakers}
+		provider = &llm.Resilient{Inner: provider, Exec: llmExec}
+	}
 	if opts.Cache != nil && provider != nil {
 		provider = &cache.Provider{Inner: provider, Cache: opts.Cache}
 	}
+
+	// The NER stage (LLM extraction over notes/aka) and the web stage
+	// (crawl → R&R → favicons) are independent until consolidation, so
+	// they overlap: each accumulates its own Stats and progress lines
+	// and hands its sibling sets back here. The Builder is touched only
+	// from this goroutine, in the fixed feature order, so cluster IDs
+	// stay deterministic. By default the stages are isolated failure
+	// domains — one chain's failure leaves the other running and is
+	// quarantined in the report; FailFast restores cancel-on-first-
+	// error for callers that prefer an abort to a partial mapping.
 	var (
 		nerOut         nerOutput
 		webOut         webOutput
+		nerErr, webErr error
 		nerLog, webLog stageLog
 	)
-	g, gctx := startGroup(ctx)
-	if feats.NotesAka {
-		g.Go(func() error {
-			var err error
-			nerOut, err = runNER(gctx, in, opts, provider, &nerLog)
-			return err
-		})
-	}
-	if feats.RR || feats.Favicons {
-		g.Go(func() error {
-			var err error
-			webOut, err = runWeb(gctx, in, opts, feats, provider, &webLog)
-			return err
-		})
-	}
-	if err := g.Wait(); err != nil {
-		return nil, err
+	if opts.FailFast {
+		g, gctx := startGroup(ctx)
+		if feats.NotesAka {
+			g.Go(func() error {
+				nerOut, nerErr = runNER(gctx, in, opts, provider, &nerLog)
+				return nerErr
+			})
+		}
+		if feats.RR || feats.Favicons {
+			g.Go(func() error {
+				webOut, webErr = runWeb(gctx, in, opts, feats, provider, &webLog)
+				return webErr
+			})
+		}
+		if err := g.Wait(); err != nil {
+			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		if feats.NotesAka {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				nerOut, nerErr = runNER(ctx, in, opts, provider, &nerLog)
+			}()
+		}
+		if feats.RR || feats.Favicons {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				webOut, webErr = runWeb(ctx, in, opts, feats, provider, &webLog)
+			}()
+		}
+		wg.Wait()
+		// Cancellation of the run's own context is fatal either way; a
+		// stage's private failure is not — it lands in the report and
+		// consolidation proceeds with the surviving chains.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	res.Stats.merge(nerOut.stats)
 	res.Stats.merge(webOut.stats)
@@ -319,6 +438,7 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 	b.AddAll(res.Artifacts.FaviconSets)
 
 	res.Mapping = b.Build(namer(in))
+	res.Report = buildReport(feats, nerOut, webOut, nerErr, webErr, opts.Crawler.Breakers, llmExec)
 	opts.progress("consolidated: %d networks in %d organizations",
 		res.Mapping.NumASNs(), res.Mapping.NumOrgs())
 	return res, nil
@@ -404,6 +524,7 @@ type webOutput struct {
 	outcomes     []classify.Outcome
 	faviconSets  []cluster.SiblingSet
 	stats        Stats
+	exec         resilience.ExecStats
 }
 
 func runWeb(ctx context.Context, in Inputs, opts Options, feats Features, provider llm.Provider, log *stageLog) (webOutput, error) {
@@ -499,6 +620,7 @@ func runWeb(ctx context.Context, in Inputs, opts Options, feats Features, provid
 			len(out.outcomes), out.stats.CompanyGroups,
 			out.stats.Step1Companies, out.stats.Step2Companies, out.stats.FrameworkGroups)
 	}
+	out.exec = cr.ExecStats()
 	return out, nil
 }
 

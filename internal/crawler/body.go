@@ -1,0 +1,53 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// ctxBody makes a response body's reads abort promptly when the
+// request context is cancelled. net/http only checks the context
+// between reads it controls; a body served by a slow-loris peer (or
+// any transport that isn't context-aware) can otherwise pin a reader
+// until the transport's own timeout. A watcher goroutine closes the
+// underlying body on cancellation, which unblocks any in-flight Read;
+// the watcher itself exits on Close, so a fully read body leaks
+// nothing.
+type ctxBody struct {
+	ctx context.Context
+	rc  io.ReadCloser
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// newCtxBody wraps rc so reads abort when ctx is cancelled.
+func newCtxBody(ctx context.Context, rc io.ReadCloser) io.ReadCloser {
+	b := &ctxBody{ctx: ctx, rc: rc, stop: make(chan struct{})}
+	go func() {
+		select {
+		case <-ctx.Done():
+			rc.Close()
+		case <-b.stop:
+		}
+	}()
+	return b
+}
+
+// Read implements io.Reader. After cancellation the context's error is
+// reported rather than whatever the forced close produced, so callers
+// see the cause, not the mechanism.
+func (b *ctxBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if err != nil && b.ctx.Err() != nil {
+		return n, b.ctx.Err()
+	}
+	return n, err
+}
+
+// Close implements io.Closer and releases the watcher.
+func (b *ctxBody) Close() error {
+	b.once.Do(func() { close(b.stop) })
+	return b.rc.Close()
+}

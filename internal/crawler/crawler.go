@@ -31,6 +31,7 @@ import (
 
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cache"
+	"github.com/nu-aqualab/borges/internal/resilience"
 	"github.com/nu-aqualab/borges/internal/urlmatch"
 )
 
@@ -82,6 +83,16 @@ type Options struct {
 	SkipFavicons bool
 	// UserAgent is sent with every request.
 	UserAgent string
+	// Retry, when non-nil, retries transient transport faults
+	// (timeouts, resets, 429/5xx, torn bodies) per request under the
+	// unified policy. Nil disables retries: every fault surfaces after
+	// one attempt.
+	Retry *resilience.Policy
+	// Breakers, when non-nil, supplies per-host circuit breakers keyed
+	// "crawl:<host>": after repeated transient failures a host's
+	// fetches are denied fast until a cooldown probe succeeds, so one
+	// melting host cannot absorb the whole run's retry budget.
+	Breakers *resilience.BreakerSet
 	// Cache, when non-nil, memoizes crawl outcomes content-addressed
 	// by canonical URL and the options that shape a result (MaxHops,
 	// MaxBody, SkipFavicons, UserAgent). Concurrent crawls of one
@@ -97,6 +108,7 @@ type Options struct {
 type Crawler struct {
 	opts   Options
 	client *http.Client
+	exec   *resilience.Executor
 
 	mu        sync.Mutex
 	lastHit   map[string]time.Time
@@ -126,6 +138,7 @@ func New(opts Options) *Crawler {
 	}
 	return &Crawler{
 		opts: opts,
+		exec: &resilience.Executor{Policy: opts.Retry, Breakers: opts.Breakers},
 		client: &http.Client{
 			Transport: opts.Transport,
 			// Redirects are followed manually so the chain is recorded
@@ -155,14 +168,32 @@ func (c *Crawler) Crawl(ctx context.Context, t Task) Result {
 	}
 	raw, err := c.opts.Cache.GetOrFill(ctx, c.cacheKey(canon), func(ctx context.Context) ([]byte, error) {
 		r := c.resolve(ctx, t, canon)
-		if r.Err != nil && (errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)) {
-			// A cancelled crawl says nothing about the site; caching it
-			// would poison warm runs.
-			return nil, r.Err
+		if r.Err != nil {
+			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+				// A cancelled crawl says nothing about the site; caching
+				// it would poison warm runs.
+				return nil, r.Err
+			}
+			if resilience.IsTransient(r.Err) {
+				// Transient faults — timeouts, resets, 429/5xx, open
+				// breakers — are conditions of the moment, not
+				// observations about the site. The outcome still
+				// reaches every waiter in this run (via the typed
+				// error), but nothing is cached, so a later healthy
+				// run re-resolves the URL instead of inheriting the
+				// outage.
+				return nil, &transientResult{res: r}
+			}
 		}
 		return json.Marshal(c.toCached(r))
 	})
 	if err != nil {
+		var tr *transientResult
+		if errors.As(err, &tr) {
+			r := tr.res
+			r.Task = t
+			return r
+		}
 		return Result{Task: t, Err: err}
 	}
 	var ce cachedCrawl
@@ -183,6 +214,16 @@ func (c *Crawler) cacheKey(canon string) string {
 		strconv.FormatBool(c.opts.SkipFavicons),
 		c.opts.UserAgent,
 	)
+}
+
+// transientResult carries an uncacheable outcome out of a GetOrFill
+// fill: singleflight hands the error to every goroutine waiting on the
+// key, so concurrent crawls of one URL share the degraded result while
+// the cache stays clean.
+type transientResult struct{ res Result }
+
+func (e *transientResult) Error() string {
+	return fmt.Sprintf("crawler: transient outcome for %s (not cached): %v", e.res.FinalURL, e.res.Err)
 }
 
 // cachedCrawl is the task-independent wire form of a crawl outcome.
@@ -264,7 +305,16 @@ func (c *Crawler) resolve(ctx context.Context, t Task, cur string) Result {
 			if !res.OK {
 				res.Err = fmt.Errorf("crawler: %s returned status %d", cur, status)
 			} else if c.opts.faviconsEnabled() {
-				res.FaviconHash = c.favicon(ctx, cur, body)
+				hash, ferr := c.favicon(ctx, cur, body)
+				res.FaviconHash = hash
+				if ferr != nil {
+					// The page resolved but a transport fault hid its
+					// favicon. Keep the successful resolution and carry
+					// the transient error so the outcome is quarantined
+					// and stays out of the cache — a cached "" hash
+					// would wrongly assert the site serves no icon.
+					res.Err = fmt.Errorf("crawler: favicon for %s: %w", cur, ferr)
+				}
 			}
 			return res
 		}
@@ -277,47 +327,71 @@ func (c *Crawler) resolve(ctx context.Context, t Task, cur string) Result {
 	}
 }
 
-// fetch GETs a URL. It returns the next URL to follow ("" when cur is
+// fetch GETs a URL under the crawler's fault-tolerance executor,
+// keyed per host. It returns the next URL to follow ("" when cur is
 // final), the HTTP status, and the page body when the page is final.
+// Transient faults (timeouts, resets, 429/5xx, torn bodies) are
+// retried per the configured policy and feed the host's breaker;
+// durable answers (404, redirect to nowhere) pass through untouched.
 func (c *Crawler) fetch(ctx context.Context, cur string) (next string, status int, body string, err error) {
-	c.throttle(urlmatch.Host(cur))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cur, nil)
-	if err != nil {
-		return "", 0, "", fmt.Errorf("crawler: build request: %w", err)
-	}
-	req.Header.Set("User-Agent", c.opts.UserAgent)
-	resp, err := c.client.Do(req)
-	if err != nil {
-		return "", 0, "", fmt.Errorf("crawler: get %s: %w", cur, err)
-	}
-	defer resp.Body.Close()
-
-	if resp.StatusCode >= 300 && resp.StatusCode < 400 {
-		loc := resp.Header.Get("Location")
-		if loc == "" {
-			return "", resp.StatusCode, "", fmt.Errorf("crawler: %s: redirect without Location", cur)
+	host := urlmatch.Host(cur)
+	err = c.exec.Do(ctx, "crawl:"+host, func(ctx context.Context) error {
+		next, status, body = "", 0, ""
+		if terr := c.throttle(ctx, host); terr != nil {
+			return terr
 		}
-		abs, err := resolveRef(cur, loc)
-		if err != nil {
-			return "", resp.StatusCode, "", err
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, cur, nil)
+		if rerr != nil {
+			return fmt.Errorf("crawler: build request: %w", rerr)
 		}
-		return abs, resp.StatusCode, "", nil
-	}
+		req.Header.Set("User-Agent", c.opts.UserAgent)
+		resp, derr := c.client.Do(req)
+		if derr != nil {
+			return fmt.Errorf("crawler: get %s: %w", cur, derr)
+		}
+		resp.Body = newCtxBody(ctx, resp.Body)
+		defer resp.Body.Close()
 
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
-	if err != nil {
-		return "", resp.StatusCode, "", fmt.Errorf("crawler: read %s: %w", cur, err)
-	}
-	page := string(raw)
-	if resp.StatusCode == http.StatusOK && isHTML(resp.Header.Get("Content-Type")) {
-		if target := MetaRefreshTarget(page); target != "" {
-			abs, err := resolveRef(cur, target)
-			if err == nil {
-				return abs, resp.StatusCode, "", nil
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return fmt.Errorf("crawler: get %s: %w", cur, &resilience.StatusError{
+				Code:       resp.StatusCode,
+				RetryAfter: resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+			})
+		}
+		status = resp.StatusCode
+		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+			loc := resp.Header.Get("Location")
+			if loc == "" {
+				return fmt.Errorf("crawler: %s: redirect without Location", cur)
+			}
+			abs, aerr := resolveRef(cur, loc)
+			if aerr != nil {
+				return aerr
+			}
+			next = abs
+			return nil
+		}
+
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
+		if rerr != nil {
+			return fmt.Errorf("crawler: read %s: %w", cur, rerr)
+		}
+		page := string(raw)
+		if resp.StatusCode == http.StatusOK && isHTML(resp.Header.Get("Content-Type")) {
+			if target := MetaRefreshTarget(page); target != "" {
+				if abs, aerr := resolveRef(cur, target); aerr == nil {
+					next = abs
+					return nil
+				}
 			}
 		}
+		body = page
+		return nil
+	})
+	if err != nil {
+		return "", 0, "", err
 	}
-	return "", resp.StatusCode, page, nil
+	return next, status, body, nil
 }
 
 func isHTML(contentType string) bool {
@@ -336,9 +410,9 @@ func resolveRef(base, ref string) (string, error) {
 	return urlmatch.Canonicalize(b.ResolveReference(r).String())
 }
 
-func (c *Crawler) throttle(host string) {
+func (c *Crawler) throttle(ctx context.Context, host string) error {
 	if c.opts.PerHostDelay <= 0 || host == "" {
-		return
+		return nil
 	}
 	for {
 		c.mu.Lock()
@@ -347,11 +421,13 @@ func (c *Crawler) throttle(host string) {
 		if !ok || now.Sub(last) >= c.opts.PerHostDelay {
 			c.lastHit[host] = now
 			c.mu.Unlock()
-			return
+			return nil
 		}
 		wait := c.opts.PerHostDelay - now.Sub(last)
 		c.mu.Unlock()
-		time.Sleep(wait)
+		if err := resilience.Sleep(ctx, wait); err != nil {
+			return err
+		}
 	}
 }
 
@@ -411,13 +487,16 @@ func FaviconLink(page string) string {
 
 // favicon fetches and hashes the favicon for a final page. It prefers
 // the page's declared <link rel="icon"> and falls back to /favicon.ico.
-// Results are cached per host.
-func (c *Crawler) favicon(ctx context.Context, finalURL, page string) string {
+// Durable outcomes ("" = the site serves no icon) are memoized per
+// host; a transient transport fault returns an error instead, leaving
+// the memo unset so a later attempt — or a healthy warm run — can
+// still recover the icon.
+func (c *Crawler) favicon(ctx context.Context, finalURL, page string) (string, error) {
 	host := urlmatch.Host(finalURL)
 	c.mu.Lock()
 	if h, ok := c.favCache[host]; ok {
 		c.mu.Unlock()
-		return h
+		return h, nil
 	}
 	c.mu.Unlock()
 
@@ -434,21 +513,66 @@ func (c *Crawler) favicon(ctx context.Context, finalURL, page string) string {
 	}
 
 	hash := ""
+	var transient error
 	for _, cand := range candidates {
-		c.throttle(urlmatch.Host(cand))
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cand, nil)
+		h, err := c.fetchIcon(ctx, cand)
 		if err != nil {
+			if resilience.IsTransient(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				transient = err
+			}
 			continue
+		}
+		if h != "" {
+			hash = h
+			break
+		}
+	}
+	if hash == "" && transient != nil {
+		return "", transient
+	}
+	c.mu.Lock()
+	c.favCache[host] = hash
+	c.mu.Unlock()
+	return hash, nil
+}
+
+// fetchIcon retrieves and hashes one favicon candidate under the
+// executor. It returns "" with a nil error when the site answers but
+// serves no usable icon (a durable observation), and an error for
+// transport-level faults including torn payloads.
+func (c *Crawler) fetchIcon(ctx context.Context, cand string) (string, error) {
+	host := urlmatch.Host(cand)
+	var hash string
+	err := c.exec.Do(ctx, "crawl:"+host, func(ctx context.Context) error {
+		hash = ""
+		if terr := c.throttle(ctx, host); terr != nil {
+			return terr
+		}
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, cand, nil)
+		if rerr != nil {
+			return fmt.Errorf("crawler: build icon request: %w", rerr)
 		}
 		req.Header.Set("User-Agent", c.opts.UserAgent)
-		resp, err := c.client.Do(req)
-		if err != nil {
-			continue
+		resp, derr := c.client.Do(req)
+		if derr != nil {
+			return fmt.Errorf("crawler: get icon %s: %w", cand, derr)
 		}
-		raw, err := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
-		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK || len(raw) == 0 {
-			continue
+		resp.Body = newCtxBody(ctx, resp.Body)
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return fmt.Errorf("crawler: get icon %s: %w", cand, &resilience.StatusError{
+				Code:       resp.StatusCode,
+				RetryAfter: resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+			})
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, c.opts.MaxBody))
+		if rerr != nil {
+			// A torn icon body: the hash of a partial payload would be
+			// wrong, and "" would wrongly claim the site serves none.
+			return fmt.Errorf("crawler: read icon %s: %w", cand, rerr)
+		}
+		if resp.StatusCode != http.StatusOK || len(raw) == 0 {
+			return nil
 		}
 		sum := sha256.Sum256(raw)
 		hash = hex.EncodeToString(sum[:])
@@ -457,12 +581,24 @@ func (c *Crawler) favicon(ctx context.Context, finalURL, page string) string {
 			c.iconBytes[hash] = raw
 		}
 		c.mu.Unlock()
-		break
+		return nil
+	})
+	if err != nil {
+		return "", err
 	}
-	c.mu.Lock()
-	c.favCache[host] = hash
-	c.mu.Unlock()
-	return hash
+	return hash, nil
+}
+
+// ExecStats reports the crawler's fault-tolerance counters (attempts,
+// retries, breaker denials and trips) for the run report.
+func (c *Crawler) ExecStats() resilience.ExecStats { return c.exec.Stats() }
+
+// OpenBreakers lists hosts whose circuits are currently not closed.
+func (c *Crawler) OpenBreakers() []string {
+	if c.opts.Breakers == nil {
+		return nil
+	}
+	return c.opts.Breakers.Open()
 }
 
 // maxRetainedIcon bounds per-icon memory in the hash→bytes cache.

@@ -1,0 +1,298 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/cache"
+	"github.com/nu-aqualab/borges/internal/faultinject"
+	"github.com/nu-aqualab/borges/internal/resilience"
+)
+
+func noWait(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// TestCrawlRetriesTransientFaults: a transport that fails each key's
+// first attempt is fully healed by a 2-attempt retry policy.
+func TestCrawlRetriesTransientFaults(t *testing.T) {
+	u := buildUniverse()
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 0, Kinds: []faultinject.Kind{faultinject.KindReset},
+	})
+	c := New(Options{
+		Transport: faulty, Concurrency: 4,
+		Retry: &resilience.Policy{MaxAttempts: 2, Jitter: -1, SleepFn: noWait},
+	})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if !res.OK || res.Err != nil || res.FaviconHash == "" {
+		t.Fatalf("res = %+v err=%v, want healed crawl with favicon", res, res.Err)
+	}
+	st := c.ExecStats()
+	if st.Retries == 0 {
+		t.Errorf("ExecStats = %+v, want retries > 0", st)
+	}
+
+	// Without a retry policy the same fault surfaces, classified
+	// transient.
+	c2 := New(Options{Transport: faultinject.NewTransport(buildUniverse(), faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 0, Kinds: []faultinject.Kind{faultinject.KindReset},
+	}), Concurrency: 4})
+	res2 := c2.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if res2.OK || !resilience.IsTransient(res2.Err) {
+		t.Fatalf("retry-less crawl = %+v err=%v, want transient failure", res2, res2.Err)
+	}
+}
+
+// TestRateLimitRetryHonorsServerHint: a 429 with Retry-After must make
+// the retry wait exactly the advertised delay.
+func TestRateLimitRetryHonorsServerHint(t *testing.T) {
+	var delays []time.Duration
+	var mu sync.Mutex
+	u := buildUniverse()
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 0,
+		Kinds:      []faultinject.Kind{faultinject.KindRateLimit},
+		RetryAfter: 9 * time.Second,
+	})
+	c := New(Options{
+		Transport: faulty, Concurrency: 4, SkipFavicons: true,
+		Retry: &resilience.Policy{MaxAttempts: 2, Jitter: -1,
+			SleepFn: func(ctx context.Context, d time.Duration) error {
+				mu.Lock()
+				delays = append(delays, d)
+				mu.Unlock()
+				return ctx.Err()
+			}},
+	})
+	res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if !res.OK {
+		t.Fatalf("res = %+v err=%v", res, res.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 1 || delays[0] != 9*time.Second {
+		t.Errorf("delays = %v, want [9s] from the Retry-After header", delays)
+	}
+}
+
+// TestBreakerShedsMeltingHost: persistent faults trip the host's
+// breaker; later fetches are denied without touching the transport,
+// and other hosts are unaffected.
+func TestBreakerShedsMeltingHost(t *testing.T) {
+	u := buildUniverse()
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []faultinject.Kind{faultinject.KindServerError},
+	})
+	breakers := &resilience.BreakerSet{Threshold: 2, Cooldown: time.Hour}
+	cFaulty := New(Options{
+		Transport: faulty, Concurrency: 4, SkipFavicons: true,
+		Retry:    &resilience.Policy{MaxAttempts: 2, Jitter: -1, SleepFn: noWait},
+		Breakers: breakers,
+	})
+	res := cFaulty.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if res.OK {
+		t.Fatalf("res = %+v, want persistent failure", res)
+	}
+	before := u.Requests()
+	res = cFaulty.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io/other"})
+	if !errors.Is(res.Err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want breaker denial", res.Err)
+	}
+	if got := u.Requests(); got != before {
+		t.Errorf("denied fetch still reached the transport (%d -> %d requests)", before, got)
+	}
+	if open := cFaulty.OpenBreakers(); len(open) != 1 || open[0] != "crawl:www.edg.io" {
+		t.Errorf("OpenBreakers = %v, want [crawl:www.edg.io]", open)
+	}
+	// An unrelated host sails through the same crawler.
+	if res := cFaulty.Crawl(context.Background(), Task{ASN: 2, URL: "https://www.clarochile.cl"}); res.OK {
+		t.Fatalf("clarochile should also be faulted at rate 1, got %+v", res)
+	}
+	st := cFaulty.ExecStats()
+	if st.Denials == 0 || st.BreakerTrips == 0 {
+		t.Errorf("ExecStats = %+v, want denials and trips recorded", st)
+	}
+}
+
+// TestTransientOutcomesAreNotCached: a degraded run must not poison
+// the shared cache; a later healthy run through the same cache heals.
+func TestTransientOutcomesAreNotCached(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := buildUniverse()
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []faultinject.Kind{faultinject.KindTimeout},
+	})
+	degraded := New(Options{Transport: faulty, Concurrency: 4, Cache: store})
+	res := degraded.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if res.OK || !resilience.IsTransient(res.Err) {
+		t.Fatalf("degraded crawl = %+v err=%v, want transient failure", res, res.Err)
+	}
+
+	healthy := New(Options{Transport: u, Concurrency: 4, Cache: store})
+	res = healthy.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if !res.OK || res.Err != nil || res.FaviconHash == "" {
+		t.Fatalf("healthy crawl = %+v err=%v, want full recovery (cache was poisoned?)", res, res.Err)
+	}
+
+	// Durable outcomes (a down host) are cached and served without a
+	// re-fetch — the taxonomy only exempts transient faults.
+	res = healthy.Crawl(context.Background(), Task{ASN: 2, URL: "https://down.test"})
+	if res.OK || res.Err == nil || resilience.IsTransient(res.Err) {
+		t.Fatalf("down host = %+v err=%v, want durable failure", res, res.Err)
+	}
+	before := u.Requests()
+	res = healthy.Crawl(context.Background(), Task{ASN: 2, URL: "https://down.test"})
+	if res.Err == nil {
+		t.Fatal("down host should stay failed")
+	}
+	if got := u.Requests(); got != before {
+		t.Errorf("durable outcome was re-fetched (%d -> %d)", before, got)
+	}
+}
+
+// TestTornFaviconDoesNotPoisonResult: a torn icon body must not cache
+// a result claiming the site serves no favicon.
+func TestTornFaviconDoesNotPoisonResult(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := buildUniverse()
+	faulty := faultinject.NewTransport(u, faultinject.Config{
+		Seed: 1, Rate: 1, PersistentRate: 1,
+		Kinds: []faultinject.Kind{faultinject.KindTornBody},
+	})
+	// Route page fetches to the clean universe and icon fetches to the
+	// torn transport, so the page resolves but its favicon tears.
+	degraded := New(Options{Transport: pageCleanIconFaulty{clean: u, faulty: faulty}, Concurrency: 4, Cache: store})
+	res := degraded.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if !res.OK {
+		t.Fatalf("page should resolve: %+v err=%v", res, res.Err)
+	}
+	if res.FaviconHash != "" {
+		t.Fatalf("torn icon produced hash %q", res.FaviconHash)
+	}
+	if !resilience.IsTransient(res.Err) {
+		t.Fatalf("err = %v, want transient favicon fault carried on the result", res.Err)
+	}
+
+	healthy := New(Options{Transport: u, Concurrency: 4, Cache: store})
+	res = healthy.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"})
+	if !res.OK || res.Err != nil || res.FaviconHash == "" {
+		t.Fatalf("healthy rerun = %+v err=%v, want favicon recovered", res, res.Err)
+	}
+}
+
+// pageCleanIconFaulty routes favicon requests to the faulty transport
+// and everything else to the clean one.
+type pageCleanIconFaulty struct {
+	clean  http.RoundTripper
+	faulty http.RoundTripper
+}
+
+func (t pageCleanIconFaulty) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.Contains(req.URL.Path, "favicon") {
+		return t.faulty.RoundTrip(req)
+	}
+	return t.clean.RoundTrip(req)
+}
+
+// blockingBody blocks reads until closed — a transport that is not
+// context-aware, the worst case the ctx-aware body wrapper exists for.
+type blockingBody struct {
+	prefix []byte
+	sent   bool
+	mu     sync.Mutex
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (b *blockingBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	sent := b.sent
+	b.sent = true
+	b.mu.Unlock()
+	if !sent {
+		return copy(p, b.prefix), nil
+	}
+	<-b.done
+	return 0, io.ErrUnexpectedEOF
+}
+
+func (b *blockingBody) Close() error {
+	b.once.Do(func() { close(b.done) })
+	return nil
+}
+
+type blockingTransport struct{}
+
+func (blockingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		Status: "200 OK", StatusCode: 200, Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:  http.Header{"Content-Type": []string{"text/html"}},
+		Body:    &blockingBody{prefix: []byte("<html>"), done: make(chan struct{})},
+		Request: req,
+	}, nil
+}
+
+// TestBodyReadAbortsOnCancel: cancelling the context mid-body unblocks
+// the read promptly and leaks no goroutines.
+func TestBodyReadAbortsOnCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := New(Options{Transport: blockingTransport{}, SkipFavicons: true, Timeout: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- c.Crawl(ctx, Task{ASN: 1, URL: "https://stuck.test/"}) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Err == nil {
+			t.Errorf("res = %+v, want cancellation error", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crawl did not abort after context cancellation")
+	}
+	// The body watcher and any transport goroutines must wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d — leak after cancelled body read", before, runtime.NumGoroutine())
+}
+
+// TestThrottleIsContextAware: a cancelled context interrupts the
+// per-host politeness wait instead of sleeping through it.
+func TestThrottleIsContextAware(t *testing.T) {
+	u := buildUniverse()
+	c := New(Options{Transport: u, SkipFavicons: true, PerHostDelay: time.Hour})
+	// Prime the per-host clock.
+	if res := c.Crawl(context.Background(), Task{ASN: 1, URL: "https://www.edg.io"}); !res.OK {
+		t.Fatalf("prime crawl failed: %v", res.Err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- c.Crawl(ctx, Task{ASN: 1, URL: "https://www.edg.io/about"}) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Err == nil {
+			t.Errorf("res = %+v, want cancellation error", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("throttled crawl ignored context cancellation")
+	}
+}

@@ -1,0 +1,243 @@
+// Package faultinject is a deterministic chaos harness: seeded
+// fault-injecting wrappers around http.RoundTripper and llm.Provider
+// that simulate the failure modes a real crawl meets — timeouts, 429s
+// with Retry-After, 5xx storms, connection resets, slow-loris bodies,
+// and torn payloads.
+//
+// Determinism is the whole point. Each request is reduced to a key
+// (host+path for HTTP, model+prompt digest for LLM) and the key's fate
+// is a pure function of the configured seed: an unlucky key is either
+// *transient* (fails exactly its first attempt, then heals) or
+// *persistent* (fails every attempt). Because fate depends only on
+// (seed, key, attempt-ordinal) and never on timing, a chaos run's
+// outcome is identical regardless of goroutine interleaving — which is
+// what lets the chaos tests assert exact quarantine counts under
+// -race. The harness also keeps per-key books, so a test can ask
+// exactly which keys could never have succeeded (ExhaustedKeys) and
+// compare that set against the pipeline's RunReport.
+package faultinject
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is a fault variety.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindTimeout fails the operation with a net.Error whose Timeout()
+	// is true.
+	KindTimeout Kind = iota
+	// KindRateLimit answers HTTP 429 with a Retry-After header (HTTP)
+	// or llm.ErrRateLimited carrying a typed Retry-After hint (LLM).
+	KindRateLimit
+	// KindServerError answers HTTP 503 (HTTP) or llm.ErrServer (LLM).
+	KindServerError
+	// KindReset fails the operation with ECONNRESET mid-connection.
+	KindReset
+	// KindSlowLoris serves a 200 whose body dribbles a few bytes and
+	// then stalls until the reader's context dies, the body is closed,
+	// or the configured stall elapses (HTTP only).
+	KindSlowLoris
+	// KindTornBody serves a 200 whose body ends in io.ErrUnexpectedEOF
+	// partway through the payload (HTTP only) — the torn-favicon case.
+	KindTornBody
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTimeout:
+		return "timeout"
+	case KindRateLimit:
+		return "rate-limit"
+	case KindServerError:
+		return "server-error"
+	case KindReset:
+		return "reset"
+	case KindSlowLoris:
+		return "slow-loris"
+	case KindTornBody:
+		return "torn-body"
+	default:
+		return "unknown"
+	}
+}
+
+// Config shapes an injector. The zero value injects nothing.
+type Config struct {
+	// Seed determines every key's fate. Two injectors with the same
+	// seed and config agree on which keys fail and how.
+	Seed int64
+	// Rate is the fraction of keys that are faulted, in [0, 1].
+	Rate float64
+	// PersistentRate is the fraction of *faulted* keys that fail every
+	// attempt rather than only their first, in [0, 1]. Persistent keys
+	// are the ones no retry policy can save; they are what a RunReport
+	// must quarantine.
+	PersistentRate float64
+	// Kinds restricts which fault varieties are drawn. Empty means all
+	// kinds valid for the wrapper (the LLM wrapper never draws
+	// HTTP-only kinds).
+	Kinds []Kind
+	// SkipFaviconPaths exempts requests whose URL path mentions a
+	// favicon, so a cell can fault page fetches while leaving icons
+	// intact (or vice versa via Kinds).
+	SkipFaviconPaths bool
+	// RetryAfter is the hint attached to rate-limit faults (default 1s;
+	// the HTTP header rounds to whole seconds).
+	RetryAfter time.Duration
+	// Stall bounds how long a slow-loris body blocks before giving up
+	// with a timeout error (default 100ms) — the harness must always
+	// terminate even when nothing cancels the read.
+	Stall time.Duration
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+func (c Config) stall() time.Duration {
+	if c.Stall <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.Stall
+}
+
+// fate is a key's predetermined behaviour.
+type fate struct {
+	faulted    bool
+	persistent bool
+	kind       Kind
+}
+
+// fateOf derives a key's fate from the seed alone. The derivation
+// hashes (seed, key) once and then whitens the hash twice more so the
+// fault decision, the persistence decision, and the kind choice are
+// independent.
+func (c Config) fateOf(key string, kinds []Kind) fate {
+	if c.Rate <= 0 || len(kinds) == 0 {
+		return fate{}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, strconv.FormatInt(c.Seed, 10))
+	io.WriteString(h, "\x00")
+	io.WriteString(h, key)
+	sum := h.Sum64()
+	if fraction(sum) >= c.Rate {
+		return fate{}
+	}
+	sum = whiten(sum)
+	persistent := fraction(sum) < c.PersistentRate
+	sum = whiten(sum)
+	return fate{faulted: true, persistent: persistent, kind: kinds[sum%uint64(len(kinds))]}
+}
+
+// fraction maps a hash to [0, 1).
+func fraction(sum uint64) float64 {
+	return float64(sum%1_000_000) / 1_000_000
+}
+
+// whiten is one splitmix64 mixing step — cheap, well-distributed
+// rehashing for deriving independent decisions from one hash.
+func whiten(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func isFaviconPath(path string) bool {
+	return strings.Contains(strings.ToLower(path), "favicon")
+}
+
+// keyState is the per-key ledger.
+type keyState struct {
+	fate     fate
+	attempts int
+	injected int
+}
+
+// ledger tracks every key an injector has seen.
+type ledger struct {
+	mu   sync.Mutex
+	keys map[string]*keyState
+}
+
+// visit records an attempt on key and reports whether this attempt is
+// faulted and with which kind.
+func (l *ledger) visit(key string, f fate) (inject bool, kind Kind) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.keys == nil {
+		l.keys = make(map[string]*keyState)
+	}
+	st, ok := l.keys[key]
+	if !ok {
+		st = &keyState{fate: f}
+		l.keys[key] = st
+	}
+	st.attempts++
+	if !st.fate.faulted {
+		return false, 0
+	}
+	if !st.fate.persistent && st.attempts > 1 {
+		return false, 0
+	}
+	st.injected++
+	return true, st.fate.kind
+}
+
+// Stats is an injector's ledger summary.
+type Stats struct {
+	// Keys counts distinct keys seen.
+	Keys int
+	// Requests counts attempts across all keys.
+	Requests int
+	// Injected counts attempts that were faulted.
+	Injected int
+	// ExhaustedKeys lists persistent faulted keys that were attempted —
+	// the keys no retry policy could have saved, sorted.
+	ExhaustedKeys []string
+	// HealedKeys lists transient faulted keys that were attempted more
+	// than once (the retry got through), sorted.
+	HealedKeys []string
+}
+
+func (l *ledger) stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{Keys: len(l.keys)}
+	for key, st := range l.keys {
+		s.Requests += st.attempts
+		s.Injected += st.injected
+		if !st.fate.faulted {
+			continue
+		}
+		if st.fate.persistent {
+			s.ExhaustedKeys = append(s.ExhaustedKeys, key)
+		} else if st.attempts > 1 {
+			s.HealedKeys = append(s.HealedKeys, key)
+		}
+	}
+	sort.Strings(s.ExhaustedKeys)
+	sort.Strings(s.HealedKeys)
+	return s
+}
+
+// timeoutError is a synthetic net.Error with Timeout() == true.
+type timeoutError struct{ msg string }
+
+func (e *timeoutError) Error() string   { return e.msg }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }

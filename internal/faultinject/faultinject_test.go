@@ -1,0 +1,282 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/resilience"
+)
+
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func okInner() (http.RoundTripper, *int) {
+	calls := new(int)
+	return rtFunc(func(req *http.Request) (*http.Response, error) {
+		*calls++
+		return &http.Response{
+			Status: "200 OK", StatusCode: 200, Proto: "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/html"}},
+			Body:    io.NopCloser(strings.NewReader("<html>ok</html>")),
+			Request: req,
+		}, nil
+	}), calls
+}
+
+func get(t *testing.T, tr http.RoundTripper, rawurl string) (*http.Response, error) {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := (&http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}).WithContext(context.Background())
+	return tr.RoundTrip(req)
+}
+
+func TestFatesAreDeterministicAcrossInstances(t *testing.T) {
+	cfg := Config{Seed: 7, Rate: 0.5, PersistentRate: 0.5}
+	a, b := NewTransport(nil, cfg), NewTransport(nil, cfg)
+	differ := false
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("host%d.example/", i)
+		fa := a.Config.fateOf(key, httpKinds)
+		fb := b.Config.fateOf(key, httpKinds)
+		if fa != fb {
+			t.Fatalf("fate for %s diverged: %+v vs %+v", key, fa, fb)
+		}
+		if fa.faulted {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("rate 0.5 over 200 keys faulted nothing — fate derivation is broken")
+	}
+}
+
+func TestTransientKeyFailsOnceThenHeals(t *testing.T) {
+	// Find a transient-faulted key under this seed, then attempt it twice.
+	cfg := Config{Seed: 3, Rate: 0.9, PersistentRate: 0, Kinds: []Kind{KindReset}}
+	var key string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("t%d.example/", i)
+		if f := cfg.fateOf(k, httpKinds); f.faulted && !f.persistent {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no transient key found at rate 0.9")
+	}
+	inner, calls := okInner()
+	tr := NewTransport(inner, cfg)
+	if _, err := get(t, tr, "http://"+key); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("first attempt = %v, want ECONNRESET", err)
+	}
+	resp, err := get(t, tr, "http://"+key)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("second attempt = %v/%v, want clean 200", resp, err)
+	}
+	resp.Body.Close()
+	if *calls != 1 {
+		t.Errorf("inner calls = %d, want 1 (only the healed attempt)", *calls)
+	}
+	st := tr.Stats()
+	if st.Injected != 1 || len(st.HealedKeys) != 1 || len(st.ExhaustedKeys) != 0 {
+		t.Errorf("stats = %+v, want 1 injection, 1 healed key, 0 exhausted", st)
+	}
+}
+
+func TestPersistentKeyAlwaysFailsAndIsExhausted(t *testing.T) {
+	cfg := Config{Seed: 3, Rate: 0.9, PersistentRate: 1, Kinds: []Kind{KindServerError}}
+	var key string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("p%d.example/", i)
+		if cfg.fateOf(k, httpKinds).faulted {
+			key = k
+			break
+		}
+	}
+	inner, calls := okInner()
+	tr := NewTransport(inner, cfg)
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, tr, "http://"+key)
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d = %v/%v, want 503", i, resp, err)
+		}
+		resp.Body.Close()
+	}
+	if *calls != 0 {
+		t.Errorf("inner calls = %d, want 0", *calls)
+	}
+	st := tr.Stats()
+	if len(st.ExhaustedKeys) != 1 || st.ExhaustedKeys[0] != key {
+		t.Errorf("ExhaustedKeys = %v, want [%s]", st.ExhaustedKeys, key)
+	}
+	if st.Injected != 3 {
+		t.Errorf("Injected = %d, want 3", st.Injected)
+	}
+}
+
+func TestEveryHTTPFaultKindClassifiesTransient(t *testing.T) {
+	for _, kind := range httpKinds {
+		cfg := Config{Seed: 11, Rate: 1, PersistentRate: 1, Kinds: []Kind{kind}, Stall: 5 * time.Millisecond}
+		inner, _ := okInner()
+		tr := NewTransport(inner, cfg)
+		resp, err := get(t, tr, "http://faulty.example/page")
+		switch kind {
+		case KindTimeout, KindReset:
+			if err == nil {
+				t.Fatalf("%v: expected transport error", kind)
+			}
+			if !resilience.IsTransient(err) {
+				t.Errorf("%v error %v must be transient", kind, err)
+			}
+			if kind == KindTimeout {
+				var ne net.Error
+				if !errors.As(err, &ne) || !ne.Timeout() {
+					t.Errorf("%v error %v must be a net.Error timeout", kind, err)
+				}
+			}
+		case KindRateLimit:
+			if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("%v = %v/%v, want 429", kind, resp, err)
+			}
+			if resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()) <= 0 {
+				t.Errorf("%v: missing Retry-After header", kind)
+			}
+			resp.Body.Close()
+		case KindServerError:
+			if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("%v = %v/%v, want 503", kind, resp, err)
+			}
+			resp.Body.Close()
+		case KindSlowLoris:
+			if err != nil || resp.StatusCode != 200 {
+				t.Fatalf("%v = %v/%v, want 200 with stalling body", kind, resp, err)
+			}
+			_, rerr := io.ReadAll(resp.Body)
+			if !resilience.IsTransient(rerr) {
+				t.Errorf("%v read error %v must be transient", kind, rerr)
+			}
+			resp.Body.Close()
+		case KindTornBody:
+			if err != nil || resp.StatusCode != 200 {
+				t.Fatalf("%v = %v/%v, want 200 with torn body", kind, resp, err)
+			}
+			_, rerr := io.ReadAll(resp.Body)
+			if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+				t.Errorf("%v read error = %v, want ErrUnexpectedEOF", kind, rerr)
+			}
+			resp.Body.Close()
+		}
+	}
+}
+
+func TestSlowLorisUnblocksOnContextCancel(t *testing.T) {
+	cfg := Config{Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []Kind{KindSlowLoris}, Stall: time.Minute}
+	inner, _ := okInner()
+	tr := NewTransport(inner, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	u, _ := url.Parse("http://slow.example/")
+	req := (&http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}).WithContext(ctx)
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, context.Canceled) {
+		t.Errorf("read error = %v, want context.Canceled", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("read blocked %v past cancellation", elapsed)
+	}
+}
+
+func TestSkipFaviconPathsExemptsIcons(t *testing.T) {
+	cfg := Config{Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []Kind{KindReset}, SkipFaviconPaths: true}
+	inner, calls := okInner()
+	tr := NewTransport(inner, cfg)
+	if resp, err := get(t, tr, "http://a.example/favicon.ico"); err != nil {
+		t.Fatalf("favicon fetch = %v, want pass-through", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := get(t, tr, "http://a.example/"); err == nil {
+		t.Fatal("page fetch should be faulted at rate 1")
+	}
+	if *calls != 1 {
+		t.Errorf("inner calls = %d, want 1 (the favicon)", *calls)
+	}
+}
+
+type stubProvider struct{ calls int }
+
+func (p *stubProvider) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	p.calls++
+	return llm.Response{Content: "ok", Model: req.Model}, nil
+}
+
+func TestProviderFaultsCarryTypedHints(t *testing.T) {
+	req := llm.Request{Model: "sim", Messages: []llm.Message{{Role: llm.RoleUser, Content: "classify AS1"}}}
+
+	rl := NewProvider(&stubProvider{}, Config{Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []Kind{KindRateLimit}, RetryAfter: 3 * time.Second})
+	_, err := rl.Complete(context.Background(), req)
+	if !errors.Is(err, llm.ErrRateLimited) {
+		t.Fatalf("rate-limit fault = %v, want ErrRateLimited", err)
+	}
+	if d, ok := resilience.RetryAfterOf(err); !ok || d != 3*time.Second {
+		t.Errorf("hint = %v/%v, want 3s", d, ok)
+	}
+
+	srv := NewProvider(&stubProvider{}, Config{Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []Kind{KindServerError}})
+	if _, err := srv.Complete(context.Background(), req); !errors.Is(err, llm.ErrServer) {
+		t.Errorf("server fault = %v, want ErrServer", err)
+	}
+
+	// HTTP-only kinds requested on an LLM injector degrade to no-ops
+	// rather than crashing.
+	torn := NewProvider(&stubProvider{}, Config{Seed: 1, Rate: 1, PersistentRate: 1, Kinds: []Kind{KindTornBody}})
+	if _, err := torn.Complete(context.Background(), req); err != nil {
+		t.Errorf("HTTP-only kind on LLM injector = %v, want pass-through", err)
+	}
+}
+
+func TestProviderTransientKeyHeals(t *testing.T) {
+	cfg := Config{Seed: 5, Rate: 1, PersistentRate: 0, Kinds: []Kind{KindServerError}}
+	stub := &stubProvider{}
+	p := NewProvider(stub, cfg)
+	req := llm.Request{Model: "sim", Messages: []llm.Message{{Role: llm.RoleUser, Content: "extract"}}}
+	if _, err := p.Complete(context.Background(), req); !errors.Is(err, llm.ErrServer) {
+		t.Fatalf("first attempt = %v, want ErrServer", err)
+	}
+	resp, err := p.Complete(context.Background(), req)
+	if err != nil || resp.Content != "ok" {
+		t.Fatalf("second attempt = %v/%v, want healed", resp, err)
+	}
+	if stub.calls != 1 {
+		t.Errorf("inner calls = %d, want 1", stub.calls)
+	}
+	// A different prompt is a different key with its own first-attempt fault.
+	other := llm.Request{Model: "sim", Messages: []llm.Message{{Role: llm.RoleUser, Content: "other"}}}
+	if _, err := p.Complete(context.Background(), other); !errors.Is(err, llm.ErrServer) {
+		t.Errorf("new key first attempt = %v, want ErrServer", err)
+	}
+}

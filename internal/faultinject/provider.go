@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/resilience"
+)
+
+// llmKinds are the fault varieties the provider wrapper can draw —
+// body-level HTTP faults have no LLM analogue, so requested HTTP-only
+// kinds are filtered out rather than crashing a shared Config.
+var llmKinds = []Kind{KindTimeout, KindRateLimit, KindServerError}
+
+// Provider is a fault-injecting llm.Provider. Requests are keyed by
+// model plus a digest of the prompt (mirroring how the LLM cache and
+// breakers identify work), so the same logical completion meets the
+// same fate on every attempt and in every run with the same seed.
+type Provider struct {
+	// Inner serves attempts the injector lets through.
+	Inner llm.Provider
+	// Config shapes the injection.
+	Config Config
+
+	ledger ledger
+}
+
+// NewProvider wraps inner with fault injection under cfg.
+func NewProvider(inner llm.Provider, cfg Config) *Provider {
+	return &Provider{Inner: inner, Config: cfg}
+}
+
+func (p *Provider) kinds() []Kind {
+	if len(p.Config.Kinds) == 0 {
+		return llmKinds
+	}
+	var out []Kind
+	for _, k := range p.Config.Kinds {
+		for _, ok := range llmKinds {
+			if k == ok {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// requestKey digests a request into the injector's per-key identity.
+func requestKey(req llm.Request) string {
+	h := fnv.New64a()
+	io.WriteString(h, req.Model)
+	for _, m := range req.Messages {
+		io.WriteString(h, "\x00")
+		io.WriteString(h, string(m.Role))
+		io.WriteString(h, "\x1f")
+		io.WriteString(h, m.Content)
+		for _, img := range m.Images {
+			h.Write(img)
+		}
+	}
+	return fmt.Sprintf("llm:%s:%016x", req.Model, h.Sum64())
+}
+
+// Complete implements llm.Provider.
+func (p *Provider) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	key := requestKey(req)
+	inject, kind := p.ledger.visit(key, p.Config.fateOf(key, p.kinds()))
+	if !inject {
+		return p.Inner.Complete(ctx, req)
+	}
+	switch kind {
+	case KindTimeout:
+		return llm.Response{}, &timeoutError{msg: fmt.Sprintf("faultinject: %s: i/o timeout", key)}
+	case KindServerError:
+		return llm.Response{}, fmt.Errorf("faultinject: %s: status 503: %w", key, llm.ErrServer)
+	default: // KindRateLimit
+		return llm.Response{}, &resilience.RetryAfterError{
+			Err:   fmt.Errorf("faultinject: %s: status 429: %w", key, llm.ErrRateLimited),
+			After: p.Config.retryAfter(),
+		}
+	}
+}
+
+// Stats returns the provider's per-key ledger summary.
+func (p *Provider) Stats() Stats { return p.ledger.stats() }

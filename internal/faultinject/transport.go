@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// httpKinds are the fault varieties the transport can draw.
+var httpKinds = []Kind{
+	KindTimeout, KindRateLimit, KindServerError,
+	KindReset, KindSlowLoris, KindTornBody,
+}
+
+// Transport is a fault-injecting http.RoundTripper. Requests are keyed
+// by host+path; a key's fate is fixed by the seed (see package doc).
+// Un-faulted attempts pass through to Inner untouched.
+type Transport struct {
+	// Inner serves attempts the injector lets through.
+	Inner http.RoundTripper
+	// Config shapes the injection.
+	Config Config
+
+	ledger ledger
+}
+
+// NewTransport wraps inner with fault injection under cfg.
+func NewTransport(inner http.RoundTripper, cfg Config) *Transport {
+	return &Transport{Inner: inner, Config: cfg}
+}
+
+func (t *Transport) kinds() []Kind {
+	if len(t.Config.Kinds) > 0 {
+		return t.Config.Kinds
+	}
+	return httpKinds
+}
+
+// Key reduces a request URL to the injector's per-key identity.
+func Key(host, path string) string { return host + path }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := Key(req.URL.Host, req.URL.Path)
+	if t.Config.SkipFaviconPaths && isFaviconPath(req.URL.Path) {
+		return t.Inner.RoundTrip(req)
+	}
+	inject, kind := t.ledger.visit(key, t.Config.fateOf(key, t.kinds()))
+	if !inject {
+		return t.Inner.RoundTrip(req)
+	}
+	switch kind {
+	case KindTimeout:
+		return nil, &timeoutError{msg: fmt.Sprintf("faultinject: %s: i/o timeout", key)}
+	case KindReset:
+		return nil, fmt.Errorf("faultinject: read %s: %w", key, syscall.ECONNRESET)
+	case KindRateLimit:
+		resp := t.respond(req, http.StatusTooManyRequests, "rate limited")
+		secs := int(t.Config.retryAfter().Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		resp.Header.Set("Retry-After", strconv.Itoa(secs))
+		return resp, nil
+	case KindServerError:
+		return t.respond(req, http.StatusServiceUnavailable, "injected server error"), nil
+	case KindSlowLoris:
+		resp := t.respond(req, http.StatusOK, "")
+		resp.Body = &slowBody{
+			prefix: []byte("<html><head><title>slow"),
+			ctx:    req.Context(),
+			stall:  t.Config.stall(),
+			done:   make(chan struct{}),
+			key:    key,
+		}
+		return resp, nil
+	case KindTornBody:
+		resp := t.respond(req, http.StatusOK, "")
+		resp.Body = &tornBody{prefix: []byte("<html><body>torn")}
+		resp.ContentLength = int64(len("<html><body>torn")) * 4
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("faultinject: %s: unknown fault kind %d", key, kind)
+	}
+}
+
+// respond builds a minimal well-formed response.
+func (t *Transport) respond(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/html; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Stats returns the transport's per-key ledger summary.
+func (t *Transport) Stats() Stats { return t.ledger.stats() }
+
+// slowBody yields a short prefix, then stalls. The stall ends when the
+// request context dies, Close is called, or the configured bound
+// elapses — whichever comes first — and then reads fail with a timeout
+// error. The bounded stall guarantees chaos runs terminate even when
+// nothing cancels the read; the context path is what the crawler's
+// ctx-aware body reader is tested against.
+type slowBody struct {
+	prefix []byte
+	ctx    context.Context
+	stall  time.Duration
+	key    string
+
+	mu        sync.Mutex
+	sent      bool
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	sent := b.sent
+	b.sent = true
+	b.mu.Unlock()
+	if !sent {
+		n := copy(p, b.prefix)
+		return n, nil
+	}
+	t := time.NewTimer(b.stall)
+	defer t.Stop()
+	select {
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	case <-b.done:
+		return 0, fmt.Errorf("faultinject: %s: body closed during stall: %w", b.key, syscall.ECONNRESET)
+	case <-t.C:
+		return 0, &timeoutError{msg: fmt.Sprintf("faultinject: %s: slow-loris stall: i/o timeout", b.key)}
+	}
+}
+
+func (b *slowBody) Close() error {
+	b.closeOnce.Do(func() { close(b.done) })
+	return nil
+}
+
+// tornBody yields a partial payload then fails with
+// io.ErrUnexpectedEOF — truncated mid-transfer, the torn-favicon case.
+type tornBody struct {
+	prefix []byte
+	sent   bool
+	mu     sync.Mutex
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.sent {
+		b.sent = true
+		return copy(p, b.prefix), nil
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+func (b *tornBody) Close() error { return nil }

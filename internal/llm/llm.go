@@ -14,8 +14,9 @@ package llm
 import (
 	"context"
 	"errors"
-	"fmt"
 	"time"
+
+	"github.com/nu-aqualab/borges/internal/resilience"
 )
 
 // Role identifies the author of a chat message.
@@ -75,10 +76,23 @@ var ErrRateLimited = errors.New("llm: rate limited")
 // ErrServer marks a retryable transient server failure.
 var ErrServer = errors.New("llm: server error")
 
+// Retryable classifies provider errors worth retrying: rate limits,
+// transient server failures, and anything the resilience taxonomy
+// calls transient (timeouts, resets, torn responses). Durable failures
+// — bad API keys, malformed requests — surface immediately.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRateLimited) ||
+		errors.Is(err, ErrServer) ||
+		resilience.IsTransient(err)
+}
+
 // Retrying decorates a Provider with bounded exponential backoff on
 // retryable errors (rate limits and transient server failures). A batch
 // over tens of thousands of PeeringDB records will hit provider limits;
-// retrying with backoff is the standard remedy.
+// retrying with backoff is the standard remedy. The backoff math is
+// the shared resilience.Policy, so a provider error carrying a typed
+// Retry-After hint (see llm/openai) is honoured over the exponential
+// guess.
 type Retrying struct {
 	// Inner is the wrapped provider.
 	Inner Provider
@@ -97,39 +111,23 @@ func (r *Retrying) Complete(ctx context.Context, req Request) (Response, error) 
 	if attempts <= 0 {
 		attempts = 4
 	}
-	delay := r.BaseDelay
-	if delay <= 0 {
-		delay = 250 * time.Millisecond
+	p := &resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   r.BaseDelay,
+		// Jitter stays off so the doubling sequence is exact and
+		// reproducible; Retry-After hints still take precedence.
+		Jitter:    -1,
+		Retryable: Retryable,
+		SleepFn:   r.Sleep,
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = func(ctx context.Context, d time.Duration) error {
-			t := time.NewTimer(d)
-			defer t.Stop()
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-t.C:
-				return nil
-			}
-		}
+	var resp Response
+	err := p.Do(ctx, func(ctx context.Context) error {
+		var cerr error
+		resp, cerr = r.Inner.Complete(ctx, req)
+		return cerr
+	})
+	if err != nil {
+		return Response{}, err
 	}
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			if err := sleep(ctx, delay); err != nil {
-				return Response{}, err
-			}
-			delay *= 2
-		}
-		resp, err := r.Inner.Complete(ctx, req)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		if !errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrServer) {
-			return Response{}, err
-		}
-	}
-	return Response{}, fmt.Errorf("llm: giving up after %d attempts: %w", attempts, lastErr)
+	return resp, nil
 }

@@ -19,8 +19,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/nu-aqualab/borges/internal/llm"
+	"github.com/nu-aqualab/borges/internal/resilience"
 )
 
 // DefaultBaseURL is the public OpenAI API root.
@@ -134,9 +136,11 @@ func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
-		return llm.Response{}, fmt.Errorf("openai: status 429: %w", llm.ErrRateLimited)
+		return llm.Response{}, withRetryAfter(resp,
+			fmt.Errorf("openai: status 429: %w", llm.ErrRateLimited))
 	case resp.StatusCode >= 500:
-		return llm.Response{}, fmt.Errorf("openai: status %d: %w", resp.StatusCode, llm.ErrServer)
+		return llm.Response{}, withRetryAfter(resp,
+			fmt.Errorf("openai: status %d: %w", resp.StatusCode, llm.ErrServer))
 	case resp.StatusCode != http.StatusOK:
 		var wr wireResponse
 		msg := strings.TrimSpace(string(raw))
@@ -164,6 +168,17 @@ func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 			CompletionTokens: wr.Usage.CompletionTokens,
 		},
 	}, nil
+}
+
+// withRetryAfter attaches the response's Retry-After header (if any)
+// to err as a typed hint, so the retry layer waits exactly as long as
+// the server asked instead of guessing exponentially.
+func withRetryAfter(resp *http.Response, err error) error {
+	d := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	if d <= 0 {
+		return err
+	}
+	return &resilience.RetryAfterError{Err: err, After: d}
 }
 
 func topPOrDefault(v float64) *float64 {

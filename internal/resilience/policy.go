@@ -1,0 +1,206 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Sleep waits for d or until ctx is cancelled, whichever comes first.
+// It is the context-aware replacement for time.Sleep that every wait in
+// the pipeline routes through (the sleep lint enforces this).
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Budget bounds total retries across every call that shares it — a run
+// under partial outage must not multiply its traffic unboundedly even
+// when each individual call's attempt count looks reasonable.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int
+	spent     int
+}
+
+// NewBudget returns a budget allowing n retries in total.
+func NewBudget(n int) *Budget { return &Budget{remaining: n} }
+
+// Take consumes one retry token, reporting false when the budget is
+// spent.
+func (b *Budget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.remaining <= 0 {
+		return false
+	}
+	b.remaining--
+	b.spent++
+	return true
+}
+
+// Spent returns how many retry tokens have been consumed.
+func (b *Budget) Spent() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Policy is the unified retry policy: bounded attempts, jittered
+// exponential backoff capped at MaxDelay, Retry-After awareness, and an
+// optional shared Budget. The zero value retries nothing (MaxAttempts
+// defaults to 1), so wrapping an operation in a Policy is always safe.
+type Policy struct {
+	// MaxAttempts bounds total attempts per call (default 1 — no
+	// retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 250ms); each retry
+	// doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff, including Retry-After hints (default
+	// 30s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized away (default
+	// 0.2): delay ∈ [d·(1−Jitter), d]. Negative disables jitter.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic; 0 seeds from 1.
+	Seed int64
+	// Budget, when non-nil, bounds total retries across all calls
+	// sharing this policy.
+	Budget *Budget
+	// Retryable classifies errors worth retrying; nil selects
+	// IsTransient.
+	Retryable func(error) bool
+	// SleepFn is indirected for tests; defaults to Sleep.
+	SleepFn func(ctx context.Context, d time.Duration) error
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+func (p *Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p *Policy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return IsTransient(err)
+}
+
+// backoff computes the wait before attempt n+1 (n counts completed
+// attempts, so n=1 yields BaseDelay), applying the cap, jitter, and any
+// Retry-After hint carried by err.
+func (p *Policy) backoff(n int, err error) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 30 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	// A server that said how long to wait knows better than our
+	// exponential guess: the hint replaces the computed backoff (still
+	// capped, still jittered so synchronized clients spread out).
+	if hint, ok := RetryAfterOf(err); ok {
+		d = hint
+		if d > maxd {
+			d = maxd
+		}
+	}
+	if j := p.jitterFraction(); j > 0 {
+		p.rngOnce.Do(func() {
+			seed := p.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			p.rng = rand.New(rand.NewSource(seed))
+		})
+		p.rngMu.Lock()
+		f := p.rng.Float64()
+		p.rngMu.Unlock()
+		d -= time.Duration(f * j * float64(d))
+	}
+	return d
+}
+
+func (p *Policy) jitterFraction() float64 {
+	switch {
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter == 0:
+		return 0.2
+	case p.Jitter > 1:
+		return 1
+	default:
+		return p.Jitter
+	}
+}
+
+// Do runs op under the policy: transient failures are retried with
+// backoff until an attempt succeeds, a non-retryable error surfaces,
+// the attempt bound or shared budget is exhausted (ExhaustedError), or
+// ctx is cancelled.
+func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	return p.doWith(ctx, op, nil, p.retryable)
+}
+
+// doWith is Do with an optional retry counter and a classification
+// override, for Executor (which must not retry breaker denials).
+func (p *Policy) doWith(ctx context.Context, op func(ctx context.Context) error, onRetry func(), retryable func(error) bool) error {
+	sleep := p.SleepFn
+	if sleep == nil {
+		sleep = Sleep
+	}
+	attempts := p.attempts()
+	for n := 1; ; n++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if n >= attempts {
+			if attempts == 1 {
+				return err // no retrying configured: report the raw fault
+			}
+			return &ExhaustedError{Attempts: n, Err: err}
+		}
+		if p.Budget != nil && !p.Budget.Take() {
+			return &ExhaustedError{Attempts: n, BudgetSpent: true, Err: err}
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		if serr := sleep(ctx, p.backoff(n, err)); serr != nil {
+			return serr
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoNakedTimeSleep is a structcheck-style lint: production code
+// must not hand-roll waits with time.Sleep — blocking sleeps ignore
+// context cancellation, which is how retries leak goroutines and runs
+// refuse to die. Every wait belongs on resilience.Sleep (ctx-aware) or
+// a Policy. The lint walks every non-test .go file in the module
+// outside internal/resilience and fails on any time.Sleep call.
+func TestNoNakedTimeSleep(t *testing.T) {
+	root := moduleRoot(t)
+	var offenders []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			if rel, _ := filepath.Rel(root, path); rel == filepath.Join("internal", "resilience") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if ident, ok := sel.X.(*ast.Ident); ok && ident.Name == "time" {
+				pos := fset.Position(call.Pos())
+				rel, _ := filepath.Rel(root, pos.Filename)
+				offenders = append(offenders, fmt.Sprintf("%s:%d", rel, pos.Line))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) > 0 {
+		t.Errorf("naked time.Sleep outside internal/resilience (use resilience.Sleep or a Policy):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}
+
+// moduleRoot walks up from the package directory to the directory
+// containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}

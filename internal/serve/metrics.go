@@ -155,4 +155,15 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 	fmt.Fprintf(w, "# HELP borgesd_snapshot_theta Normalised Organization Factor of the serving snapshot.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_snapshot_theta gauge\n")
 	fmt.Fprintf(w, "borgesd_snapshot_theta %.6f\n", st.Theta)
+	h := snap.Health()
+	degraded := 0
+	if h.Status != HealthOK {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_degraded Whether the run that produced the serving snapshot quarantined work (1) or completed cleanly (0).\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_degraded gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_degraded %d\n", degraded)
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_quarantined Items quarantined by the run that produced the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_quarantined gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_quarantined %d\n", h.Quarantined)
 }

@@ -34,11 +34,22 @@ func FileSource(path string) Source {
 	}
 }
 
+// HealthSource is a Source that also reports the produced mapping's
+// health — how a pipeline-backed reload propagates a degraded run's
+// RunReport status into the serving layer without the serve package
+// knowing about the pipeline.
+type HealthSource func(ctx context.Context) (*cluster.Mapping, Health, error)
+
 // Options tune a Server.
 type Options struct {
 	// Source supplies replacement mappings for /admin/reload. With a
-	// nil Source, reloads are rejected with 501 Not Implemented.
+	// nil Source (and nil HealthSource), reloads are rejected with 501
+	// Not Implemented.
 	Source Source
+	// HealthSource, when non-nil, is preferred over Source and lets
+	// each reload attach the producing run's Health to the snapshot it
+	// publishes.
+	HealthSource HealthSource
 	// RequestTimeout bounds each request's handling time (default 10s).
 	RequestTimeout time.Duration
 	// Logf receives one structured line per request and per reload.
@@ -120,7 +131,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // and indexes it, and atomically publishes the result. On any error the
 // previous snapshot keeps serving.
 func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
-	if s.opts.Source == nil {
+	load := s.opts.HealthSource
+	if load == nil && s.opts.Source != nil {
+		src := s.opts.Source
+		load = func(ctx context.Context) (*cluster.Mapping, Health, error) {
+			m, err := src(ctx)
+			return m, Health{Status: HealthOK}, err
+		}
+	}
+	if load == nil {
 		return nil, fmt.Errorf("serve: no reload source configured")
 	}
 	select {
@@ -130,13 +149,13 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 		return nil, ctx.Err()
 	}
 	old := s.snap.Load()
-	m, err := s.opts.Source(ctx)
+	m, health, err := load(ctx)
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
 	var next *Snapshot
 	if err == nil {
-		next, err = newSnapshotAt(m, old.Source(), s.opts.now())
+		next, err = newSnapshotAt(m, old.Source(), health, s.opts.now())
 	}
 	if err != nil {
 		s.metrics.ObserveReload(false)
@@ -145,8 +164,8 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	}
 	s.snap.Store(next)
 	s.metrics.ObserveReload(true)
-	s.logf(`{"event":"reload","ok":true,"orgs":%d,"asns":%d,"theta":%.6f}`,
-		next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta)
+	s.logf(`{"event":"reload","ok":true,"health":%q,"orgs":%d,"asns":%d,"theta":%.6f}`,
+		next.Health().Status, next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta)
 	return next, nil
 }
 
@@ -316,17 +335,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Source        string       `json:"source"`
 		LoadedAt      time.Time    `json:"loaded_at"`
 		AgeSeconds    float64      `json:"age_seconds"`
+		Health        Health       `json:"health"`
 	}{
 		Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
 		MultiASOrgs: st.MultiASOrgs, LargestOrg: st.LargestOrg,
 		SizeHistogram: hist, Source: snap.Source(),
 		LoadedAt:   snap.LoadedAt().UTC(),
 		AgeSeconds: s.opts.now().Sub(snap.LoadedAt()).Seconds(),
+		Health:     snap.Health(),
 	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Source == nil {
+	if s.opts.Source == nil && s.opts.HealthSource == nil {
 		writeError(w, http.StatusNotImplemented, "no reload source configured")
 		return
 	}
@@ -348,12 +369,24 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok", Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta})
 }
 
+// handleHealthz reports liveness plus the snapshot's provenance
+// health. A degraded snapshot still answers 200 — the daemon is up and
+// serving; "degraded" tells orchestrators the mapping behind it was
+// built under faults, which is a quality signal, not an outage.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
+	h := snap.Health()
 	writeJSON(w, http.StatusOK, struct {
-		Status     string  `json:"status"`
-		AgeSeconds float64 `json:"snapshot_age_seconds"`
-	}{Status: "ok", AgeSeconds: s.opts.now().Sub(snap.LoadedAt()).Seconds()})
+		Status      string  `json:"status"`
+		AgeSeconds  float64 `json:"snapshot_age_seconds"`
+		Quarantined int     `json:"quarantined,omitempty"`
+		Detail      string  `json:"detail,omitempty"`
+	}{
+		Status:      h.Status,
+		AgeSeconds:  s.opts.now().Sub(snap.LoadedAt()).Seconds(),
+		Quarantined: h.Quarantined,
+		Detail:      h.Detail,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

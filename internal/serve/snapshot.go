@@ -41,6 +41,33 @@ func (b SizeBucket) Label() string {
 	return fmt.Sprintf("%d-%d", b.Lo, b.Hi)
 }
 
+// Health status values.
+const (
+	// HealthOK marks a snapshot built from a fault-free run (or loaded
+	// from a file, whose provenance is unknown but complete).
+	HealthOK = "ok"
+	// HealthDegraded marks a snapshot whose producing run quarantined
+	// work: the mapping is complete over the universe but may be
+	// missing merges the dropped items would have contributed.
+	HealthDegraded = "degraded"
+)
+
+// Health describes the provenance quality of a snapshot's mapping. A
+// degraded snapshot still serves — a mapping missing a few merges
+// beats no mapping — but /healthz, /v1/stats, and /metrics surface the
+// state so operators and load balancers can distinguish "clean" from
+// "best effort under faults".
+type Health struct {
+	// Status is HealthOK or HealthDegraded.
+	Status string `json:"status"`
+	// Quarantined counts the items the producing run dropped after
+	// exhausting their retry budget (0 for file-loaded mappings).
+	Quarantined int `json:"quarantined,omitempty"`
+	// Detail is a short operator-facing annotation, e.g. which
+	// inference chains degraded.
+	Detail string `json:"detail,omitempty"`
+}
+
 // Stats are a snapshot's precomputed corpus-level statistics.
 type Stats struct {
 	// Orgs and ASNs count organizations and covered networks.
@@ -74,6 +101,7 @@ type Snapshot struct {
 
 	source   string
 	loadedAt time.Time
+	health   Health
 }
 
 // NewSnapshot indexes a mapping for serving. The source string labels
@@ -81,11 +109,18 @@ type Snapshot struct {
 // and is reported by /v1/stats and /metrics. It rejects nil or empty
 // mappings — a serving snapshot must always answer lookups.
 func NewSnapshot(m *cluster.Mapping, source string) (*Snapshot, error) {
-	return newSnapshotAt(m, source, time.Now())
+	return newSnapshotAt(m, source, Health{Status: HealthOK}, time.Now())
+}
+
+// NewSnapshotWithHealth is NewSnapshot carrying the producing run's
+// health, for pipeline-backed daemons that want degradation to travel
+// with the mapping it describes.
+func NewSnapshotWithHealth(m *cluster.Mapping, source string, h Health) (*Snapshot, error) {
+	return newSnapshotAt(m, source, h, time.Now())
 }
 
 // newSnapshotAt is NewSnapshot with an injectable clock for tests.
-func newSnapshotAt(m *cluster.Mapping, source string, now time.Time) (*Snapshot, error) {
+func newSnapshotAt(m *cluster.Mapping, source string, health Health, now time.Time) (*Snapshot, error) {
 	if m == nil {
 		return nil, fmt.Errorf("serve: nil mapping")
 	}
@@ -97,12 +132,16 @@ func newSnapshotAt(m *cluster.Mapping, source string, now time.Time) (*Snapshot,
 	if err != nil {
 		return nil, fmt.Errorf("serve: mapping fails θ validation: %w", err)
 	}
+	if health.Status == "" {
+		health.Status = HealthOK
+	}
 	s := &Snapshot{
 		mapping:    m,
 		tokens:     make(map[string][]int),
 		lowerNames: make([]string, len(m.Clusters)),
 		source:     source,
 		loadedAt:   now,
+		health:     health,
 	}
 	s.stats = Stats{
 		Orgs:  m.NumOrgs(),
@@ -196,6 +235,9 @@ func (s *Snapshot) Source() string { return s.source }
 
 // LoadedAt returns when the snapshot was constructed.
 func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
+
+// Health returns the provenance health the snapshot was built with.
+func (s *Snapshot) Health() Health { return s.health }
 
 // Lookup returns the organization containing a, or nil when a is
 // unmapped.

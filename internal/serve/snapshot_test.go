@@ -186,7 +186,7 @@ func TestSizeBucketLabel(t *testing.T) {
 
 func TestSnapshotMetadata(t *testing.T) {
 	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	s, err := newSnapshotAt(testMapping(t), "corpus.jsonl", now)
+	s, err := newSnapshotAt(testMapping(t), "corpus.jsonl", Health{}, now)
 	if err != nil {
 		t.Fatal(err)
 	}
