@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 
+	"github.com/nu-aqualab/borges/internal/admission"
 	"github.com/nu-aqualab/borges/internal/apnic"
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/asrank"
@@ -305,10 +306,22 @@ type (
 	// and /metrics.
 	SnapshotHealth = serve.Health
 	// ServeOptions tune a lookup server (reload source, per-request
-	// timeout, structured logging).
+	// timeout, structured logging, overload protection).
 	ServeOptions = serve.Options
 	// LookupServer serves a Snapshot over HTTP with atomic hot reload.
 	LookupServer = serve.Server
+	// AdmissionConfig tunes a lookup server's overload protection:
+	// an adaptive (AIMD-on-latency) concurrency limit with a bounded
+	// wait queue, per-client token-bucket rate limiting behind an LRU,
+	// priority shedding (health/metrics/admin never shed, point
+	// lookups shed last, search sheds first), and search brownout.
+	// Set ServeOptions.Admission to enable; sheds answer 429/503 with
+	// Retry-After and are observable as borgesd_admission_* metrics.
+	AdmissionConfig = admission.Config
+	// AdmissionStats is a point-in-time view of the admission layer:
+	// in-flight count, adaptive limit, queue depth, sheds by class,
+	// rate-limit refusals, bucket evictions, brownouts.
+	AdmissionStats = admission.Stats
 )
 
 // Snapshot health status values.

@@ -27,6 +27,14 @@
 // finish on the old view, new requests see the new one, and a reload
 // that fails to parse or validate leaves the old snapshot serving. The
 // daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests.
+//
+// Under overload the daemon degrades instead of collapsing: an
+// adaptive concurrency limiter (-max-inflight, -target-latency) sheds
+// excess load with 503 + Retry-After, per-client token buckets
+// (-rate, -burst) refuse abusive clients with 429, /v1/search sheds
+// first and browns out (capped, cheaper results) under pressure
+// (-shed-search-first), and /healthz, /metrics, and /admin/* are never
+// shed. See the borgesd_admission_* series on /metrics.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	borges "github.com/nu-aqualab/borges"
 )
@@ -54,6 +63,11 @@ func main() {
 	maxRetries := flag.Int("max-retries", 2, "retries per transient pipeline fault (0 = fail on first error)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a host/model circuit opens (0 = no breakers)")
 	failFast := flag.Bool("fail-fast", false, "abort pipeline runs on the first error instead of quarantining and serving a degraded mapping")
+	maxInflight := flag.Int("max-inflight", 256, "adaptive concurrency ceiling for lookup endpoints (0 disables admission control)")
+	rate := flag.Float64("rate", 50, "per-client sustained requests/sec, keyed by X-Api-Key or client IP (0 disables per-client rate limiting)")
+	burst := flag.Int("burst", 100, "per-client burst capacity for -rate")
+	targetLatency := flag.Duration("target-latency", 150*time.Millisecond, "latency target steering the adaptive concurrency limit")
+	shedSearchFirst := flag.Bool("shed-search-first", true, "shed /v1/search before point lookups under overload (search also browns out under pressure)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -63,6 +77,15 @@ func main() {
 	opts := borges.ServeOptions{RequestTimeout: *timeout, EnablePprof: *pprof}
 	if !*quiet {
 		opts.Logf = log.Printf
+	}
+	if *maxInflight > 0 {
+		opts.Admission = &borges.AdmissionConfig{
+			MaxInflight:     *maxInflight,
+			TargetLatency:   *targetLatency,
+			Rate:            *rate,
+			Burst:           *burst,
+			ShedSearchFirst: *shedSearchFirst,
+		}
 	}
 
 	var (

@@ -1,0 +1,156 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AIMD constants. A completion under the latency target earns
+// +aimdStep/limit (≈ one full slot per window of `limit` completions,
+// the classic additive increase); a completion over it multiplies the
+// limit by aimdBeta. The asymmetry is the point: capacity is probed
+// gently and surrendered fast.
+const (
+	aimdStep = 1.0
+	aimdBeta = 0.9
+	// brownoutFraction of the limit occupied (or any queueing) is the
+	// pressure threshold at which Search switches to brownout serving.
+	brownoutFraction = 0.75
+)
+
+// waiter is one queued Point-class request.
+type waiter struct {
+	// admitted is closed by a releaser handing the waiter a slot; the
+	// flag distinguishes "handed a slot" from "gave up" when both
+	// race. Both are guarded by the limiter's mutex.
+	ch       chan struct{}
+	admitted bool
+	canceled bool
+}
+
+// limiter is the adaptive concurrency limiter: a latency-steered
+// in-flight ceiling with a bounded FIFO wait queue for requests whose
+// class permits waiting.
+type limiter struct {
+	mu              sync.Mutex
+	limit           float64 // adaptive, in [min, max]
+	min, max        float64
+	target          time.Duration
+	inflight        int
+	queue           []*waiter
+	queueCap        int
+	shedSearchFirst bool
+}
+
+func newLimiter(cfg Config) *limiter {
+	return &limiter{
+		limit:           float64(cfg.MaxInflight),
+		min:             float64(cfg.MinInflight),
+		max:             float64(cfg.MaxInflight),
+		target:          cfg.TargetLatency,
+		queueCap:        cfg.QueueDepth,
+		shedSearchFirst: cfg.ShedSearchFirst,
+	}
+}
+
+// acquire takes a slot, queues for one, or refuses. The reason labels
+// refusals: "saturated" (Search shed at capacity), "queue-full", or
+// "deadline" (queued but the context expired first).
+func (l *limiter) acquire(ctx context.Context, class Class) (ok bool, reason string) {
+	l.mu.Lock()
+	if l.inflight < int(l.limit) {
+		l.inflight++
+		l.mu.Unlock()
+		return true, ""
+	}
+	if class == Search && l.shedSearchFirst {
+		l.mu.Unlock()
+		return false, "saturated"
+	}
+	if len(l.queue) >= l.queueCap {
+		l.mu.Unlock()
+		return false, "queue-full"
+	}
+	w := &waiter{ch: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return true, ""
+	case <-ctx.Done():
+		l.mu.Lock()
+		if w.admitted {
+			// A releaser handed us a slot in the same instant the
+			// deadline fired. The handler will not run, so return the
+			// slot (without a latency observation — nothing was
+			// served) and still report the shed.
+			l.mu.Unlock()
+			l.release(0, false)
+			return false, "deadline"
+		}
+		w.canceled = true
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				break
+			}
+		}
+		l.mu.Unlock()
+		return false, "deadline"
+	}
+}
+
+// release returns a slot and, when observe is set, feeds the AIMD
+// controller with the request's latency. Any freed capacity is handed
+// to queued waiters in FIFO order.
+func (l *limiter) release(latency time.Duration, observe bool) {
+	l.mu.Lock()
+	l.inflight--
+	if observe {
+		if latency > l.target {
+			l.limit = l.limit * aimdBeta
+			if l.limit < l.min {
+				l.limit = l.min
+			}
+		} else {
+			l.limit += aimdStep / l.limit
+			if l.limit > l.max {
+				l.limit = l.max
+			}
+		}
+	}
+	l.admitWaitersLocked()
+	l.mu.Unlock()
+}
+
+// admitWaitersLocked hands free slots to the queue head while
+// capacity allows. Callers hold l.mu.
+func (l *limiter) admitWaitersLocked() {
+	for len(l.queue) > 0 && l.inflight < int(l.limit) {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		if w.canceled {
+			continue
+		}
+		w.admitted = true
+		l.inflight++
+		close(w.ch)
+	}
+}
+
+// underPressure reports whether occupancy crossed the brownout
+// threshold or requests are already queueing.
+func (l *limiter) underPressure() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue) > 0 || float64(l.inflight) >= brownoutFraction*l.limit
+}
+
+// snapshot returns (inflight, limit, queued) consistently.
+func (l *limiter) snapshot() (int, float64, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight, l.limit, len(l.queue)
+}

@@ -1,0 +1,87 @@
+package admission
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is one client's token bucket, embedded in the LRU.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// buckets is a per-client token-bucket rate limiter with a bounded
+// LRU of buckets: the population of distinct clients a research tool
+// or a scan can present is unbounded, the memory tracking them must
+// not be. Evicting an idle bucket forgets at most `burst` tokens of
+// history, which errs on the side of admitting — acceptable, because
+// the adaptive limiter behind it still protects total capacity.
+type buckets struct {
+	mu        sync.Mutex
+	rate      float64 // tokens per second
+	burst     float64 // bucket capacity, also the initial fill
+	max       int     // max tracked clients
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently seen
+	evictions int64
+	now       func() time.Time
+}
+
+func newBuckets(rate, burst float64, maxClients int, now func() time.Time) *buckets {
+	return &buckets{
+		rate:    rate,
+		burst:   burst,
+		max:     maxClients,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		now:     now,
+	}
+}
+
+// allow spends one token from the client's bucket. When the bucket is
+// empty it refuses and returns how long until the next token accrues
+// — the Retry-After hint for the 429.
+func (b *buckets) allow(key string) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	var bk *bucket
+	if el, found := b.entries[key]; found {
+		b.lru.MoveToFront(el)
+		bk = el.Value.(*bucket)
+		bk.tokens = math.Min(b.burst, bk.tokens+now.Sub(bk.last).Seconds()*b.rate)
+		bk.last = now
+	} else {
+		for len(b.entries) >= b.max {
+			oldest := b.lru.Back()
+			delete(b.entries, oldest.Value.(*bucket).key)
+			b.lru.Remove(oldest)
+			b.evictions++
+		}
+		bk = &bucket{key: key, tokens: b.burst, last: now}
+		b.entries[key] = b.lru.PushFront(bk)
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	// Ceil to whole seconds: Retry-After headers carry integral
+	// seconds, and rounding down would invite a retry that still
+	// finds the bucket empty.
+	secs := math.Ceil((1 - bk.tokens) / b.rate)
+	if secs < 1 {
+		secs = 1
+	}
+	return false, time.Duration(secs) * time.Second
+}
+
+// evicted returns the LRU eviction count.
+func (b *buckets) evicted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evictions
+}

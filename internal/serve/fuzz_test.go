@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// FuzzLoadMapping fuzzes the snapshot load path a -mapping file (and
+// every /admin/reload of one) flows through: cluster.ReadJSONL
+// followed by snapshot construction. The contract under arbitrary
+// bytes: the loader parses or fails cleanly (no panic), and anything
+// it accepts must index into a self-consistent, servable snapshot —
+// the same validate-then-swap guarantee hot reload relies on. The
+// seed corpus includes a torn-tail file (a crash mid-append), the
+// failure mode the cache layer's disk tier also has to survive.
+func FuzzLoadMapping(f *testing.F) {
+	var buf bytes.Buffer
+	if err := cluster.WriteJSONL(&buf, variantMapping(3, 12)); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.String()
+	f.Add([]byte(full))
+	// Torn tail: complete first line, second line cut mid-record.
+	if lines := strings.SplitAfter(full, "\n"); len(lines) >= 2 && len(lines[1]) > 2 {
+		f.Add([]byte(lines[0] + lines[1][:len(lines[1])/2]))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"org":0,"asns":[]}`))
+	f.Add([]byte(`{"org":0,"name":"x","asns":[1,2],"features":["BOGUS"]}`))
+	f.Add([]byte(`{"org":0,"asns":[4294967295,0]}`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{"org":0,"asns":[1,1,1]}` + "\n" + `{"org":1,"asns":[1,2]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound the cost of one fuzz iteration
+		}
+		m, err := cluster.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the acceptable outcome
+		}
+		snap, err := NewSnapshot(m, "fuzz")
+		if err != nil {
+			// Parsed but unservable (e.g. empty) — also a clean
+			// refusal: reload keeps the old snapshot in that case.
+			return
+		}
+		st := snap.Stats()
+		if st.Orgs != m.NumOrgs() || st.ASNs != m.NumASNs() {
+			t.Fatalf("snapshot stats (%d orgs, %d asns) disagree with mapping (%d, %d)",
+				st.Orgs, st.ASNs, m.NumOrgs(), m.NumASNs())
+		}
+		if st.Orgs == 0 || st.ASNs == 0 {
+			t.Fatal("NewSnapshot accepted an empty mapping")
+		}
+		for i := range m.Clusters {
+			c := &m.Clusters[i]
+			for _, a := range c.ASNs {
+				hit := snap.Lookup(a)
+				if hit == nil {
+					t.Fatalf("ASN %v unmapped in its own snapshot", a)
+				}
+				if hit != c {
+					t.Fatalf("ASN %v resolves to cluster %d, not its owner %d", a, hit.ID, c.ID)
+				}
+			}
+		}
+	})
+}

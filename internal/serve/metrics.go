@@ -17,7 +17,8 @@ const latencyWindow = 1024
 // window of latencies.
 type endpointStats struct {
 	requests  int64
-	errors    int64 // responses with status >= 500
+	errors    int64 // responses with status >= 500, excluding sheds
+	sheds     int64 // admission refusals (429/503 with Retry-After)
 	latencies [latencyWindow]time.Duration
 	n         int // valid entries in latencies
 	next      int // ring cursor
@@ -43,11 +44,7 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	es := m.endpoints[endpoint]
-	if es == nil {
-		es = &endpointStats{}
-		m.endpoints[endpoint] = es
-	}
+	es := m.stats(endpoint)
 	es.requests++
 	if status >= 500 {
 		es.errors++
@@ -57,6 +54,41 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	if es.n < latencyWindow {
 		es.n++
 	}
+}
+
+// ObserveShed records one admission refusal. Sheds count as requests
+// but not as errors — a deliberate 429/503 refusal is the protection
+// working, not the service failing — and their (near-zero) latencies
+// are kept out of the quantile window so shedding cannot flatter the
+// latency a served request actually sees.
+func (m *Metrics) ObserveShed(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.stats(endpoint)
+	es.requests++
+	es.sheds++
+}
+
+// Sheds returns an endpoint's admission-refusal count.
+func (m *Metrics) Sheds(endpoint string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.endpoints[endpoint]
+	if es == nil {
+		return 0
+	}
+	return es.sheds
+}
+
+// stats returns (allocating if needed) an endpoint's entry. Callers
+// hold m.mu.
+func (m *Metrics) stats(endpoint string) *endpointStats {
+	es := m.endpoints[endpoint]
+	if es == nil {
+		es = &endpointStats{}
+		m.endpoints[endpoint] = es
+	}
+	return es
 }
 
 // ObserveReload records a reload outcome.
@@ -116,10 +148,15 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 	for _, name := range names {
 		fmt.Fprintf(w, "borgesd_requests_total{endpoint=%q} %d\n", name, m.endpoints[name].requests)
 	}
-	fmt.Fprintf(w, "# HELP borgesd_errors_total Responses with status >= 500, by endpoint.\n")
+	fmt.Fprintf(w, "# HELP borgesd_errors_total Responses with status >= 500, by endpoint (admission sheds excluded).\n")
 	fmt.Fprintf(w, "# TYPE borgesd_errors_total counter\n")
 	for _, name := range names {
 		fmt.Fprintf(w, "borgesd_errors_total{endpoint=%q} %d\n", name, m.endpoints[name].errors)
+	}
+	fmt.Fprintf(w, "# HELP borgesd_sheds_total Requests refused by admission control (429/503 with Retry-After), by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_sheds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "borgesd_sheds_total{endpoint=%q} %d\n", name, m.endpoints[name].sheds)
 	}
 	fmt.Fprintf(w, "# HELP borgesd_request_latency_seconds Request latency quantiles over a sliding window.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_request_latency_seconds summary\n")

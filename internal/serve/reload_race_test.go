@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/nu-aqualab/borges/internal/admission"
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
 )
@@ -171,6 +172,97 @@ hammer:
 	// The final snapshot is the last published variant.
 	if got := srv.Snapshot().Stats().ASNs; got != universe {
 		t.Fatalf("final snapshot covers %d ASNs, want %d", got, universe)
+	}
+}
+
+// TestReloadWhileShedding pins the limiter shut so /v1/search is
+// actively refused, then reloads: /admin/reload is Critical-class and
+// must succeed mid-shed, the new snapshot must serve, and the
+// admission layer must carry its state (shed counters, adaptive
+// limit, in-flight accounting) across the swap rather than resetting
+// — a reload is a data refresh, not an amnesty for an overload.
+func TestReloadWhileShedding(t *testing.T) {
+	const universe = 32
+	var version atomic.Int64
+	src := func(ctx context.Context) (*cluster.Mapping, error) {
+		return variantMapping(int(version.Add(1)), universe), nil
+	}
+	snap, err := NewSnapshot(variantMapping(0, universe), "shed-reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var holding atomic.Bool
+	gate := make(chan struct{})
+	srv, err := NewServer(snap, Options{
+		Source: src,
+		Admission: &admission.Config{
+			MaxInflight:     1,
+			QueueDepth:      1,
+			ShedSearchFirst: true,
+		},
+		testHold: func(endpoint string) {
+			if holding.Load() && endpoint == "as" {
+				<-gate
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate: one pinned point lookup owns the only slot.
+	holding.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/as/1", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("pinned lookup: status %d", rec.Code)
+		}
+	}()
+	waitAdmission(t, srv, func(s admission.Stats) bool { return s.Inflight == 1 })
+
+	// The limiter is actively shedding searches...
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/search?name=org", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("search while saturated: status %d Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	before := srv.Admission().Stats()
+	oldSnap := srv.Snapshot()
+
+	// ...and the reload must still go through, swapping the snapshot.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/admin/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload while shedding: status %d body %s", rec.Code, rec.Body)
+	}
+	if srv.Snapshot() == oldSnap {
+		t.Fatal("reload did not swap the snapshot")
+	}
+
+	// Admission state survived the swap: the shed is still on the
+	// books, the pinned request still owns its slot, the limit did
+	// not reset.
+	after := srv.Admission().Stats()
+	if after.ShedSearch != before.ShedSearch || after.Inflight != 1 || after.Limit != before.Limit {
+		t.Fatalf("admission state reset across reload: before %+v after %+v", before, after)
+	}
+
+	// The new snapshot serves once the overload clears.
+	close(gate)
+	holding.Store(false)
+	<-done
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/search?name=org", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search after drain: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/as/1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lookup on reloaded snapshot: status %d", rec.Code)
 	}
 }
 

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"github.com/nu-aqualab/borges/internal/admission"
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
 )
@@ -62,8 +64,17 @@ type Options struct {
 	// server's write timeout (2× RequestTimeout), so pass
 	// ?seconds= values below that.
 	EnablePprof bool
+	// Admission enables overload protection (adaptive concurrency
+	// limiting, per-client rate limiting, priority shedding, search
+	// brownout) when non-nil with MaxInflight > 0. Nil accepts
+	// everything — the pre-admission behaviour.
+	Admission *admission.Config
 	// now overrides the clock in tests.
 	now func() time.Time
+	// testHold, when set, is called with the endpoint name after
+	// admission but before the handler runs. Load tests use it to pin
+	// admitted requests in-flight deterministically.
+	testHold func(endpoint string)
 }
 
 // Server serves an AS-to-Organization snapshot over HTTP. The current
@@ -75,6 +86,10 @@ type Server struct {
 	metrics *Metrics
 	opts    Options
 	mux     *http.ServeMux
+	// admission is the overload-protection layer (nil = disabled). It
+	// lives on the Server, not the Snapshot: limiter state, client
+	// buckets, and shed counters survive hot reloads by construction.
+	admission *admission.Controller
 	// reloading serializes reloads so concurrent /admin/reload posts
 	// cannot interleave validate-then-swap sequences.
 	reloading chan struct{}
@@ -97,13 +112,20 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 		mux:       http.NewServeMux(),
 		reloading: make(chan struct{}, 1),
 	}
+	if opts.Admission != nil && opts.Admission.MaxInflight > 0 {
+		cfg := *opts.Admission
+		if cfg.Now == nil {
+			cfg.Now = opts.now
+		}
+		s.admission = admission.New(cfg)
+	}
 	s.snap.Store(snap)
-	s.mux.HandleFunc("GET /v1/as/{asn}", s.instrument("as", s.handleAS))
-	s.mux.HandleFunc("GET /v1/org/{id}", s.instrument("org", s.handleOrg))
-	s.mux.HandleFunc("GET /v1/search", s.instrument("search", s.handleSearch))
-	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
-	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/as/{asn}", s.instrument("as", admission.Point, s.handleAS))
+	s.mux.HandleFunc("GET /v1/org/{id}", s.instrument("org", admission.Point, s.handleOrg))
+	s.mux.HandleFunc("GET /v1/search", s.instrument("search", admission.Search, s.handleSearch))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", admission.Point, s.handleStats))
+	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", admission.Critical, s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", admission.Critical, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.EnablePprof {
 		// Mounted directly on the mux, not via instrument: the
@@ -123,6 +145,10 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Admission returns the overload-protection controller, or nil when
+// admission control is disabled.
+func (s *Server) Admission() *admission.Controller { return s.admission }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -195,14 +221,29 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with the per-request timeout, metrics
-// observation, and structured request logging.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with admission control, the per-request
+// timeout, metrics observation, and structured request logging.
+func (s *Server) instrument(endpoint string, class admission.Class, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		start := s.opts.now()
 		sw := &statusWriter{ResponseWriter: w}
+		if s.admission != nil {
+			release, dec := s.admission.Admit(ctx, class, clientKey(r))
+			if !dec.Admitted {
+				writeRetryableError(sw, dec.Status, dec.RetryAfter,
+					"overloaded: request shed (%s), retry later", dec.Reason)
+				s.metrics.ObserveShed(endpoint, sw.status)
+				s.logf(`{"event":"shed","endpoint":%q,"class":%q,"reason":%q,"status":%d,"retry_after_s":%d}`,
+					endpoint, class, dec.Reason, sw.status, int(dec.RetryAfter.Seconds()))
+				return
+			}
+			defer func() { release(s.opts.now().Sub(start)) }()
+		}
+		if s.opts.testHold != nil {
+			s.opts.testHold(endpoint)
+		}
 		h(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -212,6 +253,21 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.logf(`{"event":"request","endpoint":%q,"method":%q,"path":%q,"status":%d,"duration_us":%d}`,
 			endpoint, r.Method, r.URL.RequestURI(), sw.status, d.Microseconds())
 	}
+}
+
+// clientKey identifies the client for per-client rate limiting: the
+// X-Api-Key header when present (one key can span hosts), otherwise
+// the connection's remote IP with the port stripped (ports churn per
+// connection and would defeat the bucket).
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-Api-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "ip:" + host
 }
 
 // orgJSON is the wire form of one organization.
@@ -249,6 +305,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeRetryableError is writeError for statuses that invite a retry:
+// every 429/503 this server produces carries a Retry-After header
+// (whole seconds, the format internal/llm/openai parses back into a
+// typed hint on the client side) so well-behaved callers back off
+// instead of hammering an overloaded or mid-reload daemon.
+func writeRetryableError(w http.ResponseWriter, status int, after time.Duration, format string, args ...any) {
+	secs := int(after / time.Second)
+	if after%time.Second > 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, status, format, args...)
+}
+
 func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 	a, err := asnum.Parse(r.PathValue("asn"))
 	if err != nil {
@@ -273,8 +346,10 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+	// strconv.Atoi, not Sscanf: "%d" stops at the first non-digit and
+	// would silently accept "7abc" as 7.
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid organization id %q", r.PathValue("id"))
 		return
 	}
@@ -287,6 +362,11 @@ func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, orgToJSON(c))
 }
 
+// maxSearchLimit is the server-side ceiling on ?limit=: a single
+// search may not ask for an unbounded result set no matter what the
+// client requests.
+const maxSearchLimit = 500
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("name")
 	if q == "" {
@@ -295,17 +375,40 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	limit := 50
 	if ls := r.URL.Query().Get("limit"); ls != "" {
-		if _, err := fmt.Sscanf(ls, "%d", &limit); err != nil || limit <= 0 {
+		// strconv.Atoi, not Sscanf: "%d" stops at the first non-digit
+		// and would silently accept "50abc" as 50.
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
 			writeError(w, http.StatusBadRequest, "invalid ?limit=%q", ls)
 			return
 		}
+		limit = n
+	}
+	if limit > maxSearchLimit {
+		limit = maxSearchLimit
 	}
 	snap := s.snap.Load()
-	hits := snap.Search(q, limit)
+	var (
+		hits     []*cluster.Cluster
+		brownout bool
+	)
+	if s.admission != nil {
+		if capLimit, active := s.admission.BrownoutSearch(); active {
+			brownout = true
+			if limit > capLimit {
+				limit = capLimit
+			}
+			hits = snap.SearchBrownout(q, limit)
+		}
+	}
+	if !brownout {
+		hits = snap.Search(q, limit)
+	}
 	out := struct {
-		Query   string    `json:"query"`
-		Matches []orgJSON `json:"matches"`
-	}{Query: q, Matches: make([]orgJSON, len(hits))}
+		Query    string    `json:"query"`
+		Brownout bool      `json:"brownout,omitempty"`
+		Matches  []orgJSON `json:"matches"`
+	}{Query: q, Brownout: brownout, Matches: make([]orgJSON, len(hits))}
 	for i, c := range hits {
 		out.Matches[i] = orgToJSON(c)
 	}
@@ -353,11 +456,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := s.Reload(r.Context())
 	if err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusServiceUnavailable
+			writeRetryableError(w, http.StatusServiceUnavailable, time.Second,
+				"reload failed: %v", err)
+			return
 		}
-		writeError(w, status, "reload failed: %v", err)
+		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
 		return
 	}
 	st := snap.Stats()
@@ -392,6 +496,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, s.snap.Load(), s.opts.now())
+	if s.admission != nil {
+		s.admission.WriteMetrics(w)
+	}
 }
 
 // Serve listens on addr and serves snap until ctx is cancelled, then

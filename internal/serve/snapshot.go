@@ -295,6 +295,51 @@ func (s *Snapshot) Search(query string, limit int) []*cluster.Cluster {
 	return out
 }
 
+// SearchBrownout is the degraded-mode variant of Search used under
+// admission pressure: instead of ranking the whole token index by
+// substring containment (a full scan of tokenList), it binary-searches
+// the sorted token list and walks only tokens that have the query as a
+// prefix, stopping as soon as limit organizations are collected.
+// Recall is reduced by design — mid-token matches and cross-token
+// multi-word queries are missed — mirroring how PR 3's degraded
+// snapshots trade completeness for availability. limit must be > 0.
+func (s *Snapshot) SearchBrownout(query string, limit int) []*cluster.Cluster {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" || limit <= 0 {
+		return nil
+	}
+	// Multi-word queries degrade to their first token's prefix scan.
+	if i := strings.IndexAny(q, " \t"); i > 0 {
+		q = q[:i]
+	}
+	seen := make(map[int]bool)
+	var ids []int
+	for i := sort.SearchStrings(s.tokenList, q); i < len(s.tokenList); i++ {
+		tok := s.tokenList[i]
+		if !strings.HasPrefix(tok, q) {
+			break
+		}
+		for _, id := range s.tokens[tok] {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) >= limit {
+			break
+		}
+	}
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	sort.Ints(ids)
+	out := make([]*cluster.Cluster, len(ids))
+	for i, id := range ids {
+		out[i] = &s.mapping.Clusters[id]
+	}
+	return out
+}
+
 // FeatureNames renders a cluster's contributing features in the
 // paper's shorthand (OID_W, OID_P, N&A, R&R, F).
 func FeatureNames(c *cluster.Cluster) []string {
