@@ -76,7 +76,9 @@ type (
 	Features = core.Features
 	// Inputs are the pipeline's data sources and backends.
 	Inputs = core.Inputs
-	// Options tune the pipeline.
+	// Options tune the pipeline, including ConsolidateWorkers — the
+	// parallelism of the sharded sibling-set consolidation, whose
+	// output is byte-identical at any worker count.
 	Options = core.Options
 	// Result is a pipeline run's output: the mapping plus retained
 	// artifacts and corpus statistics.
@@ -290,8 +292,10 @@ func Theta(m *Mapping) (float64, error) { return orgfactor.Theta(m) }
 // Serving layer.
 type (
 	// Snapshot is an immutable, pre-indexed view of a Mapping (ASN
-	// lookup, name search, θ, size histogram) safe for lock-free
-	// concurrent reads.
+	// lookup, name search, θ, size histogram, pre-rendered lookup
+	// response bytes) safe for lock-free concurrent reads. Construction
+	// fans out across GOMAXPROCS workers and is deterministic at any
+	// worker count.
 	Snapshot = serve.Snapshot
 	// SnapshotStats are a snapshot's precomputed corpus statistics.
 	SnapshotStats = serve.Stats
@@ -306,7 +310,9 @@ type (
 	// and /metrics.
 	SnapshotHealth = serve.Health
 	// ServeOptions tune a lookup server (reload source, per-request
-	// timeout, structured logging, overload protection).
+	// timeout, structured logging, overload protection, and
+	// BuildWorkers — the parallelism of each reloaded snapshot's
+	// index/pre-render build).
 	ServeOptions = serve.Options
 	// LookupServer serves a Snapshot over HTTP with atomic hot reload.
 	LookupServer = serve.Server

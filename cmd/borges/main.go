@@ -50,6 +50,7 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures before a host/model circuit opens (0 = no breakers)")
 	failFast := flag.Bool("fail-fast", false, "abort the run on the first error instead of quarantining and degrading")
 	reportPath := flag.String("report", "", "write the run's fault report (JSON) to this file ('-' = stderr)")
+	consolidateWorkers := flag.Int("consolidate-workers", 0, "workers for the sharded sibling-set consolidation (0 = GOMAXPROCS); output is identical at any count")
 	flag.Parse()
 
 	if *noCache && *cacheDir != "" {
@@ -115,10 +116,11 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := borges.Options{
-		Features:         &feats,
-		MaxRetries:       *maxRetries,
-		BreakerThreshold: *breakerThreshold,
-		FailFast:         *failFast,
+		Features:           &feats,
+		MaxRetries:         *maxRetries,
+		BreakerThreshold:   *breakerThreshold,
+		FailFast:           *failFast,
+		ConsolidateWorkers: *consolidateWorkers,
 	}
 	if !*noCache {
 		store, err := borges.NewCache(borges.CacheOptions{Dir: *cacheDir})

@@ -68,13 +68,14 @@ func main() {
 	burst := flag.Int("burst", 100, "per-client burst capacity for -rate")
 	targetLatency := flag.Duration("target-latency", 150*time.Millisecond, "latency target steering the adaptive concurrency limit")
 	shedSearchFirst := flag.Bool("shed-search-first", true, "shed /v1/search before point lookups under overload (search also browns out under pressure)")
+	buildWorkers := flag.Int("build-workers", 0, "workers indexing and pre-rendering each reloaded snapshot (0 = GOMAXPROCS); lower to reduce CPU contention with serving traffic during reloads")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := borges.ServeOptions{RequestTimeout: *timeout, EnablePprof: *pprof}
+	opts := borges.ServeOptions{RequestTimeout: *timeout, EnablePprof: *pprof, BuildWorkers: *buildWorkers}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}

@@ -2,7 +2,8 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 
 	"github.com/nu-aqualab/borges/internal/asnum"
 )
@@ -76,26 +77,75 @@ type Cluster struct {
 // Size returns the number of member networks.
 func (c *Cluster) Size() int { return len(c.ASNs) }
 
+// asnPageShift selects the two-level index page: all ASNs sharing the
+// same high 16 bits land on one page of the sorted key slice.
+const asnPageShift = 16
+
+// pageIndexMin is the network count below which the two-level page
+// index is skipped: a plain binary search over a few thousand keys
+// already fits in cache and the page table would dominate the mapping's
+// footprint.
+const pageIndexMin = 1 << 12
+
 // Mapping is a consolidated AS-to-Organization mapping: a partition of a
 // network universe into organizations.
+//
+// Point lookups run against a sorted-slice index instead of a hash map:
+// asnKeys holds every member ASN ascending and asnVals the cluster ID at
+// the same position. For large mappings a second level (pages) maps the
+// high 16 bits of an ASN to the key range holding that page, so
+// ClusterOf is a bounded binary search over a cache-resident span.
 type Mapping struct {
 	Clusters []Cluster
-	byASN    map[asnum.ASN]int
+
+	asnKeys []asnum.ASN
+	asnVals []int32
+	// pages[p] is the first position in asnKeys whose key has high bits
+	// p; pages[len(pages)-1] == len(asnKeys). Nil for small mappings.
+	pages []int32
+	// sizes caches the cluster sizes in descending order. Clusters are
+	// materialized largest-first, so this is simply the member count per
+	// cluster in cluster order, computed once at build time.
+	sizes []int
 }
 
 // NumOrgs returns the number of organizations.
 func (m *Mapping) NumOrgs() int { return len(m.Clusters) }
 
 // NumASNs returns the number of networks covered.
-func (m *Mapping) NumASNs() int { return len(m.byASN) }
+func (m *Mapping) NumASNs() int { return len(m.asnKeys) }
+
+// indexOf returns the position of a in the sorted key slice, or -1.
+func (m *Mapping) indexOf(a asnum.ASN) int {
+	lo, hi := 0, len(m.asnKeys)
+	if m.pages != nil {
+		p := int(a >> asnPageShift)
+		if p >= len(m.pages)-1 {
+			return -1
+		}
+		lo, hi = int(m.pages[p]), int(m.pages[p+1])
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.asnKeys[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.asnKeys) && m.asnKeys[lo] == a {
+		return lo
+	}
+	return -1
+}
 
 // ClusterOf returns the cluster containing a, or nil if a is unmapped.
 func (m *Mapping) ClusterOf(a asnum.ASN) *Cluster {
-	i, ok := m.byASN[a]
-	if !ok {
+	i := m.indexOf(a)
+	if i < 0 {
 		return nil
 	}
-	return &m.Clusters[i]
+	return &m.Clusters[m.asnVals[i]]
 }
 
 // Siblings returns the sorted sibling ASNs of a (including a itself), or
@@ -108,14 +158,21 @@ func (m *Mapping) Siblings(a asnum.ASN) []asnum.ASN {
 	return c.ASNs
 }
 
-// Sizes returns the cluster sizes in descending order.
+// Sizes returns the cluster sizes in descending order. The slice is
+// computed once at build time and shared across calls; callers must
+// treat it as read-only.
 func (m *Mapping) Sizes() []int {
-	out := make([]int, len(m.Clusters))
-	for i := range m.Clusters {
-		out[i] = len(m.Clusters[i].ASNs)
+	if m.sizes == nil && len(m.Clusters) > 0 {
+		// Mappings assembled by hand (tests) rather than through Build:
+		// fall back to a one-off computation.
+		sizes := make([]int, len(m.Clusters))
+		for i := range m.Clusters {
+			sizes[i] = len(m.Clusters[i].ASNs)
+		}
+		slices.SortFunc(sizes, func(a, b int) int { return b - a })
+		m.sizes = sizes
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(out)))
-	return out
+	return m.sizes
 }
 
 // Namer chooses a display name for a cluster given its members. It may
@@ -123,17 +180,18 @@ func (m *Mapping) Sizes() []int {
 type Namer func(members []asnum.ASN) string
 
 // Builder accumulates sibling sets and consolidates them into a Mapping.
+// Consolidation is deferred: Add only records sets, and Build (or
+// BuildSharded) replays them through a union-find, so repeated builds
+// and the sharded strategy see the same inputs.
 type Builder struct {
-	uf       *UnionFind
-	universe map[asnum.ASN]bool
-	// featureEdges remembers, per representative-pair merge, which
-	// features touched which ASNs; resolved at Build time by replaying.
-	sets []SiblingSet
+	universe   []asnum.ASN
+	inUniverse map[asnum.ASN]bool
+	sets       []SiblingSet
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
-	return &Builder{uf: NewUnionFind(), universe: make(map[asnum.ASN]bool)}
+	return &Builder{inUniverse: make(map[asnum.ASN]bool)}
 }
 
 // AddUniverse declares ASNs that must appear in the final mapping even if
@@ -142,8 +200,10 @@ func NewBuilder() *Builder {
 // universe (§5.4).
 func (b *Builder) AddUniverse(asns ...asnum.ASN) {
 	for _, a := range asns {
-		b.universe[a] = true
-		b.uf.Add(a)
+		if !b.inUniverse[a] {
+			b.inUniverse[a] = true
+			b.universe = append(b.universe, a)
+		}
 	}
 }
 
@@ -153,7 +213,6 @@ func (b *Builder) Add(s SiblingSet) {
 	if len(s.ASNs) == 0 {
 		return
 	}
-	b.uf.UnionAll(s.ASNs)
 	b.sets = append(b.sets, s)
 }
 
@@ -164,33 +223,106 @@ func (b *Builder) AddAll(sets []SiblingSet) {
 	}
 }
 
-// Build consolidates everything added so far into a Mapping. The namer,
-// if non-nil, assigns display names. Build may be called repeatedly; each
-// call reflects the current state.
+// Build consolidates everything added so far into a Mapping with the
+// sequential union-find. The namer, if non-nil, assigns display names.
+// Build may be called repeatedly; each call reflects the current state.
 func (b *Builder) Build(namer Namer) *Mapping {
-	comps := b.uf.Components()
-	m := &Mapping{
-		Clusters: make([]Cluster, len(comps)),
-		byASN:    make(map[asnum.ASN]int, b.uf.Len()),
-	}
-	repTo := make(map[asnum.ASN]int, len(comps))
-	for i, members := range comps {
-		m.Clusters[i] = Cluster{ID: i, ASNs: members}
-		for _, a := range members {
-			m.byASN[a] = i
-		}
-		repTo[b.uf.Find(members[0])] = i
+	uf := NewUnionFind()
+	for _, a := range b.universe {
+		uf.Add(a)
 	}
 	for _, s := range b.sets {
-		ci := repTo[b.uf.Find(s.ASNs[0])]
-		m.Clusters[ci].Features[s.Source] = true
+		uf.UnionAll(s.ASNs)
+	}
+	return b.materialize(uf.Components(), namer)
+}
+
+// BuildSharded consolidates with the sharded strategy: sibling sets are
+// partitioned across workers (GOMAXPROCS when workers <= 0), each shard
+// runs a local dense union-find, and the per-shard frontiers merge into
+// a global structure. The result is identical to Build's — same cluster
+// IDs, same WriteJSONL bytes — a property the shard_test suite asserts
+// over random inputs.
+func (b *Builder) BuildSharded(namer Namer, workers int) *Mapping {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return b.materialize(shardedComponents(b.sets, b.universe, workers), namer)
+}
+
+// materialize turns deterministic components into a Mapping: clusters,
+// the sorted two-level ASN index, the cached size slice, feature
+// provenance replay, and interned display names.
+func (b *Builder) materialize(comps [][]asnum.ASN, namer Namer) *Mapping {
+	m := &Mapping{Clusters: make([]Cluster, len(comps))}
+	total := 0
+	for _, members := range comps {
+		total += len(members)
+	}
+	m.sizes = make([]int, len(comps))
+	// Pack (ASN, cluster) pairs into uint64s so one flat slices.Sort
+	// produces the ASN-ordered index without a comparison callback.
+	packed := make([]uint64, 0, total)
+	for i, members := range comps {
+		m.Clusters[i] = Cluster{ID: i, ASNs: members}
+		m.sizes[i] = len(members)
+		for _, a := range members {
+			packed = append(packed, uint64(a)<<32|uint64(uint32(i)))
+		}
+	}
+	slices.Sort(packed)
+	m.asnKeys = make([]asnum.ASN, len(packed))
+	m.asnVals = make([]int32, len(packed))
+	for i, p := range packed {
+		m.asnKeys[i] = asnum.ASN(p >> 32)
+		m.asnVals[i] = int32(uint32(p))
+	}
+	if len(m.asnKeys) >= pageIndexMin {
+		numPages := int(m.asnKeys[len(m.asnKeys)-1]>>asnPageShift) + 1
+		m.pages = make([]int32, numPages+1)
+		rebuildPages(m)
+	}
+	// Replay feature provenance through the finished index: every set
+	// member landed in exactly one cluster, so the set's first ASN
+	// locates it.
+	for _, s := range b.sets {
+		if i := m.indexOf(s.ASNs[0]); i >= 0 {
+			m.Clusters[m.asnVals[i]].Features[s.Source] = true
+		}
 	}
 	if namer != nil {
+		// Intern display names: namers commonly re-derive the same
+		// string for many clusters (shared WHOIS org names), and the
+		// serving layer holds every name for the lifetime of a snapshot.
+		interned := make(map[string]string)
 		for i := range m.Clusters {
-			m.Clusters[i].Name = namer(m.Clusters[i].ASNs)
+			name := namer(m.Clusters[i].ASNs)
+			if name == "" {
+				continue
+			}
+			if prev, ok := interned[name]; ok {
+				name = prev
+			} else {
+				interned[name] = name
+			}
+			m.Clusters[i].Name = name
 		}
 	}
 	return m
+}
+
+// rebuildPages recomputes the page table from the sorted key slice in
+// one forward pass. Split out so materialize stays readable.
+func rebuildPages(m *Mapping) {
+	for p := range m.pages {
+		m.pages[p] = 0
+	}
+	for _, a := range m.asnKeys {
+		m.pages[int(a>>asnPageShift)+1]++
+	}
+	for p := 1; p < len(m.pages); p++ {
+		m.pages[p] += m.pages[p-1]
+	}
 }
 
 // Universe returns the declared universe size.

@@ -8,8 +8,6 @@
 package cluster
 
 import (
-	"sort"
-
 	"github.com/nu-aqualab/borges/internal/asnum"
 )
 
@@ -114,14 +112,8 @@ func (u *UnionFind) Components() [][]asnum.ASN {
 	}
 	out := make([][]asnum.ASN, 0, len(groups))
 	for _, members := range groups {
-		asnum.Sort(members)
 		out = append(out, members)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i]) != len(out[j]) {
-			return len(out[i]) > len(out[j])
-		}
-		return out[i][0] < out[j][0]
-	})
+	sortComponents(out, 1)
 	return out
 }

@@ -158,6 +158,11 @@ type Options struct {
 	// independently, per-item failures are quarantined in the
 	// RunReport, and consolidation proceeds with whatever survived.
 	FailFast bool
+	// ConsolidateWorkers caps the workers used by the sharded sibling-
+	// set consolidation (0 = GOMAXPROCS). The sharded build is
+	// byte-identical to the sequential one at any worker count; lowering
+	// this only trades consolidation latency for less CPU contention.
+	ConsolidateWorkers int
 }
 
 // retryPolicy builds the run's shared retry policy, or nil when
@@ -437,7 +442,7 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 	b.AddAll(res.Artifacts.RRSets)
 	b.AddAll(res.Artifacts.FaviconSets)
 
-	res.Mapping = b.Build(namer(in))
+	res.Mapping = b.BuildSharded(namer(in), opts.ConsolidateWorkers)
 	res.Report = buildReport(feats, nerOut, webOut, nerErr, webErr, opts.Crawler.Breakers, llmExec)
 	opts.progress("consolidated: %d networks in %d organizations",
 		res.Mapping.NumASNs(), res.Mapping.NumOrgs())
@@ -640,5 +645,5 @@ func hasDigit(s string) bool {
 func FeatureMapping(sets []cluster.SiblingSet) *cluster.Mapping {
 	b := cluster.NewBuilder()
 	b.AddAll(sets)
-	return b.Build(nil)
+	return b.BuildSharded(nil, 0)
 }

@@ -31,8 +31,13 @@ import (
 // sizes zero-padded to n, where C is the cumulative sum of sizes sorted
 // descending. It is the caller's responsibility that Σ sizes == n.
 func excessArea(sizes []int, n int) int64 {
-	sorted := append([]int(nil), sizes...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	// Mapping.Sizes() hands over its cached descending slice; skip the
+	// copy-and-sort entirely when the input already arrives ordered.
+	sorted := sizes
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(sizes))) {
+		sorted = append([]int(nil), sizes...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	}
 	var cum, area int64
 	for i := 1; i <= n; i++ {
 		if i-1 < len(sorted) {

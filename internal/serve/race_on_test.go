@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets allocation-count tests skip under -race: the race
+// runtime deliberately drops sync.Pool items to widen interleavings,
+// which inflates per-op allocation counts.
+const raceEnabled = true

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +59,11 @@ type Options struct {
 	// Logf receives one structured line per request and per reload.
 	// Nil disables request logging.
 	Logf func(format string, args ...any)
+	// BuildWorkers caps the number of workers used to index and
+	// pre-render a reloaded snapshot (0 = GOMAXPROCS). Lowering it
+	// trades reload latency for less CPU contention with serving
+	// traffic during the rebuild.
+	BuildWorkers int
 	// EnablePprof mounts the net/http/pprof handlers under
 	// /debug/pprof/. Off by default: the profiling surface exposes heap
 	// and goroutine internals and should only be reachable when the
@@ -179,9 +186,13 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
+	workers := s.opts.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var next *Snapshot
 	if err == nil {
-		next, err = newSnapshotAt(m, old.Source(), health, s.opts.now())
+		next, err = newSnapshotWorkers(m, old.Source(), health, s.opts.now(), workers)
 	}
 	if err != nil {
 		s.metrics.ObserveReload(false)
@@ -322,6 +333,16 @@ func writeRetryableError(w http.ResponseWriter, status int, after time.Duration,
 	writeError(w, status, format, args...)
 }
 
+// respBufPool recycles /v1/as response buffers: the body is assembled
+// from the snapshot's pre-rendered bytes in a pooled scratch slice, so
+// the point-lookup hot path performs no per-request allocation.
+var respBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 	a, err := asnum.Parse(r.PathValue("asn"))
 	if err != nil {
@@ -329,20 +350,18 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
-	c := snap.Lookup(a)
-	if c == nil {
+	bp := respBufPool.Get().(*[]byte)
+	body, ok := snap.AppendASBody((*bp)[:0], a)
+	if !ok {
+		respBufPool.Put(bp)
 		writeError(w, http.StatusNotFound, "%s is not in the mapping", a)
 		return
 	}
-	siblings := make([]uint32, len(c.ASNs))
-	for i, sib := range c.ASNs {
-		siblings[i] = uint32(sib)
-	}
-	writeJSON(w, http.StatusOK, struct {
-		ASN      uint32   `json:"asn"`
-		Org      orgJSON  `json:"org"`
-		Siblings []uint32 `json:"siblings"`
-	}{ASN: uint32(a), Org: orgToJSON(c), Siblings: siblings})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	*bp = body[:0]
+	respBufPool.Put(bp)
 }
 
 func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
@@ -354,12 +373,14 @@ func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.snap.Load()
-	c := snap.Org(id)
-	if c == nil {
+	body := snap.OrgBody(id)
+	if body == nil {
 		writeError(w, http.StatusNotFound, "organization %d is not in the mapping", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, orgToJSON(c))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 // maxSearchLimit is the server-side ceiling on ?limit=: a single

@@ -5,17 +5,31 @@
 // and per-endpoint operational metrics.
 //
 // The serving layer is read-mostly by construction. A Snapshot is built
-// once (indexes, θ, histogram) and never mutated afterwards; the Server
-// publishes it through an atomic.Pointer so concurrent request handlers
-// take a consistent view with a single atomic load. Reloads build and
-// validate a complete replacement Snapshot off to the side and swap it
-// in atomically — a failed reload leaves the previous snapshot serving.
+// once (indexes, θ, histogram, pre-rendered response bodies) and never
+// mutated afterwards; the Server publishes it through an atomic.Pointer
+// so concurrent request handlers take a consistent view with a single
+// atomic load. Reloads build and validate a complete replacement
+// Snapshot off to the side and swap it in atomically — a failed reload
+// leaves the previous snapshot serving.
+//
+// Snapshot construction fans out across GOMAXPROCS workers: each takes
+// a contiguous cluster range and produces its lowercase names, token
+// postings, and pre-rendered JSON bodies, while θ and the size
+// histogram compute concurrently from the mapping's cached size slice.
+// Contiguous ranges keep per-token posting lists ascending when merged
+// in worker order, so the parallel build is deterministic and
+// bit-identical to a single-worker build.
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/nu-aqualab/borges/internal/asnum"
@@ -99,6 +113,18 @@ type Snapshot struct {
 	// multi-word substring queries that cross token boundaries.
 	lowerNames []string
 
+	// orgBodies[i] is the complete pre-rendered /v1/org/{i} response
+	// (trailing newline included); asTails[i] is everything after the
+	// requested ASN's digits in a /v1/as response. Point lookups
+	// therefore serve bytes assembled at build time — the hot path
+	// allocates nothing and encodes nothing.
+	orgBodies [][]byte
+	asTails   [][]byte
+
+	// scratchPool recycles per-query search state (dedup bitset, posting
+	// heads, result ids) so Search and SearchBrownout stay off the heap.
+	scratchPool sync.Pool
+
 	source   string
 	loadedAt time.Time
 	health   Health
@@ -121,6 +147,18 @@ func NewSnapshotWithHealth(m *cluster.Mapping, source string, h Health) (*Snapsh
 
 // newSnapshotAt is NewSnapshot with an injectable clock for tests.
 func newSnapshotAt(m *cluster.Mapping, source string, health Health, now time.Time) (*Snapshot, error) {
+	return newSnapshotWorkers(m, source, health, now, runtime.GOMAXPROCS(0))
+}
+
+// indexShard is one worker's slice of the snapshot index build.
+type indexShard struct {
+	tokens map[string][]int
+	err    error
+}
+
+// newSnapshotWorkers builds a snapshot with an explicit worker count
+// (tests pin it; callers go through NewSnapshot or Options.BuildWorkers).
+func newSnapshotWorkers(m *cluster.Mapping, source string, health Health, now time.Time, workers int) (*Snapshot, error) {
 	if m == nil {
 		return nil, fmt.Errorf("serve: nil mapping")
 	}
@@ -128,52 +166,169 @@ func newSnapshotAt(m *cluster.Mapping, source string, health Health, now time.Ti
 		return nil, fmt.Errorf("serve: refusing to serve an empty mapping (%d orgs, %d networks)",
 			m.NumOrgs(), m.NumASNs())
 	}
-	theta, err := orgfactor.Theta(m)
-	if err != nil {
-		return nil, fmt.Errorf("serve: mapping fails θ validation: %w", err)
-	}
 	if health.Status == "" {
 		health.Status = HealthOK
 	}
+	n := len(m.Clusters)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
 	s := &Snapshot{
 		mapping:    m,
-		tokens:     make(map[string][]int),
-		lowerNames: make([]string, len(m.Clusters)),
+		lowerNames: make([]string, n),
+		orgBodies:  make([][]byte, n),
+		asTails:    make([][]byte, n),
 		source:     source,
 		loadedAt:   now,
 		health:     health,
 	}
-	s.stats = Stats{
-		Orgs:  m.NumOrgs(),
-		ASNs:  m.NumASNs(),
-		Theta: theta,
+	s.scratchPool.New = func() any {
+		return &searchScratch{bits: make([]uint64, (n+63)/64)}
 	}
-	for i := range m.Clusters {
-		c := &m.Clusters[i]
-		if n := c.Size(); n > 1 {
-			s.stats.MultiASOrgs++
-			if n > s.stats.LargestOrg {
-				s.stats.LargestOrg = n
-			}
-		} else if s.stats.LargestOrg == 0 {
-			s.stats.LargestOrg = 1
+
+	// θ and the histogram run concurrently with the index workers; both
+	// consume the mapping's cached descending size slice.
+	var (
+		theta    float64
+		thetaErr error
+		statsWG  sync.WaitGroup
+	)
+	statsWG.Add(1)
+	stats := func() {
+		defer statsWG.Done()
+		theta, thetaErr = orgfactor.Theta(m)
+		if thetaErr != nil {
+			return
 		}
-		lower := strings.ToLower(c.Name)
-		s.lowerNames[i] = lower
-		for _, tok := range tokenize(lower) {
-			ids := s.tokens[tok]
-			if len(ids) == 0 || ids[len(ids)-1] != i {
-				s.tokens[tok] = append(ids, i)
-			}
+		sizes := m.Sizes()
+		s.stats = Stats{
+			Orgs:          m.NumOrgs(),
+			ASNs:          m.NumASNs(),
+			MultiASOrgs:   multiCount(sizes),
+			LargestOrg:    sizes[0],
+			SizeHistogram: sizeHistogram(sizes),
 		}
 	}
-	s.tokenList = make([]string, 0, len(s.tokens))
-	for tok := range s.tokens {
+
+	shards := make([]indexShard, workers)
+	chunk := (n + workers - 1) / workers
+	if workers == 1 {
+		stats()
+		s.buildRange(&shards[0], 0, n)
+	} else {
+		go stats()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo >= hi {
+				shards[w].tokens = map[string][]int{}
+				continue
+			}
+			wg.Add(1)
+			go func(sh *indexShard, lo, hi int) {
+				defer wg.Done()
+				s.buildRange(sh, lo, hi)
+			}(&shards[w], lo, hi)
+		}
+		wg.Wait()
+	}
+	statsWG.Wait()
+	if thetaErr != nil {
+		return nil, fmt.Errorf("serve: mapping fails θ validation: %w", thetaErr)
+	}
+	for w := range shards {
+		if shards[w].err != nil {
+			return nil, fmt.Errorf("serve: pre-rendering responses: %w", shards[w].err)
+		}
+	}
+	s.stats.Theta = theta
+
+	// Merge per-worker token maps in worker order: ranges are contiguous
+	// and ascending, so concatenation keeps every posting list sorted —
+	// the same lists a sequential scan would build.
+	merged := shards[0].tokens
+	for w := 1; w < len(shards); w++ {
+		for tok, ids := range shards[w].tokens {
+			merged[tok] = append(merged[tok], ids...)
+		}
+	}
+	s.tokens = merged
+	s.tokenList = make([]string, 0, len(merged))
+	for tok := range merged {
 		s.tokenList = append(s.tokenList, tok)
 	}
 	sort.Strings(s.tokenList)
-	s.stats.SizeHistogram = sizeHistogram(m.Sizes())
 	return s, nil
+}
+
+// buildRange indexes and pre-renders clusters [lo, hi): lowercase
+// names, token postings, and the /v1/org and /v1/as response bytes.
+// Workers write disjoint index ranges of the shared slices.
+func (s *Snapshot) buildRange(sh *indexShard, lo, hi int) {
+	sh.tokens = make(map[string][]int, (hi-lo)/2+1)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for i := lo; i < hi; i++ {
+		c := &s.mapping.Clusters[i]
+		lower := strings.ToLower(c.Name)
+		s.lowerNames[i] = lower
+		for _, tok := range tokenize(lower) {
+			ids := sh.tokens[tok]
+			if len(ids) == 0 || ids[len(ids)-1] != i {
+				sh.tokens[tok] = append(ids, i)
+			}
+		}
+		buf.Reset()
+		if err := enc.Encode(orgToJSON(c)); err != nil {
+			sh.err = fmt.Errorf("org %d: %w", c.ID, err)
+			return
+		}
+		org := buf.Bytes()
+		body := make([]byte, len(org), len(org)*2+len(asTailOrg)+len(asTailSiblings)+12*len(c.ASNs))
+		copy(body, org)
+		s.orgBodies[i] = body
+		tail := body[len(org):]
+		tail = append(tail, asTailOrg...)
+		tail = append(tail, org[:len(org)-1]...) // org JSON sans newline
+		tail = append(tail, asTailSiblings...)
+		tail = appendASNList(tail, c.ASNs)
+		tail = append(tail, '}', '\n')
+		s.asTails[i] = tail
+	}
+}
+
+// The /v1/as response is `{"asn":<n>` + asTails[cluster]:
+const (
+	asBodyPrefix   = `{"asn":`
+	asTailOrg      = `,"org":`
+	asTailSiblings = `,"siblings":`
+)
+
+// appendASNList renders a JSON array of ASN numbers.
+func appendASNList(dst []byte, asns []asnum.ASN) []byte {
+	dst = append(dst, '[')
+	for i, a := range asns {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendUint(dst, uint64(a), 10)
+	}
+	return append(dst, ']')
+}
+
+// multiCount counts entries > 1 in a descending size slice.
+func multiCount(sizes []int) int {
+	for i, n := range sizes {
+		if n <= 1 {
+			return i
+		}
+	}
+	return len(sizes)
 }
 
 // tokenize splits an already-lowercased name into indexable tokens
@@ -240,7 +395,8 @@ func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
 func (s *Snapshot) Health() Health { return s.health }
 
 // Lookup returns the organization containing a, or nil when a is
-// unmapped.
+// unmapped. The lookup is a bounded binary search over the mapping's
+// sorted index — no hashing, no allocation.
 func (s *Snapshot) Lookup(a asnum.ASN) *cluster.Cluster { return s.mapping.ClusterOf(a) }
 
 // Org returns the organization with the given cluster ID, or nil.
@@ -251,42 +407,146 @@ func (s *Snapshot) Org(id int) *cluster.Cluster {
 	return &s.mapping.Clusters[id]
 }
 
+// OrgBody returns the pre-rendered /v1/org JSON response for the given
+// cluster ID (trailing newline included), or nil when out of range. The
+// returned slice is shared — callers must not modify it.
+func (s *Snapshot) OrgBody(id int) []byte {
+	if id < 0 || id >= len(s.orgBodies) {
+		return nil
+	}
+	return s.orgBodies[id]
+}
+
+// AppendASBody appends the /v1/as JSON response for a to dst and
+// reports whether a is mapped. Everything but the ASN's own digits was
+// rendered at snapshot-build time, so a call with spare capacity in dst
+// performs zero allocations.
+func (s *Snapshot) AppendASBody(dst []byte, a asnum.ASN) ([]byte, bool) {
+	c := s.mapping.ClusterOf(a)
+	if c == nil {
+		return dst, false
+	}
+	dst = append(dst, asBodyPrefix...)
+	dst = strconv.AppendUint(dst, uint64(a), 10)
+	return append(dst, s.asTails[c.ID]...), true
+}
+
+// searchScratch is the reusable per-query state behind Search and
+// SearchBrownout: a cluster-ID dedup bitset plus posting-list cursors
+// and a result buffer, recycled through the snapshot's pool so the
+// query path performs no steady-state allocation.
+type searchScratch struct {
+	bits  []uint64
+	lists [][]int
+	heads []int
+	ids   []int
+}
+
+func (sc *searchScratch) mark(id int) bool {
+	w, b := id>>6, uint64(1)<<(id&63)
+	if sc.bits[w]&b != 0 {
+		return false
+	}
+	sc.bits[w] |= b
+	return true
+}
+
+// release clears every bit set during the query (exactly the emitted
+// ids) and returns the scratch to the pool.
+func (s *Snapshot) release(sc *searchScratch) {
+	for _, id := range sc.ids {
+		sc.bits[id>>6] = 0
+	}
+	sc.ids = sc.ids[:0]
+	sc.lists = sc.lists[:0]
+	sc.heads = sc.heads[:0]
+	s.scratchPool.Put(sc)
+}
+
 // Search returns up to limit organizations whose display name contains
 // the query (case-insensitive), in ascending cluster-ID order. A
-// single-word query scans the token index; a multi-word query falls
-// back to whole-name substring matching. limit <= 0 means no limit.
+// single-word query scans the token index and merges the matching
+// sorted posting lists (bitset-deduplicated, stopping as soon as limit
+// ids are gathered); a multi-word query falls back to whole-name
+// substring matching with the same early exit. limit <= 0 means no
+// limit.
 func (s *Snapshot) Search(query string, limit int) []*cluster.Cluster {
 	q := strings.ToLower(strings.TrimSpace(query))
 	if q == "" {
 		return nil
 	}
-	if limit <= 0 {
+	if limit <= 0 || limit > len(s.mapping.Clusters) {
 		limit = len(s.mapping.Clusters)
 	}
-	var ids []int
 	if strings.ContainsAny(q, " \t") {
+		var ids []int
 		for i, name := range s.lowerNames {
 			if strings.Contains(name, q) {
 				ids = append(ids, i)
-			}
-		}
-	} else {
-		seen := make(map[int]bool)
-		for _, tok := range s.tokenList {
-			if !strings.Contains(tok, q) {
-				continue
-			}
-			for _, id := range s.tokens[tok] {
-				if !seen[id] {
-					seen[id] = true
-					ids = append(ids, id)
+				if len(ids) == limit {
+					break
 				}
 			}
 		}
-		sort.Ints(ids)
+		return s.materialize(ids)
 	}
-	if len(ids) > limit {
-		ids = ids[:limit]
+	sc := s.scratchPool.Get().(*searchScratch)
+	for _, tok := range s.tokenList {
+		if strings.Contains(tok, q) {
+			sc.lists = append(sc.lists, s.tokens[tok])
+		}
+	}
+	s.mergePostings(sc, limit)
+	out := s.materialize(sc.ids)
+	s.release(sc)
+	return out
+}
+
+// mergePostings k-way-merges the sorted posting lists in sc.lists into
+// sc.ids (ascending, deduplicated via the bitset), stopping once limit
+// ids are collected. Collecting in merge order makes the limit an
+// early exit instead of a post-sort truncation: only the smallest
+// limit ids are ever visited.
+func (s *Snapshot) mergePostings(sc *searchScratch, limit int) {
+	if len(sc.lists) == 1 {
+		// Single token: its posting list is already sorted and unique,
+		// so no bitset or cursors are needed (release tolerates clear
+		// bits).
+		ids := sc.lists[0]
+		if len(ids) > limit {
+			ids = ids[:limit]
+		}
+		sc.ids = append(sc.ids, ids...)
+		return
+	}
+	for range sc.lists {
+		sc.heads = append(sc.heads, 0)
+	}
+	for len(sc.ids) < limit {
+		best := -1
+		for li, l := range sc.lists {
+			if h := sc.heads[li]; h < len(l) && (best < 0 || l[h] < best) {
+				best = l[h]
+			}
+		}
+		if best < 0 {
+			return
+		}
+		for li, l := range sc.lists {
+			if h := sc.heads[li]; h < len(l) && l[h] == best {
+				sc.heads[li] = h + 1
+			}
+		}
+		if sc.mark(best) {
+			sc.ids = append(sc.ids, best)
+		}
+	}
+}
+
+// materialize converts cluster ids into cluster pointers.
+func (s *Snapshot) materialize(ids []int) []*cluster.Cluster {
+	if len(ids) == 0 {
+		return nil
 	}
 	out := make([]*cluster.Cluster, len(ids))
 	for i, id := range ids {
@@ -312,31 +572,28 @@ func (s *Snapshot) SearchBrownout(query string, limit int) []*cluster.Cluster {
 	if i := strings.IndexAny(q, " \t"); i > 0 {
 		q = q[:i]
 	}
-	seen := make(map[int]bool)
-	var ids []int
+	sc := s.scratchPool.Get().(*searchScratch)
 	for i := sort.SearchStrings(s.tokenList, q); i < len(s.tokenList); i++ {
 		tok := s.tokenList[i]
 		if !strings.HasPrefix(tok, q) {
 			break
 		}
 		for _, id := range s.tokens[tok] {
-			if !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
+			if sc.mark(id) {
+				sc.ids = append(sc.ids, id)
 			}
 		}
-		if len(ids) >= limit {
+		if len(sc.ids) >= limit {
 			break
 		}
 	}
+	ids := sc.ids
 	if len(ids) > limit {
 		ids = ids[:limit]
 	}
 	sort.Ints(ids)
-	out := make([]*cluster.Cluster, len(ids))
-	for i, id := range ids {
-		out[i] = &s.mapping.Clusters[id]
-	}
+	out := s.materialize(ids)
+	s.release(sc)
 	return out
 }
 
