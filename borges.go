@@ -305,6 +305,13 @@ type (
 	// the producing run's health, so degradation travels with the
 	// snapshot through hot reloads.
 	SnapshotHealthSource = serve.HealthSource
+	// PreparedSnapshotSource delivers ready-made snapshots — decoded
+	// binary artifacts or pre-built indexes — skipping the in-server
+	// rebuild on reload.
+	PreparedSnapshotSource = serve.PreparedSource
+	// MappingDeltaSource supplies mapping deltas for incremental
+	// (mode=delta) reloads.
+	MappingDeltaSource = serve.DeltaSource
 	// SnapshotHealth describes the provenance quality of a snapshot's
 	// mapping ("ok" vs "degraded"), surfaced by /healthz, /v1/stats,
 	// and /metrics.
@@ -384,6 +391,35 @@ func NewLookupServer(snap *Snapshot, opts ServeOptions) (*LookupServer, error) {
 // WriteMapping (borges -format jsonl).
 func MappingFileSource(path string) SnapshotSource { return serve.FileSource(path) }
 
+// SnapshotFileSource reloads snapshots from a file of either format:
+// a snapbin binary artifact (detected by magic, loaded in
+// milliseconds) or a JSONL mapping (parsed and indexed from scratch).
+func SnapshotFileSource(path string) PreparedSnapshotSource { return serve.SnapshotFileSource(path) }
+
+// MappingDeltaFileSource reloads mapping deltas from a JSONL delta
+// file written with WriteMappingDelta (borges-diff -delta).
+func MappingDeltaFileSource(path string) MappingDeltaSource { return serve.DeltaFileSource(path) }
+
+// WriteSnapshot encodes a snapshot as a versioned binary artifact
+// (magic "BORGSNAP") and returns its content hash: a SHA-256 over the
+// snapshot's logical content, identical across machines, build times,
+// and full-vs-delta construction paths.
+func WriteSnapshot(w io.Writer, s *Snapshot) (string, error) { return serve.WriteSnapshot(w, s) }
+
+// WriteSnapshotFile atomically persists a snapshot as a binary
+// artifact (temp file, fsync, rename) and returns its content hash.
+func WriteSnapshotFile(path string, s *Snapshot) (string, error) {
+	return serve.WriteSnapshotFile(path, s)
+}
+
+// LoadSnapshot decodes a binary snapshot artifact into a serving
+// snapshot — a few large reads plus verification, no JSONL parse, no
+// union-find replay, no re-rendering.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) { return serve.LoadSnapshot(r) }
+
+// LoadSnapshotFile decodes the binary snapshot artifact at path.
+func LoadSnapshotFile(path string) (*Snapshot, error) { return serve.LoadSnapshotFile(path) }
+
 // Serve listens on addr and serves the snapshot's JSON lookup API
 // (/v1/as/{asn}, /v1/org/{id}, /v1/search, /v1/stats, /admin/reload,
 // /healthz, /metrics) until ctx is cancelled, then drains in-flight
@@ -432,6 +468,26 @@ const (
 func CompareMappings(older, newer *Mapping) *MappingDiff {
 	return mapdiff.Compare(older, newer)
 }
+
+// MappingDelta is the machine-applicable edit script between two
+// mappings: organizations to remove and organizations to add. Where a
+// MappingDiff narrates a transition for humans, a MappingDelta drives
+// incremental snapshot reloads (Snapshot.ApplyDelta,
+// /admin/reload?mode=delta).
+type MappingDelta = mapdiff.Delta
+
+// ComputeMappingDelta returns the edit script transforming old into
+// new; identity covers members, name, and feature provenance.
+func ComputeMappingDelta(old, new *Mapping) *MappingDelta {
+	return mapdiff.ComputeDelta(old, new)
+}
+
+// WriteMappingDelta serializes a delta as JSON lines (removals first:
+// {"op":"del",...} then {"op":"add",...}).
+func WriteMappingDelta(w io.Writer, d *MappingDelta) error { return mapdiff.WriteDelta(w, d) }
+
+// ReadMappingDelta parses a delta written with WriteMappingDelta.
+func ReadMappingDelta(r io.Reader) (*MappingDelta, error) { return mapdiff.ReadDelta(r) }
 
 // Evaluation harness.
 type (

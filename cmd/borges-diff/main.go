@@ -8,6 +8,12 @@
 //
 //	borges-diff old.jsonl new.jsonl
 //	borges-diff -merges 10 old.jsonl new.jsonl   # show the 10 largest merges
+//	borges-diff -delta delta.jsonl old.jsonl new.jsonl
+//
+// -delta additionally writes the machine-applicable edit script
+// (removals and additions, JSON lines) that borgesd applies with
+// POST /admin/reload?mode=delta to patch a serving snapshot from old
+// to new without a full rebuild.
 package main
 
 import (
@@ -23,9 +29,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("borges-diff: ")
 	merges := flag.Int("merges", 5, "how many of the largest merges to detail")
+	deltaOut := flag.String("delta", "", "write the machine-applicable edit script (for borgesd /admin/reload?mode=delta) to this file")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		log.Fatal("usage: borges-diff [-merges N] old.jsonl new.jsonl")
+		log.Fatal("usage: borges-diff [-merges N] [-delta out.jsonl] old.jsonl new.jsonl")
 	}
 
 	older := loadMapping(flag.Arg(0))
@@ -35,6 +42,21 @@ func main() {
 
 	diff := borges.CompareMappings(older, newer)
 	fmt.Println(diff.Summary())
+
+	if *deltaOut != "" {
+		d := borges.ComputeMappingDelta(older, newer)
+		f, err := os.Create(*deltaOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := borges.WriteMappingDelta(f, d); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("delta: %s → %s\n", d.Summary(), *deltaOut)
+	}
 
 	top := diff.MergesOf()
 	if len(top) > *merges {

@@ -6,6 +6,7 @@
 //
 //	borges -seed 1 -scale 0.1 -o mapping.csv
 //	borges -format jsonl -o mapping.jsonl
+//	borges -format binary -o snapshot.bin   # borgesd -snapshot-in loads it instantly
 //
 // With -as2org/-peeringdb it consumes on-disk snapshots (CAIDA AS2Org
 // JSON-lines and a PeeringDB API dump); those runs need -live to crawl
@@ -42,7 +43,7 @@ func main() {
 	openaiKey := flag.String("openai-key", os.Getenv("OPENAI_API_KEY"), "API key for -openai-base")
 	features := flag.String("features", "all", "comma-separated features: oidp,na,rr,f (or 'all')")
 	out := flag.String("o", "-", "output file for the mapping ('-' = stdout)")
-	format := flag.String("format", "csv", "mapping output format: csv or jsonl")
+	format := flag.String("format", "csv", "mapping output format: csv, jsonl, or binary (a serving snapshot artifact for borgesd -snapshot-in)")
 	cacheDir := flag.String("cache-dir", "", "persist the LLM/crawl cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the in-process LLM/crawl cache")
 	verbose := flag.Bool("v", false, "log pipeline stage progress to stderr")
@@ -60,9 +61,9 @@ func main() {
 	// Reject a bad -format before the pipeline runs: a multi-minute
 	// crawl+extract batch must not complete only to fail at write time.
 	switch *format {
-	case "csv", "jsonl":
+	case "csv", "jsonl", "binary":
 	default:
-		log.Fatalf("unknown format %q (valid: csv, jsonl)", *format)
+		log.Fatalf("unknown format %q (valid: csv, jsonl, binary)", *format)
 	}
 
 	in := borges.Inputs{}
@@ -140,27 +141,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if *format == "binary" {
+		// The binary artifact is a fully-indexed serving snapshot, so
+		// the pre-render cost is paid once here and never again at any
+		// borgesd cold start.
+		snap, err := borges.NewSnapshot(res.Mapping, "pipeline")
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if *format == "jsonl" {
-		if err := borges.WriteMapping(w, res.Mapping); err != nil {
+		var hash string
+		if *out == "-" {
+			hash, err = borges.WriteSnapshot(os.Stdout, snap)
+		} else {
+			hash, err = borges.WriteSnapshotFile(*out, snap)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Fprintf(os.Stderr, "snapshot content hash %s\n", hash)
 	} else {
-		fmt.Fprintln(w, "org_id,org_name,asns")
-		for _, c := range res.Mapping.Clusters {
-			asns := make([]string, len(c.ASNs))
-			for i, a := range c.ASNs {
-				asns[i] = a.String()
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
 			}
-			fmt.Fprintf(w, "%d,%s,%s\n", c.ID, csvEscape(c.Name), strings.Join(asns, " "))
+			defer f.Close()
+			w = f
+		}
+		if *format == "jsonl" {
+			if err := borges.WriteMapping(w, res.Mapping); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Fprintln(w, "org_id,org_name,asns")
+			for _, c := range res.Mapping.Clusters {
+				asns := make([]string, len(c.ASNs))
+				for i, a := range c.ASNs {
+					asns[i] = a.String()
+				}
+				fmt.Fprintf(w, "%d,%s,%s\n", c.ID, csvEscape(c.Name), strings.Join(asns, " "))
+			}
 		}
 	}
 

@@ -7,10 +7,22 @@
 //	borges -format jsonl -o mapping.jsonl
 //	borgesd -addr :8080 -mapping mapping.jsonl
 //
+// or a binary snapshot artifact (borges -format binary, or a previous
+// borgesd -snapshot-out), which cold-starts in milliseconds because
+// nothing is re-parsed, re-tokenized, or re-rendered:
+//
+//	borgesd -addr :8080 -snapshot-in snapshot.bin
+//
 // or self-bootstrap from the calibrated synthetic corpus (generate →
 // run pipeline in-process → serve):
 //
 //	borgesd -addr :8080 -seed 1 -scale 0.05
+//
+// -snapshot-out writes the initial snapshot as a binary artifact
+// (atomically: temp file, fsync, rename) for the next cold start.
+// -delta-in names a mapping delta (borges-diff -delta); POST
+// /admin/reload?mode=delta patches the serving snapshot in place of a
+// full rebuild, validating the delta against the serving base first.
 //
 // Endpoints:
 //
@@ -55,6 +67,9 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	mapping := flag.String("mapping", "", "mapping JSONL file (from borges -format jsonl); reload re-reads it")
+	snapshotIn := flag.String("snapshot-in", "", "snapshot file to serve: a binary artifact (borges -format binary, borgesd -snapshot-out) or mapping JSONL, sniffed by magic; reload re-reads it")
+	snapshotOut := flag.String("snapshot-out", "", "write the initial snapshot as a binary artifact to this path, then keep serving")
+	deltaIn := flag.String("delta-in", "", "mapping delta JSONL (borges-diff -delta); POST /admin/reload?mode=delta applies it to the serving snapshot")
 	seed := flag.Int64("seed", 1, "synthetic corpus seed (when -mapping is unset)")
 	scale := flag.Float64("scale", 0.05, "synthetic corpus scale (when -mapping is unset)")
 	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
@@ -89,11 +104,28 @@ func main() {
 		}
 	}
 
+	if *deltaIn != "" {
+		opts.DeltaSource = borges.MappingDeltaFileSource(*deltaIn)
+	}
+
 	var (
 		snap  *borges.Snapshot
 		label string
 	)
-	if *mapping != "" {
+	if *snapshotIn != "" {
+		if *mapping != "" {
+			log.Fatal("-snapshot-in and -mapping are mutually exclusive")
+		}
+		source := borges.SnapshotFileSource(*snapshotIn)
+		label = *snapshotIn
+		opts.Prepared = source
+		log.Printf("loading snapshot from %s", label)
+		var err error
+		if snap, err = source(ctx); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot loaded (mode %s, hash %.12s)", snap.LoadMode(), snap.ContentHash())
+	} else if *mapping != "" {
 		source := borges.MappingFileSource(*mapping)
 		label = *mapping
 		opts.Source = source
@@ -132,6 +164,14 @@ func main() {
 		if snap, err = borges.NewSnapshotWithHealth(m, label, health); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *snapshotOut != "" {
+		hash, err := borges.WriteSnapshotFile(*snapshotOut, snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote binary snapshot %s (hash %.12s)", *snapshotOut, hash)
 	}
 
 	st := snap.Stats()

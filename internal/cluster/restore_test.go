@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+)
+
+func restoreFixture(t *testing.T) *Mapping {
+	t.Helper()
+	b := NewBuilder()
+	b.AddUniverse(1, 2, 3, 10, 11, 20, 30, 31, 32, 33)
+	b.Add(SiblingSet{ASNs: []asnum.ASN{1, 2, 3}, Source: FeatureOIDW})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{10, 11}, Source: FeatureRR})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{30, 31}, Source: FeatureOIDP})
+	b.Add(SiblingSet{ASNs: []asnum.ASN{31, 32, 33}, Source: FeatureFavicon})
+	return b.Build(func(members []asnum.ASN) string {
+		return "Org " + members[0].String()
+	})
+}
+
+func TestRestoreInvertsRawIndex(t *testing.T) {
+	m := restoreFixture(t)
+	keys, vals := m.RawIndex()
+	got, err := Restore(m.Clusters, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumOrgs() != m.NumOrgs() || got.NumASNs() != m.NumASNs() {
+		t.Fatalf("restored %d/%d, want %d/%d",
+			got.NumOrgs(), got.NumASNs(), m.NumOrgs(), m.NumASNs())
+	}
+	for _, a := range keys {
+		want := m.ClusterOf(a)
+		have := got.ClusterOf(a)
+		if have == nil || have.ID != want.ID || have.Name != want.Name {
+			t.Fatalf("ClusterOf(%s) diverged after restore", a)
+		}
+	}
+	for i, s := range m.Sizes() {
+		if got.Sizes()[i] != s {
+			t.Fatalf("sizes diverged at %d", i)
+		}
+	}
+}
+
+func TestRestoreRejects(t *testing.T) {
+	m := restoreFixture(t)
+	keys, vals := m.RawIndex()
+	clone := func() ([]Cluster, []asnum.ASN, []int32) {
+		cs := make([]Cluster, len(m.Clusters))
+		copy(cs, m.Clusters)
+		ks := append([]asnum.ASN(nil), keys...)
+		vs := append([]int32(nil), vals...)
+		return cs, ks, vs
+	}
+	cases := []struct {
+		name string
+		mut  func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32)
+		want string
+	}{
+		{"length mismatch", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			return cs, ks, vs[:len(vs)-1]
+		}, "keys but"},
+		{"wrong ID", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			cs[0].ID = 7
+			return cs, ks, vs
+		}, "carries ID"},
+		{"canonical order violated", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			cs[0], cs[len(cs)-1] = cs[len(cs)-1], cs[0]
+			cs[0].ID = 0
+			cs[len(cs)-1].ID = len(cs) - 1
+			return cs, ks, vs
+		}, "canonical order"},
+		{"empty cluster", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			cs[len(cs)-1].ASNs = nil
+			return cs, ks, vs
+		}, "no members"},
+		{"val out of range", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			vs[0] = int32(len(cs))
+			return cs, ks, vs
+		}, "out of range"},
+		{"keys not ascending", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			ks[1] = ks[0] // duplicate key, caught before the cursor walk
+			return cs, ks, vs
+		}, "ascending"},
+		{"membership mismatch", func(cs []Cluster, ks []asnum.ASN, vs []int32) ([]Cluster, []asnum.ASN, []int32) {
+			// Swap ownership of two ASNs without touching membership.
+			vs[0], vs[len(vs)-1] = vs[len(vs)-1], vs[0]
+			return cs, ks, vs
+		}, "disagrees"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Restore(tc.mut(clone()))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Restore = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareCanonicalMatchesBuild checks that the exported comparator
+// reproduces the order Build actually emits, which is what the delta
+// patcher relies on to reassign IDs without a rebuild.
+func TestCompareCanonicalMatchesBuild(t *testing.T) {
+	m := restoreFixture(t)
+	for i := 1; i < len(m.Clusters); i++ {
+		if CompareCanonical(m.Clusters[i-1].ASNs, m.Clusters[i].ASNs) >= 0 {
+			t.Fatalf("CompareCanonical disagrees with Build order at %d", i)
+		}
+	}
+	if CompareCanonical([]asnum.ASN{5}, []asnum.ASN{5}) != 0 {
+		t.Fatal("identical lists must compare equal")
+	}
+}

@@ -1,0 +1,210 @@
+package mapdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// Delta is the machine-applicable form of a mapping transition: the
+// organizations to remove from a base mapping and the organizations
+// to add, with everything untouched left implicit. Where Report
+// narrates a transition for humans (merges, splits, reshuffles), a
+// Delta is the minimal edit script an incremental reload applies —
+// a changed organization appears as one removal plus one addition.
+type Delta struct {
+	// Removed holds the full member list of each base organization
+	// that does not survive unchanged. Carrying the whole list (not
+	// just an identifying member) lets the applier verify the delta
+	// matches its base and fail loudly on a mismatch.
+	Removed [][]asnum.ASN
+	// Added holds each organization present only in the new mapping:
+	// members, display name, and feature provenance. IDs are not
+	// recorded — the applier re-derives canonical IDs, so a patched
+	// mapping is identical to a from-scratch build.
+	Added []cluster.Cluster
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
+
+// Summary renders the headline edit counts.
+func (d *Delta) Summary() string {
+	return fmt.Sprintf("removed=%d added=%d", len(d.Removed), len(d.Added))
+}
+
+// clusterKey fingerprints an organization by everything that makes it
+// "the same" across mappings: members, display name, and features.
+func clusterKey(c *cluster.Cluster) string {
+	var b strings.Builder
+	b.Grow(8*len(c.ASNs) + len(c.Name) + 8)
+	for _, a := range c.ASNs {
+		fmt.Fprintf(&b, "%d,", uint32(a))
+	}
+	b.WriteByte(0)
+	b.WriteString(c.Name)
+	b.WriteByte(0)
+	for f := 0; f < cluster.NumFeatures; f++ {
+		if c.Features[f] {
+			b.WriteByte('0' + byte(f))
+		}
+	}
+	return b.String()
+}
+
+// ComputeDelta returns the edit script transforming old into new:
+// every old organization without an identical counterpart in new is
+// removed, every new organization without an identical counterpart in
+// old is added. Identity covers members, name, and features — a
+// renamed organization with unchanged membership is still an edit,
+// because its serving artifacts (rendered bodies, search tokens)
+// change.
+func ComputeDelta(old, new *cluster.Mapping) *Delta {
+	oldKeys := make(map[string]int, len(old.Clusters))
+	for i := range old.Clusters {
+		oldKeys[clusterKey(&old.Clusters[i])]++
+	}
+	d := &Delta{}
+	for i := range new.Clusters {
+		k := clusterKey(&new.Clusters[i])
+		if oldKeys[k] > 0 {
+			oldKeys[k]--
+			continue
+		}
+		d.Added = append(d.Added, new.Clusters[i])
+	}
+	// A second pass over old collects removals in old's deterministic
+	// cluster order (the map above only counts).
+	newKeys := make(map[string]int, len(new.Clusters))
+	for i := range new.Clusters {
+		newKeys[clusterKey(&new.Clusters[i])]++
+	}
+	for i := range old.Clusters {
+		k := clusterKey(&old.Clusters[i])
+		if newKeys[k] > 0 {
+			newKeys[k]--
+			continue
+		}
+		d.Removed = append(d.Removed, old.Clusters[i].ASNs)
+	}
+	return d
+}
+
+// deltaRecord is the on-disk JSON-lines form of one delta edit:
+//
+//	{"op":"del","asns":[3356,3549]}
+//	{"op":"add","name":"Lumen","asns":[209,3356,3549],"features":["OID_W"]}
+type deltaRecord struct {
+	Op       string   `json:"op"`
+	Name     string   `json:"name,omitempty"`
+	ASNs     []uint32 `json:"asns"`
+	Features []string `json:"features,omitempty"`
+}
+
+// WriteDelta serializes a delta as JSON lines, removals first.
+func WriteDelta(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, members := range d.Removed {
+		rec := deltaRecord{Op: "del", ASNs: make([]uint32, len(members))}
+		for i, a := range members {
+			rec.ASNs[i] = uint32(a)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("mapdiff: write delta: %w", err)
+		}
+	}
+	for i := range d.Added {
+		c := &d.Added[i]
+		rec := deltaRecord{Op: "add", Name: c.Name, ASNs: make([]uint32, len(c.ASNs))}
+		for j, a := range c.ASNs {
+			rec.ASNs[j] = uint32(a)
+		}
+		for f := 0; f < cluster.NumFeatures; f++ {
+			if c.Features[f] {
+				rec.Features = append(rec.Features, cluster.Feature(f).String())
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("mapdiff: write delta: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDelta parses a delta written with WriteDelta. Added records
+// with no recorded features default to OID_W, matching how
+// cluster.ReadJSONL treats feature-less mapping records, so applying
+// a hand-written delta and rebuilding from the equivalent full file
+// agree on provenance bits.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	d := &Delta{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec deltaRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("mapdiff: delta line %d: %w", line, err)
+		}
+		if len(rec.ASNs) == 0 {
+			return nil, fmt.Errorf("mapdiff: delta line %d: %s without members", line, rec.Op)
+		}
+		asns := make([]asnum.ASN, len(rec.ASNs))
+		for i, a := range rec.ASNs {
+			asns[i] = asnum.ASN(a)
+		}
+		asnum.Sort(asns)
+		// Collapse duplicates the way a union-find replay would.
+		uniq := asns[:1]
+		for _, a := range asns[1:] {
+			if a != uniq[len(uniq)-1] {
+				uniq = append(uniq, a)
+			}
+		}
+		asns = uniq
+		switch rec.Op {
+		case "del":
+			d.Removed = append(d.Removed, asns)
+		case "add":
+			c := cluster.Cluster{Name: rec.Name, ASNs: asns}
+			if len(rec.Features) == 0 {
+				c.Features[cluster.FeatureOIDW] = true
+			}
+			for _, fs := range rec.Features {
+				f, err := featureByName(fs)
+				if err != nil {
+					return nil, fmt.Errorf("mapdiff: delta line %d: %w", line, err)
+				}
+				c.Features[f] = true
+			}
+			d.Added = append(d.Added, c)
+		default:
+			return nil, fmt.Errorf("mapdiff: delta line %d: unknown op %q", line, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mapdiff: delta scan: %w", err)
+	}
+	return d, nil
+}
+
+// featureByName inverts cluster.Feature.String for parsing.
+func featureByName(s string) (cluster.Feature, error) {
+	for f := 0; f < cluster.NumFeatures; f++ {
+		if cluster.Feature(f).String() == s {
+			return cluster.Feature(f), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown feature %q", s)
+}

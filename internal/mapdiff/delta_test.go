@@ -1,0 +1,112 @@
+package mapdiff
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+func TestComputeDeltaIdentical(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3})
+	d := ComputeDelta(old, mapping([]asnum.ASN{1, 2}, []asnum.ASN{3}))
+	if !d.Empty() {
+		t.Fatalf("identical mappings produced %s", d.Summary())
+	}
+}
+
+func TestComputeDeltaMerge(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3, 4}, []asnum.ASN{5})
+	d := ComputeDelta(old, mapping([]asnum.ASN{1, 2, 3, 4}, []asnum.ASN{5}))
+	if len(d.Removed) != 2 || len(d.Added) != 1 {
+		t.Fatalf("merge delta = %s", d.Summary())
+	}
+	if got := d.Added[0].ASNs; !reflect.DeepEqual(got, []asnum.ASN{1, 2, 3, 4}) {
+		t.Fatalf("added members = %v", got)
+	}
+	// Removals keep the base mapping's deterministic cluster order.
+	if d.Removed[0][0] != 1 || d.Removed[1][0] != 3 {
+		t.Fatalf("removals out of order: %v", d.Removed)
+	}
+}
+
+// A rename with unchanged membership is still an edit: rendered bodies
+// and search tokens change.
+func TestComputeDeltaRename(t *testing.T) {
+	b := cluster.NewBuilder()
+	b.Add(cluster.SiblingSet{ASNs: []asnum.ASN{1, 2}})
+	old := b.Build(func([]asnum.ASN) string { return "Before" })
+	b2 := cluster.NewBuilder()
+	b2.Add(cluster.SiblingSet{ASNs: []asnum.ASN{1, 2}})
+	new := b2.Build(func([]asnum.ASN) string { return "After" })
+	d := ComputeDelta(old, new)
+	if len(d.Removed) != 1 || len(d.Added) != 1 || d.Added[0].Name != "After" {
+		t.Fatalf("rename delta = %+v", d)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3, 4}, []asnum.ASN{5})
+	new := mapping([]asnum.ASN{1, 2, 3, 4}, []asnum.ASN{5})
+	d := ComputeDelta(old, new)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Removed, d.Removed) {
+		t.Fatalf("removed drift: %v vs %v", got.Removed, d.Removed)
+	}
+	if len(got.Added) != len(d.Added) {
+		t.Fatalf("added drift: %d vs %d", len(got.Added), len(d.Added))
+	}
+	for i := range got.Added {
+		g, w := got.Added[i], d.Added[i]
+		if g.Name != w.Name || !reflect.DeepEqual(g.ASNs, w.ASNs) || g.Features != w.Features {
+			t.Fatalf("added[%d] drift: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestReadDeltaNormalizes(t *testing.T) {
+	in := `{"op":"add","name":"X","asns":[9,3,3,7]}
+{"op":"del","asns":[5,1,5]}
+`
+	d, err := ReadDelta(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Added[0].ASNs, []asnum.ASN{3, 7, 9}) {
+		t.Fatalf("add not sorted/deduped: %v", d.Added[0].ASNs)
+	}
+	if !reflect.DeepEqual(d.Removed[0], []asnum.ASN{1, 5}) {
+		t.Fatalf("del not sorted/deduped: %v", d.Removed[0])
+	}
+	// Feature-less adds default to OID_W like cluster.ReadJSONL.
+	if !d.Added[0].Features[cluster.FeatureOIDW] {
+		t.Fatal("feature-less add did not default to OID_W")
+	}
+}
+
+func TestReadDeltaErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"unknown op", `{"op":"mv","asns":[1]}`, "unknown op"},
+		{"empty asns", `{"op":"del","asns":[]}`, "without members"},
+		{"bad feature", `{"op":"add","asns":[1],"features":["NOPE"]}`, "unknown feature"},
+		{"bad json", `{`, "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadDelta(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ReadDelta = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}

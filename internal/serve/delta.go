@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/mapdiff"
+	"github.com/nu-aqualab/borges/internal/orgfactor"
+)
+
+// ErrDeltaMismatch marks a delta whose removals do not describe the
+// serving snapshot — it was computed against a different base. The
+// reload path surfaces this distinctly so an operator retries with a
+// full snapshot instead of a corrected delta.
+var ErrDeltaMismatch = errors.New("serve: delta does not apply to the serving snapshot")
+
+// ApplyDelta produces a new snapshot by patching only what the delta
+// touches, leaving every untouched cluster's indexes and pre-rendered
+// bytes shared with the base snapshot. The result is deep-equal to a
+// from-scratch build of the patched mapping:
+//
+//   - Canonical cluster order (descending size, ties by smallest
+//     member) is a pure function of membership, so re-sorting
+//     survivors+additions reproduces the exact IDs a full build
+//     assigns. Survivors keep their relative order, so remapping a
+//     sorted posting list keeps it sorted.
+//   - Added (and ID-shifted surviving) clusters render through the
+//     same renderBodies used by the full build, byte for byte.
+//   - θ and the histogram recompute from the patched descending size
+//     slice with the same arithmetic the full build runs.
+//
+// The base snapshot is never mutated; on any validation failure the
+// base keeps serving.
+func (s *Snapshot) ApplyDelta(d *mapdiff.Delta) (*Snapshot, error) {
+	return s.applyDeltaAt(d, time.Now())
+}
+
+// applyDeltaAt is ApplyDelta with an injectable clock for tests.
+func (s *Snapshot) applyDeltaAt(d *mapdiff.Delta, now time.Time) (*Snapshot, error) {
+	nOld := len(s.mapping.Clusters)
+
+	// Verify every removal names a base cluster by its exact member
+	// list. Carrying full membership in the delta makes "wrong base"
+	// detectable here instead of surfacing as silent drift.
+	deleted := make([]bool, nOld)
+	delASNs := 0
+	for _, members := range d.Removed {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("%w: removal with no members", ErrDeltaMismatch)
+		}
+		c := s.mapping.ClusterOf(members[0])
+		if c == nil || !slices.Equal(c.ASNs, members) {
+			return nil, fmt.Errorf("%w: no organization with members %v", ErrDeltaMismatch, members)
+		}
+		if deleted[c.ID] {
+			return nil, fmt.Errorf("%w: organization %d removed twice", ErrDeltaMismatch, c.ID)
+		}
+		deleted[c.ID] = true
+		delASNs += len(members)
+	}
+
+	// Verify additions: sorted members, no overlap with each other or
+	// with any surviving cluster.
+	addASNs := 0
+	claimed := make(map[asnum.ASN]bool)
+	for i := range d.Added {
+		c := &d.Added[i]
+		if len(c.ASNs) == 0 {
+			return nil, fmt.Errorf("%w: addition with no members", ErrDeltaMismatch)
+		}
+		for j, a := range c.ASNs {
+			if j > 0 && c.ASNs[j-1] >= a {
+				return nil, fmt.Errorf("%w: added organization members not strictly ascending", ErrDeltaMismatch)
+			}
+			if owner := s.mapping.ClusterOf(a); owner != nil && !deleted[owner.ID] {
+				return nil, fmt.Errorf("%w: added organization claims %s, still held by organization %d",
+					ErrDeltaMismatch, a, owner.ID)
+			}
+			if claimed[a] {
+				return nil, fmt.Errorf("%w: %s added twice", ErrDeltaMismatch, a)
+			}
+			claimed[a] = true
+		}
+		addASNs += len(c.ASNs)
+	}
+
+	// Re-derive canonical order over survivors + additions. Survivors
+	// arrive already canonically sorted relative to each other, so the
+	// sort only has to place the (few) additions.
+	type entry struct {
+		members []asnum.ASN
+		oldID   int // base cluster ID, or -1 for an addition
+		addIdx  int // index into d.Added, or -1 for a survivor
+	}
+	entries := make([]entry, 0, nOld-len(d.Removed)+len(d.Added))
+	for i := range s.mapping.Clusters {
+		if !deleted[i] {
+			entries = append(entries, entry{members: s.mapping.Clusters[i].ASNs, oldID: i, addIdx: -1})
+		}
+	}
+	for i := range d.Added {
+		entries = append(entries, entry{members: d.Added[i].ASNs, oldID: -1, addIdx: i})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("serve: refusing to serve an empty mapping (delta removed every organization)")
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		return cluster.CompareCanonical(entries[a].members, entries[b].members) < 0
+	})
+
+	// Assemble the patched cluster slice and per-cluster serving
+	// artifacts. A survivor whose ID is unchanged shares its rendered
+	// bytes with the base; a shifted survivor gets its ID digits
+	// respliced without re-encoding JSON; an addition renders from
+	// scratch through the same code as a full build.
+	n := len(entries)
+	clusters := make([]cluster.Cluster, n)
+	lowerNames := make([]string, n)
+	orgBodies := make([][]byte, n)
+	asTails := make([][]byte, n)
+	remap := make([]int32, nOld) // base ID → patched ID, -1 if deleted
+	for i := range remap {
+		remap[i] = -1
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	for i, e := range entries {
+		if e.oldID >= 0 {
+			oc := &s.mapping.Clusters[e.oldID]
+			clusters[i] = *oc
+			clusters[i].ID = i
+			lowerNames[i] = s.lowerNames[e.oldID]
+			remap[e.oldID] = int32(i)
+			if i == e.oldID {
+				orgBodies[i] = s.orgBodies[e.oldID]
+				asTails[i] = s.asTails[e.oldID]
+			} else {
+				body := respliceOrgID(s.orgBodies[e.oldID], i)
+				orgBodies[i] = body
+				asTails[i] = renderTail(body, oc.ASNs)
+			}
+			continue
+		}
+		clusters[i] = d.Added[e.addIdx]
+		clusters[i].ID = i
+		lowerNames[i] = strings.ToLower(clusters[i].Name)
+		body, tail, err := renderBodies(&clusters[i], &buf, enc)
+		if err != nil {
+			return nil, fmt.Errorf("serve: rendering added organization: %w", err)
+		}
+		orgBodies[i] = body
+		asTails[i] = tail
+	}
+
+	// Splice the packed ASN→cluster index: one merge pass over the old
+	// keys (dropping deletions, remapping survivors) interleaved with
+	// the additions' sorted (ASN, ID) pairs.
+	oldKeys, oldVals := s.mapping.RawIndex()
+	addPairs := make([]uint64, 0, addASNs)
+	for i := range entries {
+		if entries[i].addIdx >= 0 {
+			for _, a := range clusters[i].ASNs {
+				addPairs = append(addPairs, uint64(a)<<32|uint64(uint32(i)))
+			}
+		}
+	}
+	slices.Sort(addPairs)
+	keys := make([]asnum.ASN, 0, len(oldKeys)-delASNs+addASNs)
+	vals := make([]int32, 0, len(oldKeys)-delASNs+addASNs)
+	ai := 0
+	for i, a := range oldKeys {
+		v := remap[oldVals[i]]
+		if v < 0 {
+			continue
+		}
+		for ai < len(addPairs) && asnum.ASN(addPairs[ai]>>32) < a {
+			keys = append(keys, asnum.ASN(addPairs[ai]>>32))
+			vals = append(vals, int32(uint32(addPairs[ai])))
+			ai++
+		}
+		keys = append(keys, a)
+		vals = append(vals, v)
+	}
+	for ; ai < len(addPairs); ai++ {
+		keys = append(keys, asnum.ASN(addPairs[ai]>>32))
+		vals = append(vals, int32(uint32(addPairs[ai])))
+	}
+
+	// Restore re-verifies everything — canonical order, strict key
+	// ascent, index↔membership correspondence — so a buggy or
+	// adversarial delta fails here rather than serving wrong answers.
+	m, err := cluster.Restore(clusters, keys, vals)
+	if err != nil {
+		return nil, fmt.Errorf("serve: patched mapping fails validation: %w", err)
+	}
+
+	// Patch the token index: one filter-and-remap pass over every
+	// posting list (deletions drop out, survivors renumber, order is
+	// preserved because survivor remapping is monotonic), then sorted
+	// insertion of the additions' tokens.
+	tokens := make(map[string][]int, len(s.tokens))
+	for tok, ids := range s.tokens {
+		nids := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if v := remap[id]; v >= 0 {
+				nids = append(nids, int(v))
+			}
+		}
+		if len(nids) > 0 {
+			tokens[tok] = nids
+		}
+	}
+	for i := range entries {
+		if entries[i].addIdx < 0 {
+			continue
+		}
+		for _, tok := range tokenize(lowerNames[i]) {
+			ids := tokens[tok]
+			pos := sort.SearchInts(ids, i)
+			if pos < len(ids) && ids[pos] == i {
+				continue
+			}
+			ids = append(ids, 0)
+			copy(ids[pos+1:], ids[pos:])
+			ids[pos] = i
+			tokens[tok] = ids
+		}
+	}
+	tokenList := make([]string, 0, len(tokens))
+	for tok := range tokens {
+		tokenList = append(tokenList, tok)
+	}
+	sort.Strings(tokenList)
+
+	// Recompute corpus statistics from the patched descending size
+	// slice — the same inputs and arithmetic as a full build, so θ is
+	// bit-identical.
+	sizes := m.Sizes()
+	theta, err := orgfactor.ThetaFromSizes(sizes, m.NumASNs())
+	if err != nil {
+		return nil, fmt.Errorf("serve: patched mapping fails θ validation: %w", err)
+	}
+
+	ns := &Snapshot{
+		mapping:    m,
+		tokens:     tokens,
+		tokenList:  tokenList,
+		lowerNames: lowerNames,
+		orgBodies:  orgBodies,
+		asTails:    asTails,
+		source:     s.source,
+		loadedAt:   now,
+		health:     s.health,
+		loadMode:   LoadModeDelta,
+	}
+	ns.scratchPool.New = func() any {
+		return &searchScratch{bits: make([]uint64, (n+63)/64)}
+	}
+	ns.stats = Stats{
+		Orgs:          m.NumOrgs(),
+		ASNs:          m.NumASNs(),
+		Theta:         theta,
+		MultiASOrgs:   multiCount(sizes),
+		LargestOrg:    sizes[0],
+		SizeHistogram: sizeHistogram(sizes),
+	}
+	return ns, nil
+}
+
+// respliceOrgID rewrites the leading `{"org":<digits>` of a
+// pre-rendered body for a cluster whose canonical ID shifted, without
+// re-encoding the JSON. The body layout is fixed by orgJSON's field
+// order, so the ID digits always sit immediately after the prefix.
+func respliceOrgID(body []byte, newID int) []byte {
+	const prefix = `{"org":`
+	i := len(prefix)
+	j := i
+	for j < len(body) && body[j] >= '0' && body[j] <= '9' {
+		j++
+	}
+	out := make([]byte, 0, len(body)+10)
+	out = append(out, body[:i]...)
+	out = strconv.AppendInt(out, int64(newID), 10)
+	return append(out, body[j:]...)
+}
+
+// renderTail rebuilds a /v1/as tail from its (already-respliced) org
+// body — the same bytes renderBodies produces for a full build.
+func renderTail(body []byte, asns []asnum.ASN) []byte {
+	tail := make([]byte, 0, len(asTailOrg)+len(body)-1+len(asTailSiblings)+12*len(asns)+2)
+	tail = append(tail, asTailOrg...)
+	tail = append(tail, body[:len(body)-1]...) // org JSON sans newline
+	tail = append(tail, asTailSiblings...)
+	tail = appendASNList(tail, asns)
+	return append(tail, '}', '\n')
+}

@@ -16,6 +16,71 @@ import (
 // the same validate-then-swap guarantee hot reload relies on. The
 // seed corpus includes a torn-tail file (a crash mid-append), the
 // failure mode the cache layer's disk tier also has to survive.
+// FuzzLoadSnapshot fuzzes the binary artifact decoder behind
+// -snapshot-in and binary /admin/reload. The contract under arbitrary
+// bytes: LoadSnapshot returns a typed error or a fully self-consistent
+// snapshot — never a panic, and never an allocation sized by an
+// unvalidated length field (the size cap below would not save us from
+// a forged multi-gigabyte count; the decoder's bounds checks must).
+// The seed corpus is a valid artifact plus the mutations the format is
+// designed to reject: truncations, flipped header/hash/payload bytes,
+// and bare magic.
+func FuzzLoadSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	snap, err := NewSnapshot(variantMapping(3, 24), "fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := WriteSnapshot(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:63])
+	f.Add([]byte("BORGSNAP"))
+	f.Add([]byte(""))
+	for _, off := range []int{0, 8, 12, 16, 24, 64, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound the cost of one fuzz iteration
+		}
+		snap, err := LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the acceptable outcome
+		}
+		st := snap.Stats()
+		if st.Orgs == 0 || st.ASNs == 0 {
+			t.Fatal("LoadSnapshot accepted an empty mapping")
+		}
+		m := snap.Mapping()
+		if st.Orgs != m.NumOrgs() || st.ASNs != m.NumASNs() {
+			t.Fatalf("stats (%d orgs, %d asns) disagree with mapping (%d, %d)",
+				st.Orgs, st.ASNs, m.NumOrgs(), m.NumASNs())
+		}
+		for i := range m.Clusters {
+			c := &m.Clusters[i]
+			for _, a := range c.ASNs {
+				hit := snap.Lookup(a)
+				if hit == nil || hit != c {
+					t.Fatalf("ASN %v misresolved in an accepted snapshot", a)
+				}
+			}
+			if body := snap.OrgBody(c.ID); len(body) == 0 {
+				t.Fatalf("cluster %d accepted without a rendered body", c.ID)
+			}
+		}
+		if snap.LoadMode() != LoadModeBinary || snap.ContentHash() == "" {
+			t.Fatalf("accepted snapshot reports mode %q hash %q", snap.LoadMode(), snap.ContentHash())
+		}
+	})
+}
+
 func FuzzLoadMapping(f *testing.F) {
 	var buf bytes.Buffer
 	if err := cluster.WriteJSONL(&buf, variantMapping(3, 12)); err != nil {

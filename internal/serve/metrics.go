@@ -33,6 +33,11 @@ type Metrics struct {
 	endpoints map[string]*endpointStats
 	reloadOK  int64
 	reloadErr int64
+	// lastLoad records the duration and mode of the most recent
+	// successful snapshot load (full rebuild, binary decode, or delta
+	// patch) for the borgesd_snapshot_load_seconds gauge.
+	lastLoad     time.Duration
+	lastLoadMode string
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -100,6 +105,23 @@ func (m *Metrics) ObserveReload(ok bool) {
 	} else {
 		m.reloadErr++
 	}
+}
+
+// ObserveLoad records how long a successful snapshot load took and
+// which mode produced it (LoadModeFull, LoadModeBinary, LoadModeDelta).
+func (m *Metrics) ObserveLoad(mode string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastLoad = d
+	m.lastLoadMode = mode
+}
+
+// LastLoad returns the most recent snapshot load's mode and duration
+// ("" before any load is observed).
+func (m *Metrics) LastLoad() (mode string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastLoadMode, m.lastLoad
 }
 
 // Reloads returns the success and failure counts.
@@ -174,6 +196,11 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 	fmt.Fprintf(w, "# TYPE borgesd_reloads_total counter\n")
 	fmt.Fprintf(w, "borgesd_reloads_total{result=\"success\"} %d\n", m.reloadOK)
 	fmt.Fprintf(w, "borgesd_reloads_total{result=\"failure\"} %d\n", m.reloadErr)
+	if m.lastLoadMode != "" {
+		fmt.Fprintf(w, "# HELP borgesd_snapshot_load_seconds Duration of the most recent snapshot load, by mode.\n")
+		fmt.Fprintf(w, "# TYPE borgesd_snapshot_load_seconds gauge\n")
+		fmt.Fprintf(w, "borgesd_snapshot_load_seconds{mode=%q} %.9f\n", m.lastLoadMode, m.lastLoad.Seconds())
+	}
 	m.mu.Unlock()
 
 	if snap == nil {
@@ -203,4 +230,7 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 	fmt.Fprintf(w, "# HELP borgesd_snapshot_quarantined Items quarantined by the run that produced the serving snapshot.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_snapshot_quarantined gauge\n")
 	fmt.Fprintf(w, "borgesd_snapshot_quarantined %d\n", h.Quarantined)
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_info Serving snapshot identity: content hash and load mode (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_info gauge\n")
+	fmt.Fprintf(w, "borgesd_snapshot_info{hash=%q,mode=%q} 1\n", snap.ContentHash(), snap.LoadMode())
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/admission"
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/mapdiff"
 )
 
 // Source produces a fresh mapping for a (re)load: reading a JSONL file,
@@ -44,16 +45,41 @@ func FileSource(path string) Source {
 // knowing about the pipeline.
 type HealthSource func(ctx context.Context) (*cluster.Mapping, Health, error)
 
+// DeltaSource produces the mapping delta a delta reload applies to
+// the serving snapshot — typically by parsing a JSONL delta file
+// written by borges-diff -delta (mapdiff.ReadDelta).
+type DeltaSource func(ctx context.Context) (*mapdiff.Delta, error)
+
+// DeltaFileSource returns a DeltaSource parsing a JSONL delta file.
+func DeltaFileSource(path string) DeltaSource {
+	return func(ctx context.Context) (*mapdiff.Delta, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mapdiff.ReadDelta(f)
+	}
+}
+
 // Options tune a Server.
 type Options struct {
 	// Source supplies replacement mappings for /admin/reload. With a
-	// nil Source (and nil HealthSource), reloads are rejected with 501
-	// Not Implemented.
+	// nil Source (and nil HealthSource and nil Prepared), reloads are
+	// rejected with 501 Not Implemented.
 	Source Source
 	// HealthSource, when non-nil, is preferred over Source and lets
 	// each reload attach the producing run's Health to the snapshot it
 	// publishes.
 	HealthSource HealthSource
+	// Prepared, when non-nil, is preferred over both Source and
+	// HealthSource: it delivers a ready-made snapshot (e.g. decoded
+	// from a snapbin binary artifact by SnapshotFileSource), skipping
+	// the in-server rebuild entirely.
+	Prepared PreparedSource
+	// DeltaSource supplies mapping deltas for /admin/reload?mode=delta.
+	// Nil rejects delta reloads with 501 Not Implemented.
+	DeltaSource DeltaSource
 	// RequestTimeout bounds each request's handling time (default 10s).
 	RequestTimeout time.Duration
 	// Logf receives one structured line per request and per reload.
@@ -160,10 +186,46 @@ func (s *Server) Admission() *admission.Controller { return s.admission }
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Reload pulls a fresh mapping from the configured Source, validates
-// and indexes it, and atomically publishes the result. On any error the
-// previous snapshot keeps serving.
+// Reload pulls a replacement snapshot from the configured source —
+// Prepared (ready-made, e.g. a binary artifact) when set, otherwise a
+// mapping from HealthSource/Source indexed in-server — validates it,
+// and atomically publishes the result. On any error the previous
+// snapshot keeps serving.
 func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
+	prepare := s.prepareFunc()
+	if prepare == nil {
+		return nil, fmt.Errorf("serve: no reload source configured")
+	}
+	return s.swapWith(ctx, prepare)
+}
+
+// ReloadDelta pulls a mapping delta from the configured DeltaSource,
+// patches the serving snapshot incrementally, and publishes the
+// result under the same validate-then-swap discipline as Reload. A
+// delta computed against a different base fails with ErrDeltaMismatch
+// and leaves the current snapshot serving.
+func (s *Server) ReloadDelta(ctx context.Context) (*Snapshot, error) {
+	if s.opts.DeltaSource == nil {
+		return nil, fmt.Errorf("serve: no delta source configured")
+	}
+	return s.swapWith(ctx, func(ctx context.Context, old *Snapshot) (*Snapshot, error) {
+		d, err := s.opts.DeltaSource(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return old.applyDeltaAt(d, s.opts.now())
+	})
+}
+
+// prepareFunc resolves the configured reload options into one
+// function producing a validated replacement snapshot, or nil when no
+// source is configured.
+func (s *Server) prepareFunc() func(ctx context.Context, old *Snapshot) (*Snapshot, error) {
+	if s.opts.Prepared != nil {
+		return func(ctx context.Context, _ *Snapshot) (*Snapshot, error) {
+			return s.opts.Prepared(ctx)
+		}
+	}
 	load := s.opts.HealthSource
 	if load == nil && s.opts.Source != nil {
 		src := s.opts.Source
@@ -173,8 +235,25 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 		}
 	}
 	if load == nil {
-		return nil, fmt.Errorf("serve: no reload source configured")
+		return nil
 	}
+	return func(ctx context.Context, old *Snapshot) (*Snapshot, error) {
+		m, health, err := load(ctx)
+		if err != nil {
+			return nil, err
+		}
+		workers := s.opts.BuildWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		return newSnapshotWorkers(m, old.Source(), health, s.opts.now(), workers)
+	}
+}
+
+// swapWith runs one serialized validate-then-swap sequence: prepare a
+// replacement off to the side, publish it only if it validated, and
+// record the load duration and outcome.
+func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context, old *Snapshot) (*Snapshot, error)) (*Snapshot, error) {
 	select {
 	case s.reloading <- struct{}{}:
 		defer func() { <-s.reloading }()
@@ -182,17 +261,10 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 		return nil, ctx.Err()
 	}
 	old := s.snap.Load()
-	m, health, err := load(ctx)
+	start := s.opts.now()
+	next, err := prepare(ctx, old)
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
-	}
-	workers := s.opts.BuildWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var next *Snapshot
-	if err == nil {
-		next, err = newSnapshotWorkers(m, old.Source(), health, s.opts.now(), workers)
 	}
 	if err != nil {
 		s.metrics.ObserveReload(false)
@@ -200,9 +272,12 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 		return nil, err
 	}
 	s.snap.Store(next)
+	d := s.opts.now().Sub(start)
 	s.metrics.ObserveReload(true)
-	s.logf(`{"event":"reload","ok":true,"health":%q,"orgs":%d,"asns":%d,"theta":%.6f}`,
-		next.Health().Status, next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta)
+	s.metrics.ObserveLoad(next.LoadMode(), d)
+	s.logf(`{"event":"reload","ok":true,"mode":%q,"hash":%q,"health":%q,"orgs":%d,"asns":%d,"theta":%.6f,"load_us":%d}`,
+		next.LoadMode(), next.ContentHash(), next.Health().Status,
+		next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta, d.Microseconds())
 	return next, nil
 }
 
@@ -460,38 +535,74 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LoadedAt      time.Time    `json:"loaded_at"`
 		AgeSeconds    float64      `json:"age_seconds"`
 		Health        Health       `json:"health"`
+		LoadMode      string       `json:"load_mode"`
+		ContentHash   string       `json:"content_hash"`
 	}{
 		Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
 		MultiASOrgs: st.MultiASOrgs, LargestOrg: st.LargestOrg,
 		SizeHistogram: hist, Source: snap.Source(),
-		LoadedAt:   snap.LoadedAt().UTC(),
-		AgeSeconds: s.opts.now().Sub(snap.LoadedAt()).Seconds(),
-		Health:     snap.Health(),
+		LoadedAt:    snap.LoadedAt().UTC(),
+		AgeSeconds:  s.opts.now().Sub(snap.LoadedAt()).Seconds(),
+		Health:      snap.Health(),
+		LoadMode:    snap.LoadMode(),
+		ContentHash: snap.ContentHash(),
 	})
 }
 
+// handleReload serves POST /admin/reload. ?mode=delta patches the
+// serving snapshot from the configured DeltaSource; the default (or
+// ?mode=full) replaces it from the configured snapshot source. The
+// response carries the published snapshot's content hash and load
+// mode so a fleet orchestrator can verify cross-replica consistency
+// from the reload call itself.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Source == nil && s.opts.HealthSource == nil {
-		writeError(w, http.StatusNotImplemented, "no reload source configured")
+	var snap *Snapshot
+	var err error
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "full":
+		if s.opts.Source == nil && s.opts.HealthSource == nil && s.opts.Prepared == nil {
+			writeError(w, http.StatusNotImplemented, "no reload source configured")
+			return
+		}
+		snap, err = s.Reload(r.Context())
+	case "delta":
+		if s.opts.DeltaSource == nil {
+			writeError(w, http.StatusNotImplemented, "no delta source configured")
+			return
+		}
+		snap, err = s.ReloadDelta(r.Context())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown reload mode %q", mode)
 		return
 	}
-	snap, err := s.Reload(r.Context())
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeRetryableError(w, http.StatusServiceUnavailable, time.Second,
 				"reload failed: %v", err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrDeltaMismatch) {
+			// The delta's base disagrees with the serving snapshot —
+			// the client should retry with a full artifact, not the
+			// same delta.
+			status = http.StatusConflict
+		}
+		writeError(w, status, "reload failed: %v", err)
 		return
 	}
 	st := snap.Stats()
 	writeJSON(w, http.StatusOK, struct {
-		Status string  `json:"status"`
-		Orgs   int     `json:"orgs"`
-		ASNs   int     `json:"asns"`
-		Theta  float64 `json:"theta"`
-	}{Status: "ok", Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta})
+		Status      string  `json:"status"`
+		Orgs        int     `json:"orgs"`
+		ASNs        int     `json:"asns"`
+		Theta       float64 `json:"theta"`
+		LoadMode    string  `json:"load_mode"`
+		ContentHash string  `json:"content_hash"`
+	}{
+		Status: "ok", Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
+		LoadMode: snap.LoadMode(), ContentHash: snap.ContentHash(),
+	})
 }
 
 // handleHealthz reports liveness plus the snapshot's provenance

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/snapbin"
+)
+
+// This file bridges Snapshot and the snapbin binary artifact format:
+// image() flattens a snapshot into the portable snapbin.Image,
+// WriteSnapshot/WriteSnapshotFile persist it, and LoadSnapshot/
+// LoadSnapshotFile reconstruct a serving snapshot from the decoded
+// sections — a few large reads plus slicing, no union-find replay, no
+// re-tokenization, no re-rendering.
+
+// image flattens the snapshot into its portable binary form. The
+// returned image aliases the snapshot's slices; callers must not
+// mutate it.
+func (s *Snapshot) image() *snapbin.Image {
+	keys, vals := s.mapping.RawIndex()
+	img := &snapbin.Image{
+		Source:       s.source,
+		LoadedAt:     s.loadedAt,
+		HealthStatus: s.health.Status,
+		Quarantined:  s.health.Quarantined,
+		HealthDetail: s.health.Detail,
+		Theta:        s.stats.Theta,
+		MultiASOrgs:  s.stats.MultiASOrgs,
+		LargestOrg:   s.stats.LargestOrg,
+		Clusters:     s.mapping.Clusters,
+		Keys:         keys,
+		Vals:         vals,
+		LowerNames:   s.lowerNames,
+		Tokens:       s.tokenList,
+		OrgBodies:    s.orgBodies,
+		ASTails:      s.asTails,
+	}
+	img.Histogram = make([]snapbin.Bucket, len(s.stats.SizeHistogram))
+	for i, b := range s.stats.SizeHistogram {
+		img.Histogram[i] = snapbin.Bucket{Lo: b.Lo, Hi: b.Hi, Orgs: b.Orgs}
+	}
+	img.Postings = make([][]int32, len(s.tokenList))
+	for i, tok := range s.tokenList {
+		ids := s.tokens[tok]
+		ps := make([]int32, len(ids))
+		for j, id := range ids {
+			ps[j] = int32(id)
+		}
+		img.Postings[i] = ps
+	}
+	return img
+}
+
+// snapshotFromImage reconstructs a serving snapshot from a decoded,
+// hash-verified image. cluster.Restore re-verifies index↔membership
+// correspondence, so a snapshot assembled here can never answer a
+// lookup its clusters disagree with.
+func snapshotFromImage(img *snapbin.Image, hash string) (*Snapshot, error) {
+	m, err := cluster.Restore(img.Clusters, img.Keys, img.Vals)
+	if err != nil {
+		return nil, fmt.Errorf("serve: binary snapshot: %w", err)
+	}
+	if m.NumASNs() == 0 || m.NumOrgs() == 0 {
+		return nil, fmt.Errorf("serve: refusing to serve an empty mapping (%d orgs, %d networks)",
+			m.NumOrgs(), m.NumASNs())
+	}
+	health := Health{
+		Status:      img.HealthStatus,
+		Quarantined: img.Quarantined,
+		Detail:      img.HealthDetail,
+	}
+	if health.Status == "" {
+		health.Status = HealthOK
+	}
+	n := len(m.Clusters)
+	s := &Snapshot{
+		mapping:     m,
+		lowerNames:  img.LowerNames,
+		orgBodies:   img.OrgBodies,
+		asTails:     img.ASTails,
+		source:      img.Source,
+		loadedAt:    img.LoadedAt,
+		health:      health,
+		loadMode:    LoadModeBinary,
+		contentHash: hash,
+	}
+	s.scratchPool.New = func() any {
+		return &searchScratch{bits: make([]uint64, (n+63)/64)}
+	}
+	s.tokenList = img.Tokens
+	s.tokens = make(map[string][]int, len(img.Tokens))
+	for i, tok := range img.Tokens {
+		ids := make([]int, len(img.Postings[i]))
+		for j, id := range img.Postings[i] {
+			ids[j] = int(id)
+		}
+		s.tokens[tok] = ids
+	}
+	s.stats = Stats{
+		Orgs:        m.NumOrgs(),
+		ASNs:        m.NumASNs(),
+		Theta:       img.Theta,
+		MultiASOrgs: img.MultiASOrgs,
+		LargestOrg:  img.LargestOrg,
+	}
+	s.stats.SizeHistogram = make([]SizeBucket, len(img.Histogram))
+	for i, b := range img.Histogram {
+		s.stats.SizeHistogram[i] = SizeBucket{Lo: b.Lo, Hi: b.Hi, Orgs: b.Orgs}
+	}
+	return s, nil
+}
+
+// WriteSnapshot encodes the snapshot as a snapbin artifact and
+// returns its content hash.
+func WriteSnapshot(w io.Writer, s *Snapshot) (string, error) {
+	return snapbin.Encode(w, s.image())
+}
+
+// WriteSnapshotFile atomically persists the snapshot as a snapbin
+// artifact at path (temp file, fsync, rename) and returns its content
+// hash.
+func WriteSnapshotFile(path string, s *Snapshot) (string, error) {
+	return snapbin.WriteFile(path, s.image())
+}
+
+// LoadSnapshot decodes a snapbin artifact from r into a serving
+// snapshot. The whole artifact is read into memory once; pre-rendered
+// bodies alias that buffer.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot artifact: %w", err)
+	}
+	img, hash, err := snapbin.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotFromImage(img, hash)
+}
+
+// LoadSnapshotFile decodes the snapbin artifact at path into a
+// serving snapshot.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	img, hash, err := snapbin.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotFromImage(img, hash)
+}
+
+// PreparedSource produces a ready-made snapshot — one already built,
+// loaded from a binary artifact, or patched from a predecessor —
+// where Source produces a mapping for the server to index itself.
+type PreparedSource func(ctx context.Context) (*Snapshot, error)
+
+// SnapshotFileSource serves snapshots from a file of either format:
+// if the file carries the snapbin magic it decodes the binary
+// artifact (milliseconds), otherwise it falls back to the JSONL
+// rebuild path (parse, union-find, tokenize, render). The sniff
+// happens on every call, so an operator can swap a JSONL file for a
+// binary artifact between reloads without restarting.
+func SnapshotFileSource(path string) PreparedSource {
+	return func(ctx context.Context) (*Snapshot, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if snapbin.SniffFile(path) {
+			return LoadSnapshotFile(path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := cluster.ReadJSONL(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading mapping from %s: %w", path, err)
+		}
+		return newSnapshotAt(m, path, Health{Status: HealthOK}, time.Now())
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/orgfactor"
+	"github.com/nu-aqualab/borges/internal/snapbin"
 )
 
 // SizeBucket is one bar of a snapshot's organization-size histogram.
@@ -128,7 +129,28 @@ type Snapshot struct {
 	source   string
 	loadedAt time.Time
 	health   Health
+
+	// loadMode records how the snapshot came to be (LoadModeFull,
+	// LoadModeBinary, LoadModeDelta); contentHash is the snapbin
+	// content hash of the snapshot's logical content, preset by the
+	// binary loader and computed on first use otherwise.
+	loadMode    string
+	contentHash string
+	hashOnce    sync.Once
 }
+
+// Load modes reported by /v1/stats and /admin/reload: how the serving
+// snapshot was produced.
+const (
+	// LoadModeFull: built from scratch (JSONL parse or pipeline run,
+	// then tokenize + pre-render).
+	LoadModeFull = "full"
+	// LoadModeBinary: decoded from a snapbin artifact, no rebuild.
+	LoadModeBinary = "binary"
+	// LoadModeDelta: patched incrementally from the previous snapshot
+	// by a mapping delta.
+	LoadModeDelta = "delta"
+)
 
 // NewSnapshot indexes a mapping for serving. The source string labels
 // where the mapping came from (a file path, "pipeline", "synthetic:…")
@@ -184,6 +206,7 @@ func newSnapshotWorkers(m *cluster.Mapping, source string, health Health, now ti
 		source:     source,
 		loadedAt:   now,
 		health:     health,
+		loadMode:   LoadModeFull,
 	}
 	s.scratchPool.New = func() any {
 		return &searchScratch{bits: make([]uint64, (n+63)/64)}
@@ -283,23 +306,36 @@ func (s *Snapshot) buildRange(sh *indexShard, lo, hi int) {
 				sh.tokens[tok] = append(ids, i)
 			}
 		}
-		buf.Reset()
-		if err := enc.Encode(orgToJSON(c)); err != nil {
-			sh.err = fmt.Errorf("org %d: %w", c.ID, err)
+		body, tail, err := renderBodies(c, &buf, enc)
+		if err != nil {
+			sh.err = err
 			return
 		}
-		org := buf.Bytes()
-		body := make([]byte, len(org), len(org)*2+len(asTailOrg)+len(asTailSiblings)+12*len(c.ASNs))
-		copy(body, org)
 		s.orgBodies[i] = body
-		tail := body[len(org):]
-		tail = append(tail, asTailOrg...)
-		tail = append(tail, org[:len(org)-1]...) // org JSON sans newline
-		tail = append(tail, asTailSiblings...)
-		tail = appendASNList(tail, c.ASNs)
-		tail = append(tail, '}', '\n')
 		s.asTails[i] = tail
 	}
+}
+
+// renderBodies pre-renders one cluster's /v1/org body (trailing
+// newline included) and /v1/as tail. buf and enc are reusable
+// scratch (enc must encode into buf with HTML escaping off). The
+// delta-patch path shares this with buildRange so an incrementally
+// rebuilt cluster is byte-identical to a from-scratch one.
+func renderBodies(c *cluster.Cluster, buf *bytes.Buffer, enc *json.Encoder) (body, tail []byte, err error) {
+	buf.Reset()
+	if err := enc.Encode(orgToJSON(c)); err != nil {
+		return nil, nil, fmt.Errorf("org %d: %w", c.ID, err)
+	}
+	org := buf.Bytes()
+	body = make([]byte, len(org), len(org)*2+len(asTailOrg)+len(asTailSiblings)+12*len(c.ASNs))
+	copy(body, org)
+	tail = body[len(org):]
+	tail = append(tail, asTailOrg...)
+	tail = append(tail, org[:len(org)-1]...) // org JSON sans newline
+	tail = append(tail, asTailSiblings...)
+	tail = appendASNList(tail, c.ASNs)
+	tail = append(tail, '}', '\n')
+	return body, tail, nil
 }
 
 // The /v1/as response is `{"asn":<n>` + asTails[cluster]:
@@ -393,6 +429,26 @@ func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
 
 // Health returns the provenance health the snapshot was built with.
 func (s *Snapshot) Health() Health { return s.health }
+
+// LoadMode reports how the snapshot was produced: LoadModeFull,
+// LoadModeBinary, or LoadModeDelta.
+func (s *Snapshot) LoadMode() string { return s.loadMode }
+
+// ContentHash returns the snapbin content hash of the snapshot's
+// logical content (hex SHA-256). Snapshots loaded from a binary
+// artifact carry the verified file hash; full builds and delta
+// patches compute it on first call — one streaming encode pass,
+// memoized for the snapshot's lifetime. Two snapshots hash equal iff
+// their serving content (mapping, indexes, pre-rendered bodies,
+// stats) is byte-identical, which is what a replica fleet compares.
+func (s *Snapshot) ContentHash() string {
+	s.hashOnce.Do(func() {
+		if s.contentHash == "" {
+			s.contentHash = snapbin.HashImage(s.image())
+		}
+	})
+	return s.contentHash
+}
 
 // Lookup returns the organization containing a, or nil when a is
 // unmapped. The lookup is a bounded binary search over the mapping's

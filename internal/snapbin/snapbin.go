@@ -1,0 +1,930 @@
+// Package snapbin defines the versioned binary snapshot format for
+// serving artifacts: a single self-describing file holding everything
+// internal/serve pre-computes at snapshot-build time — the packed
+// ASN→cluster index, cluster membership and interned names, the
+// token index with sorted posting lists, the pre-rendered /v1/org
+// bodies and /v1/as tails, and the θ/size-histogram statistics —
+// so a daemon cold-starts by decoding large flat sections instead of
+// re-parsing JSONL, replaying a union-find, re-tokenizing every name,
+// and re-encoding every response body.
+//
+// # File layout
+//
+// All integers are little-endian.
+//
+//	fixed header (64 bytes):
+//	  [ 0: 8]  magic "BORGSNAP"
+//	  [ 8:12]  format version (uint32, currently 1)
+//	  [12:16]  section count (uint32)
+//	  [16:24]  total file size (uint64) — cheap truncation check
+//	  [24:56]  SHA-256 content hash (see below)
+//	  [56:64]  reserved, zero
+//	section table: count × 20 bytes {id uint32, offset uint64, length uint64}
+//	section payloads, contiguous, in table order
+//
+// Sections must appear with strictly ascending IDs, contiguous
+// payloads (each offset is the previous end), and the last payload
+// ending exactly at the file size. Version 1 requires exactly the
+// sections declared below.
+//
+// # Content hash
+//
+// The hash covers the payload bytes of every section except
+// provenance, in table order. Provenance (source label, build time)
+// is operational metadata: two encodings of the same logical snapshot
+// — built on different machines, at different times, from a full
+// build or a delta patch — produce the same content hash, which is
+// what lets a replica fleet check cross-replica consistency and lets
+// the delta-reload guard assert byte-level equivalence with a
+// from-scratch build. The hash also rejects torn or corrupted
+// artifacts: a crashed half-written file fails the size or hash check
+// before anything is served.
+//
+// Decoding never trusts a length field before validating it against
+// the bytes actually present, so truncated or adversarial inputs
+// return typed errors instead of panicking or over-allocating.
+package snapbin
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/cluster"
+)
+
+// Magic identifies a snapbin artifact; it is the first 8 bytes of
+// every file and what SniffFile keys on.
+const Magic = "BORGSNAP"
+
+// Version is the format version this package writes and accepts.
+const Version = 1
+
+// Section IDs, in file order.
+const (
+	secProvenance = 1 // source label, build time (unhashed)
+	secStats      = 2 // θ, histogram, health
+	secClusters   = 3 // membership, names, lowercase names, features
+	secIndex      = 4 // packed ASN→cluster index
+	secTokens     = 5 // sorted tokens + posting lists
+	secOrgBodies  = 6 // pre-rendered /v1/org responses
+	secASTails    = 7 // pre-rendered /v1/as tails
+)
+
+var sectionIDs = []uint32{
+	secProvenance, secStats, secClusters, secIndex, secTokens, secOrgBodies, secASTails,
+}
+
+const (
+	headerSize       = 64
+	sectionEntrySize = 20
+)
+
+// Typed decode failures. Every decode error wraps exactly one of
+// these, so callers (and the fuzz harness) can distinguish a torn
+// file from a corrupted one from a format mismatch.
+var (
+	// ErrBadMagic: the file does not start with Magic.
+	ErrBadMagic = errors.New("snapbin: not a snapshot artifact (bad magic)")
+	// ErrVersion: the artifact declares a format version this build
+	// does not speak.
+	ErrVersion = errors.New("snapbin: unsupported format version")
+	// ErrTruncated: the file is shorter than its header claims — the
+	// signature of a crashed half-written artifact.
+	ErrTruncated = errors.New("snapbin: truncated artifact")
+	// ErrCorrupt: structural damage — a malformed section table, a
+	// length field pointing outside its section, an out-of-range ID.
+	ErrCorrupt = errors.New("snapbin: corrupt artifact")
+	// ErrHashMismatch: the content hash does not cover the payload
+	// bytes present; the artifact was altered or torn mid-section.
+	ErrHashMismatch = errors.New("snapbin: content hash mismatch")
+)
+
+// Bucket mirrors one bar of the serving layer's organization-size
+// histogram.
+type Bucket struct {
+	Lo, Hi, Orgs int
+}
+
+// Image is the portable, fully-decoded form of a serving snapshot —
+// every field internal/serve needs to reconstruct its Snapshot
+// without re-tokenizing or re-rendering. snapbin deliberately does
+// not import the serve package; serve converts in both directions.
+type Image struct {
+	// Provenance (excluded from the content hash).
+	Source   string
+	LoadedAt time.Time
+
+	// Health, as recorded by the producing run.
+	HealthStatus string
+	Quarantined  int
+	HealthDetail string
+
+	// Statistics.
+	Theta       float64
+	MultiASOrgs int
+	LargestOrg  int
+	Histogram   []Bucket
+
+	// Mapping: clusters in canonical order plus the packed index.
+	Clusters []cluster.Cluster
+	Keys     []asnum.ASN
+	Vals     []int32
+
+	// Search index: LowerNames[i] is the lowercase display name of
+	// cluster i; Tokens is sorted ascending with Postings parallel.
+	LowerNames []string
+	Tokens     []string
+	Postings   [][]int32
+
+	// Pre-rendered response bytes per cluster.
+	OrgBodies [][]byte
+	ASTails   [][]byte
+
+	// statOrgs/statASNs are the counts the stats section declared,
+	// held for the cross-section consistency check after decode.
+	statOrgs, statASNs int
+}
+
+// countingWriter tracks how many bytes a section writer produced.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+// sectionWriter serializes one section's payload.
+type sectionWriter func(w *countingWriter, img *Image) error
+
+var sectionWriters = map[uint32]sectionWriter{
+	secProvenance: writeProvenance,
+	secStats:      writeStats,
+	secClusters:   writeClusters,
+	secIndex:      writeIndex,
+	secTokens:     writeTokens,
+	secOrgBodies:  func(w *countingWriter, img *Image) error { return writeBlobs(w, img.OrgBodies) },
+	secASTails:    func(w *countingWriter, img *Image) error { return writeBlobs(w, img.ASTails) },
+}
+
+func putU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func putU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func putString(w io.Writer, s string) error {
+	if err := putU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeProvenance(w *countingWriter, img *Image) error {
+	if err := putString(w, img.Source); err != nil {
+		return err
+	}
+	return putU64(w, uint64(img.LoadedAt.UnixNano()))
+}
+
+func writeStats(w *countingWriter, img *Image) error {
+	if err := putU64(w, math.Float64bits(img.Theta)); err != nil {
+		return err
+	}
+	for _, v := range []uint32{
+		uint32(len(img.Clusters)), uint32(len(img.Keys)),
+		uint32(img.MultiASOrgs), uint32(img.LargestOrg),
+	} {
+		if err := putU32(w, v); err != nil {
+			return err
+		}
+	}
+	if err := putString(w, img.HealthStatus); err != nil {
+		return err
+	}
+	if err := putU32(w, uint32(img.Quarantined)); err != nil {
+		return err
+	}
+	if err := putString(w, img.HealthDetail); err != nil {
+		return err
+	}
+	if err := putU32(w, uint32(len(img.Histogram))); err != nil {
+		return err
+	}
+	for _, b := range img.Histogram {
+		for _, v := range []uint32{uint32(b.Lo), uint32(b.Hi), uint32(b.Orgs)} {
+			if err := putU32(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeClusters lays membership out columnar — counts, features,
+// name lengths, name bytes, lowercase variants, then one flat ASN
+// pool — so the decoder's inner loops run over homogeneous runs.
+func writeClusters(w *countingWriter, img *Image) error {
+	if err := putU32(w, uint32(len(img.Clusters))); err != nil {
+		return err
+	}
+	for i := range img.Clusters {
+		if err := putU32(w, uint32(len(img.Clusters[i].ASNs))); err != nil {
+			return err
+		}
+	}
+	feats := make([]byte, len(img.Clusters))
+	for i := range img.Clusters {
+		var b byte
+		for f := 0; f < cluster.NumFeatures; f++ {
+			if img.Clusters[i].Features[f] {
+				b |= 1 << f
+			}
+		}
+		feats[i] = b
+	}
+	if _, err := w.Write(feats); err != nil {
+		return err
+	}
+	for i := range img.Clusters {
+		if err := putString(w, img.Clusters[i].Name); err != nil {
+			return err
+		}
+	}
+	for _, s := range img.LowerNames {
+		if err := putString(w, s); err != nil {
+			return err
+		}
+	}
+	for i := range img.Clusters {
+		for _, a := range img.Clusters[i].ASNs {
+			if err := putU32(w, uint32(a)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeIndex(w *countingWriter, img *Image) error {
+	if err := putU32(w, uint32(len(img.Keys))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(img.Keys))
+	for i, a := range img.Keys {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(a))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i, v := range img.Vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	_, err := w.Write(buf[:4*len(img.Vals)])
+	return err
+}
+
+func writeTokens(w *countingWriter, img *Image) error {
+	if err := putU32(w, uint32(len(img.Tokens))); err != nil {
+		return err
+	}
+	for _, tok := range img.Tokens {
+		if err := putString(w, tok); err != nil {
+			return err
+		}
+	}
+	for _, ids := range img.Postings {
+		if err := putU32(w, uint32(len(ids))); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if err := putU32(w, uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeBlobs(w *countingWriter, blobs [][]byte) error {
+	if err := putU32(w, uint32(len(blobs))); err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		if err := putU32(w, uint32(len(b))); err != nil {
+			return err
+		}
+	}
+	for _, b := range blobs {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sectionLengths serializes every section to a counting sink to learn
+// payload sizes without materializing a second copy of the data.
+func sectionLengths(img *Image) ([]uint64, error) {
+	out := make([]uint64, len(sectionIDs))
+	for i, id := range sectionIDs {
+		cw := &countingWriter{w: io.Discard}
+		if err := sectionWriters[id](cw, img); err != nil {
+			return nil, err
+		}
+		out[i] = cw.n
+	}
+	return out, nil
+}
+
+// HashImage computes the content hash of an image: the hash the
+// encoded artifact would carry. Provenance is excluded by
+// construction, so the hash is a pure function of the snapshot's
+// logical content.
+func HashImage(img *Image) string {
+	h := sha256.New()
+	for _, id := range sectionIDs {
+		if id == secProvenance {
+			continue
+		}
+		// Writers only fail when the sink fails; a hash never does.
+		_ = sectionWriters[id](&countingWriter{w: h}, img)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Encode writes the artifact to w and returns its content hash. The
+// write is buffered and sequential: header, section table, then each
+// payload streamed once.
+func Encode(w io.Writer, img *Image) (string, error) {
+	lengths, err := sectionLengths(img)
+	if err != nil {
+		return "", err
+	}
+	tableSize := uint64(sectionEntrySize * len(sectionIDs))
+	offset := uint64(headerSize) + tableSize
+	total := offset
+	for _, n := range lengths {
+		total += n
+	}
+
+	header := make([]byte, headerSize, headerSize+tableSize)
+	copy(header, Magic)
+	binary.LittleEndian.PutUint32(header[8:], Version)
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(sectionIDs)))
+	binary.LittleEndian.PutUint64(header[16:], total)
+	for i, id := range sectionIDs {
+		var entry [sectionEntrySize]byte
+		binary.LittleEndian.PutUint32(entry[0:], id)
+		binary.LittleEndian.PutUint64(entry[4:], offset)
+		binary.LittleEndian.PutUint64(entry[12:], lengths[i])
+		header = append(header, entry[:]...)
+		offset += lengths[i]
+	}
+
+	digest := sha256.New()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	// The header is assembled before payloads stream, so the hash
+	// must be known first: run the hashed sections through the digest
+	// now, then stream everything.
+	for i, id := range sectionIDs {
+		if id == secProvenance {
+			continue
+		}
+		cw := &countingWriter{w: digest}
+		_ = sectionWriters[id](cw, img)
+		if cw.n != lengths[i] {
+			return "", fmt.Errorf("snapbin: section %d length drifted between passes", id)
+		}
+	}
+	sum := digest.Sum(nil)
+	copy(header[24:56], sum)
+	if _, err := bw.Write(header); err != nil {
+		return "", err
+	}
+	for _, id := range sectionIDs {
+		if err := sectionWriters[id](&countingWriter{w: bw}, img); err != nil {
+			return "", err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sum), nil
+}
+
+// WriteFile atomically persists the artifact at path: the bytes land
+// in a temporary file in the same directory, are fsynced, and only
+// then renamed over the destination — a crash mid-write leaves either
+// the previous artifact or a stray temp file, never a torn artifact
+// under the published name. The directory entry is fsynced after the
+// rename so the publish itself survives power loss.
+func WriteFile(path string, img *Image) (string, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	hash, err := Encode(f, img)
+	if err != nil {
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	tmp = "" // renamed; nothing to clean up
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return hash, nil
+}
+
+// reader is a bounds-checked cursor over one section's payload. Every
+// length it returns has already been proven to fit in the remaining
+// bytes, so callers can allocate without an OOM risk from adversarial
+// counts.
+type reader struct {
+	buf []byte
+	pos int
+	sec uint32
+}
+
+func (r *reader) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: section %d: %s", ErrCorrupt, r.sec, fmt.Sprintf(format, args...))
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, r.fail("truncated uint32 at offset %d", r.pos)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, r.fail("truncated uint64 at offset %d", r.pos)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+// count reads an element count and validates count*elemSize against
+// the remaining payload before the caller allocates.
+func (r *reader) count(elemSize int) (int, error) {
+	v, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n < 0 || elemSize > 0 && n > r.remaining()/elemSize {
+		return 0, r.fail("count %d exceeds %d remaining bytes", n, r.remaining())
+	}
+	return n, nil
+}
+
+// bytes returns the next n raw bytes as a subslice (no copy).
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, r.fail("%d bytes requested, %d remaining", n, r.remaining())
+	}
+	b := r.buf[r.pos : r.pos+n : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) done() error {
+	if r.pos != len(r.buf) {
+		return r.fail("%d trailing bytes", r.remaining())
+	}
+	return nil
+}
+
+// Decode parses an artifact held fully in memory and returns the
+// image plus its verified content hash. Pre-rendered bodies are
+// returned as zero-copy subslices of data, so the caller keeps data
+// alive for the image's lifetime — exactly the behaviour a loaded
+// snapshot wants, one backing array instead of a million small ones.
+func Decode(data []byte) (*Image, string, error) {
+	if len(data) < headerSize {
+		return nil, "", fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:8]) != Magic {
+		return nil, "", ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, "", fmt.Errorf("%w: file declares version %d, this build speaks %d", ErrVersion, v, Version)
+	}
+	count := binary.LittleEndian.Uint32(data[12:])
+	size := binary.LittleEndian.Uint64(data[16:])
+	if size > uint64(len(data)) {
+		return nil, "", fmt.Errorf("%w: header declares %d bytes, file has %d", ErrTruncated, size, len(data))
+	}
+	if size < uint64(len(data)) {
+		return nil, "", fmt.Errorf("%w: %d bytes beyond the declared size %d", ErrCorrupt, uint64(len(data))-size, size)
+	}
+	if int(count) != len(sectionIDs) {
+		return nil, "", fmt.Errorf("%w: %d sections declared, version %d has %d", ErrCorrupt, count, Version, len(sectionIDs))
+	}
+	tableEnd := uint64(headerSize) + uint64(sectionEntrySize)*uint64(count)
+	if tableEnd > size {
+		return nil, "", fmt.Errorf("%w: section table overruns file", ErrTruncated)
+	}
+
+	type section struct {
+		id      uint32
+		payload []byte
+	}
+	sections := make([]section, count)
+	next := tableEnd
+	for i := range sections {
+		entry := data[headerSize+sectionEntrySize*i:]
+		id := binary.LittleEndian.Uint32(entry[0:])
+		off := binary.LittleEndian.Uint64(entry[4:])
+		length := binary.LittleEndian.Uint64(entry[12:])
+		if id != sectionIDs[i] {
+			return nil, "", fmt.Errorf("%w: section %d has id %d, want %d", ErrCorrupt, i, id, sectionIDs[i])
+		}
+		if off != next || length > size-off {
+			return nil, "", fmt.Errorf("%w: section %d spans [%d,%d+%d) outside contiguous layout", ErrCorrupt, id, off, off, length)
+		}
+		sections[i] = section{id: id, payload: data[off : off+length : off+length]}
+		next = off + length
+	}
+	if next != size {
+		return nil, "", fmt.Errorf("%w: sections end at %d, file size is %d", ErrCorrupt, next, size)
+	}
+
+	digest := sha256.New()
+	for _, s := range sections {
+		if s.id != secProvenance {
+			digest.Write(s.payload)
+		}
+	}
+	sum := digest.Sum(nil)
+	if string(sum) != string(data[24:56]) {
+		return nil, "", ErrHashMismatch
+	}
+
+	img := &Image{}
+	for _, s := range sections {
+		r := &reader{buf: s.payload, sec: s.id}
+		var err error
+		switch s.id {
+		case secProvenance:
+			err = readProvenance(r, img)
+		case secStats:
+			err = readStats(r, img)
+		case secClusters:
+			err = readClusters(r, img)
+		case secIndex:
+			err = readIndex(r, img)
+		case secTokens:
+			err = readTokens(r, img)
+		case secOrgBodies:
+			img.OrgBodies, err = readBlobs(r)
+		case secASTails:
+			img.ASTails, err = readBlobs(r)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		if err := r.done(); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := crossCheck(img); err != nil {
+		return nil, "", err
+	}
+	return img, hex.EncodeToString(sum), nil
+}
+
+func readProvenance(r *reader, img *Image) error {
+	var err error
+	if img.Source, err = r.str(); err != nil {
+		return err
+	}
+	ns, err := r.u64()
+	if err != nil {
+		return err
+	}
+	img.LoadedAt = time.Unix(0, int64(ns))
+	return nil
+}
+
+func readStats(r *reader, img *Image) error {
+	bits, err := r.u64()
+	if err != nil {
+		return err
+	}
+	img.Theta = math.Float64frombits(bits)
+	orgs, err := r.u32()
+	if err != nil {
+		return err
+	}
+	asns, err := r.u32()
+	if err != nil {
+		return err
+	}
+	// The counts are cross-checked against the cluster and index
+	// sections once every section has decoded.
+	img.statOrgs, img.statASNs = int(orgs), int(asns)
+	multi, err := r.u32()
+	if err != nil {
+		return err
+	}
+	largest, err := r.u32()
+	if err != nil {
+		return err
+	}
+	img.MultiASOrgs, img.LargestOrg = int(multi), int(largest)
+	if img.HealthStatus, err = r.str(); err != nil {
+		return err
+	}
+	q, err := r.u32()
+	if err != nil {
+		return err
+	}
+	img.Quarantined = int(q)
+	if img.HealthDetail, err = r.str(); err != nil {
+		return err
+	}
+	nb, err := r.count(12)
+	if err != nil {
+		return err
+	}
+	img.Histogram = make([]Bucket, nb)
+	for i := range img.Histogram {
+		lo, err := r.u32()
+		if err != nil {
+			return err
+		}
+		hi, err := r.u32()
+		if err != nil {
+			return err
+		}
+		orgs, err := r.u32()
+		if err != nil {
+			return err
+		}
+		img.Histogram[i] = Bucket{Lo: int(lo), Hi: int(hi), Orgs: int(orgs)}
+	}
+	return nil
+}
+
+func readClusters(r *reader, img *Image) error {
+	n, err := r.count(4)
+	if err != nil {
+		return err
+	}
+	counts := make([]uint32, n)
+	total := 0
+	for i := range counts {
+		c, err := r.u32()
+		if err != nil {
+			return err
+		}
+		counts[i] = c
+		total += int(c)
+	}
+	featBytes, err := r.bytes(n)
+	if err != nil {
+		return err
+	}
+	img.Clusters = make([]cluster.Cluster, n)
+	for i := range img.Clusters {
+		img.Clusters[i].ID = i
+		for f := 0; f < cluster.NumFeatures; f++ {
+			img.Clusters[i].Features[f] = featBytes[i]&(1<<f) != 0
+		}
+	}
+	for i := range img.Clusters {
+		if img.Clusters[i].Name, err = r.str(); err != nil {
+			return err
+		}
+	}
+	img.LowerNames = make([]string, n)
+	for i := range img.LowerNames {
+		if img.LowerNames[i], err = r.str(); err != nil {
+			return err
+		}
+	}
+	if total > r.remaining()/4 {
+		return r.fail("ASN pool needs %d entries, %d bytes remain", total, r.remaining())
+	}
+	pool := make([]asnum.ASN, total)
+	raw, err := r.bytes(4 * total)
+	if err != nil {
+		return err
+	}
+	for i := range pool {
+		pool[i] = asnum.ASN(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	off := 0
+	for i := range img.Clusters {
+		c := int(counts[i])
+		img.Clusters[i].ASNs = pool[off : off+c : off+c]
+		off += c
+	}
+	return nil
+}
+
+func readIndex(r *reader, img *Image) error {
+	n, err := r.count(8)
+	if err != nil {
+		return err
+	}
+	raw, err := r.bytes(8 * n)
+	if err != nil {
+		return err
+	}
+	img.Keys = make([]asnum.ASN, n)
+	img.Vals = make([]int32, n)
+	for i := 0; i < n; i++ {
+		img.Keys[i] = asnum.ASN(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	vals := raw[4*n:]
+	for i := 0; i < n; i++ {
+		img.Vals[i] = int32(binary.LittleEndian.Uint32(vals[4*i:]))
+	}
+	return nil
+}
+
+func readTokens(r *reader, img *Image) error {
+	n, err := r.count(5) // each token: length prefix + ≥0 bytes + posting count
+	if err != nil {
+		return err
+	}
+	img.Tokens = make([]string, n)
+	for i := range img.Tokens {
+		if img.Tokens[i], err = r.str(); err != nil {
+			return err
+		}
+		if i > 0 && img.Tokens[i-1] >= img.Tokens[i] {
+			return r.fail("tokens not strictly ascending at %d", i)
+		}
+	}
+	img.Postings = make([][]int32, n)
+	for i := range img.Postings {
+		c, err := r.count(4)
+		if err != nil {
+			return err
+		}
+		raw, err := r.bytes(4 * c)
+		if err != nil {
+			return err
+		}
+		ids := make([]int32, c)
+		for j := range ids {
+			ids[j] = int32(binary.LittleEndian.Uint32(raw[4*j:]))
+		}
+		img.Postings[i] = ids
+	}
+	return nil
+}
+
+func readBlobs(r *reader) ([][]byte, error) {
+	n, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	lens := make([]uint32, n)
+	var total uint64
+	for i := range lens {
+		l, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		lens[i] = l
+		total += uint64(l)
+	}
+	if total > uint64(r.remaining()) {
+		return nil, r.fail("blobs need %d bytes, %d remain", total, r.remaining())
+	}
+	out := make([][]byte, n)
+	for i, l := range lens {
+		b, err := r.bytes(int(l))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// crossCheck validates the relationships between sections that no
+// single section decoder can see: declared counts agree, per-cluster
+// arrays are parallel, and every posting or index val names a real
+// cluster. Membership-level verification (index ↔ cluster ASNs) is
+// cluster.Restore's job; this keeps slice indexing in the serving
+// layer provably in-bounds.
+func crossCheck(img *Image) error {
+	n := len(img.Clusters)
+	if img.statOrgs != n {
+		return fmt.Errorf("%w: stats declare %d orgs, clusters section has %d", ErrCorrupt, img.statOrgs, n)
+	}
+	if img.statASNs != len(img.Keys) {
+		return fmt.Errorf("%w: stats declare %d networks, index has %d", ErrCorrupt, img.statASNs, len(img.Keys))
+	}
+	if len(img.Vals) != len(img.Keys) {
+		return fmt.Errorf("%w: %d index keys but %d vals", ErrCorrupt, len(img.Keys), len(img.Vals))
+	}
+	if len(img.LowerNames) != n || len(img.OrgBodies) != n || len(img.ASTails) != n {
+		return fmt.Errorf("%w: per-cluster arrays disagree: %d clusters, %d names, %d bodies, %d tails",
+			ErrCorrupt, n, len(img.LowerNames), len(img.OrgBodies), len(img.ASTails))
+	}
+	for i, v := range img.Vals {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("%w: index val %d out of range at %d", ErrCorrupt, v, i)
+		}
+	}
+	for ti, ids := range img.Postings {
+		for j, id := range ids {
+			if id < 0 || int(id) >= n {
+				return fmt.Errorf("%w: token %q posting %d out of range", ErrCorrupt, img.Tokens[ti], id)
+			}
+			if j > 0 && ids[j-1] >= id {
+				return fmt.Errorf("%w: token %q postings not strictly ascending", ErrCorrupt, img.Tokens[ti])
+			}
+		}
+	}
+	return nil
+}
+
+// ReadFile loads and decodes an artifact. The file is read once into
+// memory; the returned image's byte slices alias that buffer.
+func ReadFile(path string) (*Image, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return Decode(data)
+}
+
+// SniffFile reports whether path starts with the snapbin magic — the
+// cheap test a source uses to prefer the binary load path over a
+// JSONL rebuild.
+func SniffFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	return string(head[:]) == Magic
+}
