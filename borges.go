@@ -335,6 +335,11 @@ type (
 	// in-flight count, adaptive limit, queue depth, sheds by class,
 	// rate-limit refusals, bucket evictions, brownouts.
 	AdmissionStats = admission.Stats
+	// WatchEvent is one /v1/watch stream event: a snapshot swap
+	// described by its sequence number, the new snapshot's identity
+	// (load mode, content hash, org/ASN counts), and the MappingDelta
+	// edit script that produced it.
+	WatchEvent = serve.WatchEvent
 )
 
 // Snapshot health status values.
@@ -421,9 +426,10 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) { return serve.LoadSnapshot(r)
 func LoadSnapshotFile(path string) (*Snapshot, error) { return serve.LoadSnapshotFile(path) }
 
 // Serve listens on addr and serves the snapshot's JSON lookup API
-// (/v1/as/{asn}, /v1/org/{id}, /v1/search, /v1/stats, /admin/reload,
-// /healthz, /metrics) until ctx is cancelled, then drains in-flight
-// requests and shuts down gracefully.
+// (/v1/as/{asn}, /v1/org/{id}, /v1/search, /v1/bulk, /v1/watch,
+// /v1/stats, /admin/reload, /healthz, /metrics) until ctx is
+// cancelled, then drains in-flight requests — ending /v1/watch
+// streams cleanly first — and shuts down gracefully.
 func Serve(ctx context.Context, addr string, snap *Snapshot, opts ServeOptions) error {
 	return serve.Serve(ctx, addr, snap, opts)
 }

@@ -1,0 +1,379 @@
+// Package client is the Go client for a borgesd AS-to-Organization
+// server. It speaks the high-throughput surfaces: point lookups are
+// transparently coalesced into /v1/bulk frames (one HTTP round-trip
+// answers hundreds of concurrent Lookup calls), explicit Bulk calls
+// stream arbitrarily large ASN lists, and Watch follows the /v1/watch
+// change stream with automatic resume after a disconnect.
+//
+// Every request honors the server's overload protocol: 429/503
+// responses carry Retry-After hints which the client's backoff
+// consumes verbatim (see internal/resilience), so a shedding server
+// sees clients spread out instead of hammering through the collapse.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/resilience"
+)
+
+// ErrUnmapped reports that an ASN is valid but absent from the serving
+// mapping.
+var ErrUnmapped = errors.New("client: ASN not in mapping")
+
+// ErrClosed reports a call on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Org is one organization as the server renders it.
+type Org struct {
+	ID       int      `json:"org"`
+	Name     string   `json:"name"`
+	Size     int      `json:"size"`
+	ASNs     []uint32 `json:"asns"`
+	Features []string `json:"features"`
+}
+
+// Result is one decoded /v1/bulk response line. Exactly one of Org or
+// ErrorMsg is set; Line is only set on malformed-input errors (where
+// the server has no ASN to echo back).
+type Result struct {
+	ASN      uint32   `json:"asn"`
+	Org      *Org     `json:"org"`
+	Siblings []uint32 `json:"siblings"`
+	ErrorMsg string   `json:"error"`
+	Line     int64    `json:"line"`
+}
+
+// Err maps the per-line error object to a Go error: nil for hits,
+// ErrUnmapped for known-absent ASNs, a descriptive error otherwise.
+func (r *Result) Err() error {
+	switch r.ErrorMsg {
+	case "":
+		return nil
+	case "unmapped":
+		return ErrUnmapped
+	default:
+		return fmt.Errorf("client: server error: %s", r.ErrorMsg)
+	}
+}
+
+// Config tunes a Client. Only BaseURL is required.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// APIKey, when set, is sent as X-Api-Key so the server's
+	// per-client rate limiting keys on it rather than the IP.
+	APIKey string
+	// MaxBatch caps how many coalesced Lookup calls ride in one
+	// /v1/bulk frame (default 512).
+	MaxBatch int
+	// BatchDelay is how long the batcher lingers after the first
+	// queued lookup to let a frame fill (default 2ms). Latency cost
+	// for throughput: at high call rates frames fill before the timer.
+	BatchDelay time.Duration
+	// MaxAttempts bounds attempts per frame including retries of
+	// 429/503/transport faults (default 4).
+	MaxAttempts int
+	// RetryBaseDelay is the first backoff when the server provided no
+	// Retry-After hint (default 250ms).
+	RetryBaseDelay time.Duration
+	// RetrySeed makes retry jitter deterministic in tests (0 = fixed
+	// default seed).
+	RetrySeed int64
+	// sleepFn overrides backoff sleeping in tests.
+	sleepFn func(ctx context.Context, d time.Duration) error
+}
+
+// Client is a borgesd API client. It is safe for concurrent use; the
+// zero value is not usable — construct with New and release the
+// batcher with Close.
+type Client struct {
+	cfg    Config
+	http   *http.Client
+	policy *resilience.Policy
+
+	queue chan *pending
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed when the batcher exits
+	cancel context.CancelFunc
+}
+
+// pending is one queued Lookup awaiting a bulk frame.
+type pending struct {
+	asn   uint32
+	reply chan lookupReply
+}
+
+type lookupReply struct {
+	org *Org
+	err error
+}
+
+// New returns a client for the server at cfg.BaseURL and starts its
+// background batcher.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 2 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 250 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		cfg:  cfg,
+		http: hc,
+		policy: &resilience.Policy{
+			MaxAttempts: cfg.MaxAttempts,
+			BaseDelay:   cfg.RetryBaseDelay,
+			Seed:        cfg.RetrySeed,
+			SleepFn:     cfg.sleepFn,
+		},
+		queue:  make(chan *pending, 4*cfg.MaxBatch),
+		done:   make(chan struct{}),
+		cancel: cancel,
+	}
+	go c.batchLoop(ctx)
+	return c, nil
+}
+
+// Close stops the background batcher. Queued lookups fail with
+// ErrClosed; in-flight frames are abandoned.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	<-c.done
+}
+
+// Lookup resolves one ASN. Concurrent Lookup calls are coalesced into
+// shared /v1/bulk frames — point-lookup ergonomics at bulk throughput.
+// An absent ASN returns ErrUnmapped.
+func (c *Client) Lookup(ctx context.Context, asn uint32) (*Org, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	p := &pending{asn: asn, reply: make(chan lookupReply, 1)}
+	select {
+	case c.queue <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, ErrClosed
+	}
+	select {
+	case rep := <-p.reply:
+		return rep.org, rep.err
+	case <-ctx.Done():
+		// The frame will still resolve; its reply lands in the
+		// buffered channel and is garbage collected with it.
+		return nil, ctx.Err()
+	}
+}
+
+// batchLoop drains the queue into /v1/bulk frames: the first pending
+// lookup opens a frame, which ships once it holds MaxBatch lookups or
+// BatchDelay elapses, whichever is first.
+func (c *Client) batchLoop(ctx context.Context) {
+	defer close(c.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		var first *pending
+		select {
+		case first = <-c.queue:
+		case <-ctx.Done():
+			c.failQueued(ErrClosed)
+			return
+		}
+		frame := append(make([]*pending, 0, c.cfg.MaxBatch), first)
+		timer.Reset(c.cfg.BatchDelay)
+	fill:
+		for len(frame) < c.cfg.MaxBatch {
+			select {
+			case p := <-c.queue:
+				frame = append(frame, p)
+			case <-timer.C:
+				break fill
+			case <-ctx.Done():
+				for _, p := range frame {
+					p.reply <- lookupReply{err: ErrClosed}
+				}
+				c.failQueued(ErrClosed)
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		c.dispatch(ctx, frame)
+	}
+}
+
+// failQueued drains any still-queued pendings with err.
+func (c *Client) failQueued(err error) {
+	for {
+		select {
+		case p := <-c.queue:
+			p.reply <- lookupReply{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch ships one frame as a /v1/bulk request and distributes the
+// per-line results positionally: the server guarantees one output
+// line per input line, in input order.
+func (c *Client) dispatch(ctx context.Context, frame []*pending) {
+	asns := make([]uint32, len(frame))
+	for i, p := range frame {
+		asns[i] = p.asn
+	}
+	results, err := c.Bulk(ctx, asns)
+	if err == nil && len(results) != len(frame) {
+		err = fmt.Errorf("client: bulk returned %d lines for %d lookups", len(results), len(frame))
+	}
+	if err != nil {
+		for _, p := range frame {
+			p.reply <- lookupReply{err: err}
+		}
+		return
+	}
+	for i, p := range frame {
+		r := results[i]
+		p.reply <- lookupReply{org: r.Org, err: r.Err()}
+	}
+}
+
+// Bulk resolves a list of ASNs in one /v1/bulk round-trip, returning
+// one Result per input in input order. Refusals (429/503) and
+// transport faults are retried under the client's policy, honoring
+// the server's Retry-After hints.
+func (c *Client) Bulk(ctx context.Context, asns []uint32) ([]Result, error) {
+	var body bytes.Buffer
+	body.Grow(8 * len(asns))
+	for _, a := range asns {
+		b := strconv.AppendUint(body.AvailableBuffer(), uint64(a), 10)
+		body.Write(append(b, '\n'))
+	}
+	var results []Result
+	err := c.policy.Do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/bulk", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		c.setAuth(req)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return resilience.MarkTransient(err)
+		}
+		defer resp.Body.Close()
+		if err := checkStatus(resp); err != nil {
+			return err
+		}
+		results, err = decodeNDJSON(resp.Body, len(asns))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// setAuth attaches the configured API key.
+func (c *Client) setAuth(req *http.Request) {
+	if c.cfg.APIKey != "" {
+		req.Header.Set("X-Api-Key", c.cfg.APIKey)
+	}
+}
+
+// checkStatus turns a non-200 response into an error; 429/503 become
+// transient StatusErrors carrying the server's Retry-After hint so the
+// retry policy backs off exactly as long as the server asked.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	// Drain so the connection can be reused after the error.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return &resilience.StatusError{
+			Code:       resp.StatusCode,
+			RetryAfter: resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+		}
+	}
+	return fmt.Errorf("client: server returned %s", resp.Status)
+}
+
+// decodeNDJSON parses a bulk response stream. sizeHint is the expected
+// line count (capacity only, not enforced).
+func decodeNDJSON(r io.Reader, sizeHint int) ([]Result, error) {
+	results := make([]Result, 0, sizeHint)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("client: bad bulk response line: %w", err)
+		}
+		if res.ErrorMsg != "" && !bytes.Contains(line, []byte(`"asn"`)) && !bytes.Contains(line, []byte(`"line"`)) {
+			// A terminal stream error ({"error":"line cap exceeded"} /
+			// {"error":"body too large"}) rather than a per-line object,
+			// which always echoes the ASN or the input line number.
+			return nil, fmt.Errorf("client: bulk stream ended: %s", res.ErrorMsg)
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, resilience.MarkTransient(fmt.Errorf("client: bulk stream: %w", err))
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/nu-aqualab/borges/internal/resilience"
+	"github.com/nu-aqualab/borges/internal/serve"
+)
+
+// WatchEvent is one snapshot-change event from /v1/watch: the new
+// snapshot's identity plus the mapdiff edit script that produced it.
+type WatchEvent = serve.WatchEvent
+
+// Watch follows the server's /v1/watch change stream, invoking fn for
+// every reload event in order. It reconnects after disconnects and
+// server restarts, resuming from the last delivered sequence number
+// via ?since= so no event is delivered twice and none is silently
+// skipped while the server's replay ring covers the gap. Watch
+// returns when ctx is cancelled (ctx.Err()) or fn returns a non-nil
+// error (that error).
+//
+// since is the sequence number to resume after; 0 starts from the
+// next change.
+func (c *Client) Watch(ctx context.Context, since uint64, fn func(ev *WatchEvent) error) error {
+	backoff := c.cfg.RetryBaseDelay
+	last := since
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		delivered, err := c.watchOnce(ctx, last, fn, &last)
+		if err != nil && ctx.Err() == nil {
+			if fnErr, ok := err.(*watchCallbackError); ok {
+				return fnErr.err
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Disconnected (server restart, eviction, network). Back off —
+		// honoring any Retry-After the refusal carried — and resume.
+		wait := backoff
+		if hint, ok := resilience.RetryAfterOf(err); ok {
+			wait = hint
+		}
+		if serr := resilience.Sleep(ctx, wait); serr != nil {
+			return serr
+		}
+		if delivered {
+			backoff = c.cfg.RetryBaseDelay // reset after a healthy stream
+		} else if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// watchCallbackError wraps an error returned by the subscriber's fn,
+// distinguishing "stop watching" from transport failures.
+type watchCallbackError struct{ err error }
+
+func (e *watchCallbackError) Error() string { return e.err.Error() }
+
+// watchOnce runs one /v1/watch connection until it drops, delivering
+// events to fn and advancing *last. delivered reports whether any
+// event arrived (used to reset the reconnect backoff).
+func (c *Client) watchOnce(ctx context.Context, since uint64, fn func(ev *WatchEvent) error, last *uint64) (delivered bool, err error) {
+	url := c.cfg.BaseURL + "/v1/watch"
+	if since > 0 {
+		url += "?since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	c.setAuth(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, resilience.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return false, err
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line terminates one SSE event.
+			if event == "reload" && len(data) > 0 {
+				var ev WatchEvent
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return delivered, fmt.Errorf("client: bad watch event: %w", err)
+				}
+				if ev.Seq > *last {
+					if err := fn(&ev); err != nil {
+						return delivered, &watchCallbackError{err: err}
+					}
+					*last = ev.Seq
+					delivered = true
+				}
+			}
+			event, data = "", nil
+		case len(line) > 7 && line[:7] == "event: ":
+			event = line[7:]
+		case len(line) > 6 && line[:6] == "data: ":
+			data = append([]byte(nil), line[6:]...)
+		default:
+			// id: lines and ": keepalive" comments need no handling —
+			// the sequence number rides inside the event JSON.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, resilience.MarkTransient(err)
+	}
+	return delivered, nil // clean EOF: server shut the stream down
+}

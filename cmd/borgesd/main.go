@@ -29,6 +29,13 @@
 //	GET  /v1/as/{asn}     organization, siblings, contributing features
 //	GET  /v1/org/{id}     one organization by cluster ID
 //	GET  /v1/search?name= case-insensitive organization-name search
+//	POST /v1/bulk         NDJSON stream of lookups (one ASN or {"asn":N}
+//	                      per line in, one result per line out), served
+//	                      from one pinned snapshot; -bulk-max-lines and
+//	                      -max-body-bytes bound a request
+//	GET  /v1/watch        SSE stream of cluster-membership changes (the
+//	                      mapdiff edit script of each reload); ?since=
+//	                      resumes after a disconnect
 //	GET  /v1/stats        θ, org/ASN counts, size histogram
 //	POST /admin/reload    re-read -mapping (or re-run the pipeline)
 //	GET  /healthz         liveness + snapshot age + degraded/ok run health
@@ -84,13 +91,23 @@ func main() {
 	targetLatency := flag.Duration("target-latency", 150*time.Millisecond, "latency target steering the adaptive concurrency limit")
 	shedSearchFirst := flag.Bool("shed-search-first", true, "shed /v1/search before point lookups under overload (search also browns out under pressure)")
 	buildWorkers := flag.Int("build-workers", 0, "workers indexing and pre-rendering each reloaded snapshot (0 = GOMAXPROCS); lower to reduce CPU contention with serving traffic during reloads")
+	bulkMaxLines := flag.Int("bulk-max-lines", 0, "max input lines per /v1/bulk request (0 = default 1048576)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "max request body bytes on body-reading endpoints (0 = default 64 MiB)")
+	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber /v1/watch event queue depth; a subscriber this many reloads behind is evicted (0 = default 64)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := borges.ServeOptions{RequestTimeout: *timeout, EnablePprof: *pprof, BuildWorkers: *buildWorkers}
+	opts := borges.ServeOptions{
+		RequestTimeout: *timeout,
+		EnablePprof:    *pprof,
+		BuildWorkers:   *buildWorkers,
+		BulkMaxLines:   *bulkMaxLines,
+		MaxBodyBytes:   *maxBodyBytes,
+		WatchBuffer:    *watchBuffer,
+	}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}

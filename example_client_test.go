@@ -1,0 +1,75 @@
+package borges_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+
+	borges "github.com/nu-aqualab/borges"
+	"github.com/nu-aqualab/borges/client"
+)
+
+// ExampleClient enriches ASNs through the Go client package: Lookup
+// calls are transparently coalesced into /v1/bulk frames, and Bulk
+// ships a whole slice in one streaming round-trip, preserving input
+// order with per-line errors.
+func ExampleClient() {
+	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: 7, Scale: 0.02})
+	if err != nil {
+		panic(err)
+	}
+	res, err := borges.Run(context.Background(), borges.Inputs{
+		WHOIS:     ds.WHOIS,
+		PDB:       ds.PDB,
+		Transport: ds.Web,
+		Provider:  borges.NewSimulatedLLM(),
+	}, borges.Options{})
+	if err != nil {
+		panic(err)
+	}
+	snap, err := borges.NewSnapshot(res.Mapping, "pipeline")
+	if err != nil {
+		panic(err)
+	}
+	srv, err := borges.NewLookupServer(snap, borges.ServeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c, err := client.New(client.Config{BaseURL: ts.URL})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+
+	// Point lookups ride shared bulk frames behind the scenes; the
+	// Edgecast/Limelight consolidation (Figure 9) resolves to one
+	// organization.
+	edgecast, err := c.Lookup(ctx, 15133)
+	if err != nil {
+		panic(err)
+	}
+	limelight, err := c.Lookup(ctx, 22822)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same organization:", edgecast.ID == limelight.ID)
+
+	// Bulk resolves a slice in one request; results keep input order
+	// and carry per-line errors instead of failing the whole batch.
+	results, err := c.Bulk(ctx, []uint32{15133, 4200000000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("mapped:", results[0].Err() == nil)
+	fmt.Println("unmapped:", errors.Is(results[1].Err(), client.ErrUnmapped))
+	// Output:
+	// same organization: true
+	// mapped: true
+	// unmapped: true
+}

@@ -54,6 +54,16 @@ const (
 	// first and never queue while ShedSearchFirst is set, and brown
 	// out (capped, cheaper serving) under pressure short of shedding.
 	Search
+	// Bulk requests (/v1/bulk) stream thousands of lookups in one
+	// call: each holds exactly one limiter slot for its whole
+	// duration, never queues, and sheds as soon as the limiter is
+	// saturated — before Point (which may queue for a slot) but after
+	// Search (which additionally browns out and sheds under
+	// ShedSearchFirst pressure). A bulk completion does not feed the
+	// AIMD controller: its latency is a function of request size, not
+	// service health, and one long stream must not be read as a
+	// latency regression that collapses the limit.
+	Bulk
 )
 
 // String names the class for metrics labels.
@@ -65,6 +75,8 @@ func (c Class) String() string {
 		return "point"
 	case Search:
 		return "search"
+	case Bulk:
+		return "bulk"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -162,10 +174,11 @@ type Stats struct {
 	Inflight   int
 	Limit      float64
 	QueueDepth int
-	// ShedPoint and ShedSearch count load-shed refusals by class;
-	// QueueTimeouts counts queued requests whose deadline fired.
+	// ShedPoint, ShedSearch, and ShedBulk count load-shed refusals by
+	// class; QueueTimeouts counts queued requests whose deadline fired.
 	ShedPoint     int64
 	ShedSearch    int64
+	ShedBulk      int64
 	QueueTimeouts int64
 	// RateLimited counts per-client 429 refusals; BucketEvictions
 	// counts LRU evictions of idle client buckets.
@@ -185,6 +198,7 @@ type Controller struct {
 
 	shedPoint     atomic.Int64
 	shedSearch    atomic.Int64
+	shedBulk      atomic.Int64
 	queueTimeouts atomic.Int64
 	rateLimited   atomic.Int64
 	brownouts     atomic.Int64
@@ -232,6 +246,8 @@ func (c *Controller) Admit(ctx context.Context, class Class, client string) (rel
 		switch class {
 		case Search:
 			c.shedSearch.Add(1)
+		case Bulk:
+			c.shedBulk.Add(1)
 		default:
 			c.shedPoint.Add(1)
 		}
@@ -244,7 +260,10 @@ func (c *Controller) Admit(ctx context.Context, class Class, client string) (rel
 			Reason:     reason,
 		}
 	}
-	return func(latency time.Duration) { c.lim.release(latency, true) }, Decision{Admitted: true}
+	// Bulk completions return their slot without steering AIMD (see
+	// the Bulk class comment).
+	observe := class != Bulk
+	return func(latency time.Duration) { c.lim.release(latency, observe) }, Decision{Admitted: true}
 }
 
 // BrownoutSearch reports whether searches should brown out right now
@@ -267,6 +286,7 @@ func (c *Controller) Stats() Stats {
 		QueueDepth:    queued,
 		ShedPoint:     c.shedPoint.Load(),
 		ShedSearch:    c.shedSearch.Load(),
+		ShedBulk:      c.shedBulk.Load(),
 		QueueTimeouts: c.queueTimeouts.Load(),
 		RateLimited:   c.rateLimited.Load(),
 		Brownouts:     c.brownouts.Load(),
@@ -294,6 +314,7 @@ func (c *Controller) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE borgesd_admission_sheds_total counter\n")
 	fmt.Fprintf(w, "borgesd_admission_sheds_total{class=\"point\"} %d\n", st.ShedPoint)
 	fmt.Fprintf(w, "borgesd_admission_sheds_total{class=\"search\"} %d\n", st.ShedSearch)
+	fmt.Fprintf(w, "borgesd_admission_sheds_total{class=\"bulk\"} %d\n", st.ShedBulk)
 	fmt.Fprintf(w, "# HELP borgesd_admission_queue_timeouts_total Queued requests shed because their deadline fired first.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_admission_queue_timeouts_total counter\n")
 	fmt.Fprintf(w, "borgesd_admission_queue_timeouts_total %d\n", st.QueueTimeouts)

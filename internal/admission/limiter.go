@@ -55,8 +55,8 @@ func newLimiter(cfg Config) *limiter {
 }
 
 // acquire takes a slot, queues for one, or refuses. The reason labels
-// refusals: "saturated" (Search shed at capacity), "queue-full", or
-// "deadline" (queued but the context expired first).
+// refusals: "saturated" (Search or Bulk shed at capacity),
+// "queue-full", or "deadline" (queued but the context expired first).
 func (l *limiter) acquire(ctx context.Context, class Class) (ok bool, reason string) {
 	l.mu.Lock()
 	if l.inflight < int(l.limit) {
@@ -64,7 +64,9 @@ func (l *limiter) acquire(ctx context.Context, class Class) (ok bool, reason str
 		l.mu.Unlock()
 		return true, ""
 	}
-	if class == Search && l.shedSearchFirst {
+	// Bulk never queues: a stream that would hold a slot for seconds
+	// has no business waiting in a queue sized for point lookups.
+	if class == Bulk || (class == Search && l.shedSearchFirst) {
 		l.mu.Unlock()
 		return false, "saturated"
 	}

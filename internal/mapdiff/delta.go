@@ -38,6 +38,87 @@ func (d *Delta) Summary() string {
 	return fmt.Sprintf("removed=%d added=%d", len(d.Removed), len(d.Added))
 }
 
+// deltaWire is the single-document JSON form of a Delta, used by the
+// /v1/watch event stream and the Go client. Unlike the JSONL file
+// format (WriteDelta/ReadDelta), it is one object, preserves features
+// exactly (no OID_W defaulting on decode), and still omits cluster
+// IDs — the applier re-derives them.
+type deltaWire struct {
+	Removed [][]uint32       `json:"removed"`
+	Added   []deltaWireAdded `json:"added"`
+}
+
+type deltaWireAdded struct {
+	Name     string   `json:"name,omitempty"`
+	ASNs     []uint32 `json:"asns"`
+	Features []string `json:"features,omitempty"`
+}
+
+// MarshalJSON renders the delta as a single JSON object with explicit
+// (possibly empty) removed/added arrays, so an empty delta is
+// `{"removed":[],"added":[]}` rather than nulls.
+func (d *Delta) MarshalJSON() ([]byte, error) {
+	w := deltaWire{
+		Removed: make([][]uint32, len(d.Removed)),
+		Added:   make([]deltaWireAdded, len(d.Added)),
+	}
+	for i, members := range d.Removed {
+		row := make([]uint32, len(members))
+		for j, a := range members {
+			row[j] = uint32(a)
+		}
+		w.Removed[i] = row
+	}
+	for i := range d.Added {
+		c := &d.Added[i]
+		rec := deltaWireAdded{Name: c.Name, ASNs: make([]uint32, len(c.ASNs))}
+		for j, a := range c.ASNs {
+			rec.ASNs[j] = uint32(a)
+		}
+		for f := 0; f < cluster.NumFeatures; f++ {
+			if c.Features[f] {
+				rec.Features = append(rec.Features, cluster.Feature(f).String())
+			}
+		}
+		w.Added[i] = rec
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the MarshalJSON form. Decoding is exact — no
+// sorting, deduplication, or feature defaulting — so a marshal/
+// unmarshal round-trip is deep-equal to the original delta (IDs
+// excepted: they are never on the wire and decode as zero).
+func (d *Delta) UnmarshalJSON(data []byte) error {
+	var w deltaWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("mapdiff: delta json: %w", err)
+	}
+	*d = Delta{}
+	for _, row := range w.Removed {
+		members := make([]asnum.ASN, len(row))
+		for j, a := range row {
+			members[j] = asnum.ASN(a)
+		}
+		d.Removed = append(d.Removed, members)
+	}
+	for _, rec := range w.Added {
+		c := cluster.Cluster{Name: rec.Name, ASNs: make([]asnum.ASN, len(rec.ASNs))}
+		for j, a := range rec.ASNs {
+			c.ASNs[j] = asnum.ASN(a)
+		}
+		for _, fs := range rec.Features {
+			f, err := featureByName(fs)
+			if err != nil {
+				return fmt.Errorf("mapdiff: delta json: %w", err)
+			}
+			c.Features[f] = true
+		}
+		d.Added = append(d.Added, c)
+	}
+	return nil
+}
+
 // clusterKey fingerprints an organization by everything that makes it
 // "the same" across mappings: members, display name, and features.
 func clusterKey(c *cluster.Cluster) string {

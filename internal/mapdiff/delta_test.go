@@ -2,6 +2,7 @@ package mapdiff
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -108,5 +109,74 @@ func TestReadDeltaErrors(t *testing.T) {
 				t.Fatalf("ReadDelta = %v, want %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestDeltaJSONRoundTrip covers the single-object wire form used by
+// /v1/watch events: Marshal → Unmarshal must reproduce the delta
+// exactly (member order, duplicate-free or not, feature sets), with
+// cluster IDs — which do not travel — decoded as zero.
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	old := mapping([]asnum.ASN{1, 2}, []asnum.ASN{3, 4}, []asnum.ASN{5})
+	new := mapping([]asnum.ASN{1, 2, 3, 4}, []asnum.ASN{5})
+	d := ComputeDelta(old, new)
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Delta
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Removed, d.Removed) {
+		t.Fatalf("removed drift: %v vs %v", got.Removed, d.Removed)
+	}
+	if len(got.Added) != len(d.Added) {
+		t.Fatalf("added drift: %d vs %d", len(got.Added), len(d.Added))
+	}
+	for i := range got.Added {
+		g, w := got.Added[i], d.Added[i]
+		if g.ID != 0 {
+			t.Errorf("added[%d] decoded ID = %d, want 0 (IDs are not wire data)", i, g.ID)
+		}
+		if g.Name != w.Name || !reflect.DeepEqual(g.ASNs, w.ASNs) || g.Features != w.Features {
+			t.Fatalf("added[%d] drift: %+v vs %+v", i, g, w)
+		}
+	}
+	// A second round-trip of the decoded value is byte-stable.
+	raw2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("re-marshal drifted:\n  %s\n  %s", raw, raw2)
+	}
+}
+
+// TestDeltaJSONEmpty keeps the empty delta's wire form explicit — a
+// watch client must see [] rather than null.
+func TestDeltaJSONEmpty(t *testing.T) {
+	raw, err := json.Marshal(&Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"removed":[],"added":[]}` {
+		t.Fatalf("empty delta wire form = %s", raw)
+	}
+	var got Delta
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Fatalf("decoded empty delta not empty: %+v", got)
+	}
+}
+
+// TestDeltaJSONRejectsUnknownFeature: feature names are a closed set.
+func TestDeltaJSONRejectsUnknownFeature(t *testing.T) {
+	in := `{"removed":[],"added":[{"name":"X","asns":[1],"features":["NOPE"]}]}`
+	var got Delta
+	if err := json.Unmarshal([]byte(in), &got); err == nil {
+		t.Fatal("unknown feature name decoded without error")
 	}
 }

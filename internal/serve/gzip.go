@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzipPool recycles gzip writers: gzip.NewWriterLevel allocates ~1.4
+// MiB of deflate state, far too much to pay per response. BestSpeed is
+// the right trade for JSON that is mostly repeated structure — ~5× size
+// reduction at a fraction of DefaultCompression's CPU.
+var gzipPool = sync.Pool{
+	New: func() any {
+		gz, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		return gz
+	},
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding admits a
+// gzip response: a "gzip" (or "*") token not disabled with q=0.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		token, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		token = strings.TrimSpace(token)
+		if token != "gzip" && token != "*" {
+			continue
+		}
+		if hasQ {
+			q = strings.TrimSpace(q)
+			if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// negotiateGzip starts a gzip response when the client asked for one:
+// it sets Content-Encoding (before any WriteHeader) and returns a
+// pooled writer targeting w. A nil return means identity encoding.
+// Callers must pass a non-nil return to finishGzip exactly once.
+func negotiateGzip(w http.ResponseWriter, r *http.Request) *gzip.Writer {
+	if !acceptsGzip(r) {
+		return nil
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	gz := gzipPool.Get().(*gzip.Writer)
+	gz.Reset(w)
+	return gz
+}
+
+// finishGzip flushes the stream's final block and returns the writer
+// to the pool.
+func finishGzip(w http.ResponseWriter, gz *gzip.Writer) {
+	_ = gz.Close()
+	gz.Reset(nil)
+	gzipPool.Put(gz)
+}
+
+// gzipResponseWriter routes body writes through a gzip stream while
+// leaving header and status handling on the wrapped writer. It lets
+// handlers that build a whole JSON response (like /v1/search) opt into
+// compression without restructuring.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w *gzipResponseWriter) Write(b []byte) (int, error) { return w.gz.Write(b) }
+
+// Unwrap keeps http.ResponseController working through the wrapper.
+func (w *gzipResponseWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -38,6 +38,14 @@ type Metrics struct {
 	// patch) for the borgesd_snapshot_load_seconds gauge.
 	lastLoad     time.Duration
 	lastLoadMode string
+	// Bulk streaming counters: requests completed, input lines
+	// processed, lines answered with a per-line error object, and the
+	// summed streaming time — lines/sum(duration) is the lifetime
+	// sustained throughput gauge.
+	bulkRequests int64
+	bulkLines    int64
+	bulkErrLines int64
+	bulkDuration time.Duration
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -94,6 +102,25 @@ func (m *Metrics) stats(endpoint string) *endpointStats {
 		m.endpoints[endpoint] = es
 	}
 	return es
+}
+
+// ObserveBulk records one completed /v1/bulk stream: how many input
+// lines it carried, how many produced per-line error objects, and how
+// long the stream ran.
+func (m *Metrics) ObserveBulk(lines, errLines int64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bulkRequests++
+	m.bulkLines += lines
+	m.bulkErrLines += errLines
+	m.bulkDuration += d
+}
+
+// BulkTotals returns the cumulative bulk counters (for tests).
+func (m *Metrics) BulkTotals() (requests, lines, errLines int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bulkRequests, m.bulkLines, m.bulkErrLines
 }
 
 // ObserveReload records a reload outcome.
@@ -192,6 +219,29 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 				name, q, quantile(sample, q).Seconds())
 		}
 	}
+	fmt.Fprintf(w, "# HELP borgesd_bulk_requests_total Completed /v1/bulk streams.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_bulk_requests_total counter\n")
+	fmt.Fprintf(w, "borgesd_bulk_requests_total %d\n", m.bulkRequests)
+	fmt.Fprintf(w, "# HELP borgesd_bulk_lines_total Input lines processed by /v1/bulk.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_bulk_lines_total counter\n")
+	fmt.Fprintf(w, "borgesd_bulk_lines_total %d\n", m.bulkLines)
+	fmt.Fprintf(w, "# HELP borgesd_bulk_error_lines_total Bulk lines answered with a per-line error object (malformed or unmapped).\n")
+	fmt.Fprintf(w, "# TYPE borgesd_bulk_error_lines_total counter\n")
+	fmt.Fprintf(w, "borgesd_bulk_error_lines_total %d\n", m.bulkErrLines)
+	bulkRate := 0.0
+	if m.bulkDuration > 0 {
+		bulkRate = float64(m.bulkLines) / m.bulkDuration.Seconds()
+	}
+	fmt.Fprintf(w, "# HELP borgesd_bulk_lines_per_second Lifetime sustained bulk throughput (lines / total streaming time).\n")
+	fmt.Fprintf(w, "# TYPE borgesd_bulk_lines_per_second gauge\n")
+	fmt.Fprintf(w, "borgesd_bulk_lines_per_second %.3f\n", bulkRate)
+	var bulkSheds int64
+	if es := m.endpoints["bulk"]; es != nil {
+		bulkSheds = es.sheds
+	}
+	fmt.Fprintf(w, "# HELP borgesd_bulk_sheds_total Bulk requests refused by admission control.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_bulk_sheds_total counter\n")
+	fmt.Fprintf(w, "borgesd_bulk_sheds_total %d\n", bulkSheds)
 	fmt.Fprintf(w, "# HELP borgesd_reloads_total Snapshot reload attempts, by result.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_reloads_total counter\n")
 	fmt.Fprintf(w, "borgesd_reloads_total{result=\"success\"} %d\n", m.reloadOK)

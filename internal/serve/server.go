@@ -102,6 +102,19 @@ type Options struct {
 	// brownout) when non-nil with MaxInflight > 0. Nil accepts
 	// everything — the pre-admission behaviour.
 	Admission *admission.Config
+	// BulkMaxLines caps the number of input lines one /v1/bulk request
+	// may carry (default 1<<20). The cap bounds how long a single
+	// stream can hold its admission slot; past it the response ends
+	// with a terminal error line.
+	BulkMaxLines int
+	// MaxBodyBytes bounds every request body the server reads
+	// (default 64 MiB), enforced with http.MaxBytesReader.
+	MaxBodyBytes int64
+	// WatchBuffer is the per-subscriber event queue depth for
+	// /v1/watch (default 64). A subscriber whose queue is full when a
+	// reload publishes is evicted rather than allowed to block the
+	// swap or balloon memory.
+	WatchBuffer int
 	// now overrides the clock in tests.
 	now func() time.Time
 	// testHold, when set, is called with the endpoint name after
@@ -126,6 +139,10 @@ type Server struct {
 	// reloading serializes reloads so concurrent /admin/reload posts
 	// cannot interleave validate-then-swap sequences.
 	reloading chan struct{}
+	// watch fans snapshot-change events out to /v1/watch subscribers.
+	// Like admission it lives on the Server: subscriptions survive hot
+	// reloads — reloads are exactly what they exist to observe.
+	watch *watchHub
 }
 
 // NewServer returns a Server publishing the given initial snapshot.
@@ -139,12 +156,22 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.BulkMaxLines <= 0 {
+		opts.BulkMaxLines = defaultBulkMaxLines
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if opts.WatchBuffer <= 0 {
+		opts.WatchBuffer = defaultWatchBuffer
+	}
 	s := &Server{
 		metrics:   NewMetrics(),
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		reloading: make(chan struct{}, 1),
 	}
+	s.watch = newWatchHub(opts.WatchBuffer)
 	if opts.Admission != nil && opts.Admission.MaxInflight > 0 {
 		cfg := *opts.Admission
 		if cfg.Now == nil {
@@ -157,6 +184,12 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/org/{id}", s.instrument("org", admission.Point, s.handleOrg))
 	s.mux.HandleFunc("GET /v1/search", s.instrument("search", admission.Search, s.handleSearch))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", admission.Point, s.handleStats))
+	// Bulk and watch are streaming endpoints: instrumented without the
+	// per-request timeout (a 1M-line bulk stream or a long-lived watch
+	// would be killed by it; both bound themselves instead — bulk by
+	// MaxBodyBytes/BulkMaxLines, watch by client disconnect/shutdown).
+	s.mux.HandleFunc("POST /v1/bulk", s.instrumentStreaming("bulk", admission.Bulk, s.handleBulk))
+	s.mux.HandleFunc("GET /v1/watch", s.instrumentStreaming("watch", admission.Critical, s.handleWatch))
 	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", admission.Critical, s.handleReload))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", admission.Critical, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -196,7 +229,7 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	if prepare == nil {
 		return nil, fmt.Errorf("serve: no reload source configured")
 	}
-	return s.swapWith(ctx, prepare)
+	return s.swapWith(ctx, prepare, nil)
 }
 
 // ReloadDelta pulls a mapping delta from the configured DeltaSource,
@@ -208,13 +241,21 @@ func (s *Server) ReloadDelta(ctx context.Context) (*Snapshot, error) {
 	if s.opts.DeltaSource == nil {
 		return nil, fmt.Errorf("serve: no delta source configured")
 	}
+	// The parsed delta doubles as the /v1/watch event payload: a delta
+	// reload already knows its exact edit script, so the watch fan-out
+	// is free — no ComputeDelta diff pass.
+	var applied *mapdiff.Delta
 	return s.swapWith(ctx, func(ctx context.Context, old *Snapshot) (*Snapshot, error) {
 		d, err := s.opts.DeltaSource(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return old.applyDeltaAt(d, s.opts.now())
-	})
+		next, err := old.applyDeltaAt(d, s.opts.now())
+		if err == nil {
+			applied = d
+		}
+		return next, err
+	}, func() *mapdiff.Delta { return applied })
 }
 
 // prepareFunc resolves the configured reload options into one
@@ -252,8 +293,11 @@ func (s *Server) prepareFunc() func(ctx context.Context, old *Snapshot) (*Snapsh
 
 // swapWith runs one serialized validate-then-swap sequence: prepare a
 // replacement off to the side, publish it only if it validated, and
-// record the load duration and outcome.
-func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context, old *Snapshot) (*Snapshot, error)) (*Snapshot, error) {
+// record the load duration and outcome. deltaHint, when non-nil and
+// returning non-nil, supplies the already-known edit script for the
+// /v1/watch fan-out (a delta reload parsed one anyway); otherwise the
+// delta is computed here iff someone is watching.
+func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context, old *Snapshot) (*Snapshot, error), deltaHint func() *mapdiff.Delta) (*Snapshot, error) {
 	select {
 	case s.reloading <- struct{}{}:
 		defer func() { <-s.reloading }()
@@ -272,6 +316,16 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 		return nil, err
 	}
 	s.snap.Store(next)
+	if s.watch.active() {
+		delta := (*mapdiff.Delta)(nil)
+		if deltaHint != nil {
+			delta = deltaHint()
+		}
+		if delta == nil {
+			delta = mapdiff.ComputeDelta(old.Mapping(), next.Mapping())
+		}
+		s.watch.publish(next, delta)
+	}
 	d := s.opts.now().Sub(start)
 	s.metrics.ObserveReload(true)
 	s.metrics.ObserveLoad(next.LoadMode(), d)
@@ -307,6 +361,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.NewResponseController
+// can reach Flush/SetReadDeadline/SetWriteDeadline on the streaming
+// endpoints.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush forwards to the underlying writer when it supports flushing,
+// so streaming handlers can push chunks through the statusWriter.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with admission control, the per-request
 // timeout, metrics observation, and structured request logging.
 func (s *Server) instrument(endpoint string, class admission.Class, h http.HandlerFunc) http.HandlerFunc {
@@ -331,6 +398,43 @@ func (s *Server) instrument(endpoint string, class admission.Class, h http.Handl
 			s.opts.testHold(endpoint)
 		}
 		h(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := s.opts.now().Sub(start)
+		s.metrics.Observe(endpoint, sw.status, d)
+		s.logf(`{"event":"request","endpoint":%q,"method":%q,"path":%q,"status":%d,"duration_us":%d}`,
+			endpoint, r.Method, r.URL.RequestURI(), sw.status, d.Microseconds())
+	}
+}
+
+// instrumentStreaming is instrument for endpoints whose response is a
+// stream (/v1/bulk, /v1/watch): same admission, metrics, and logging,
+// but no per-request timeout — a bulk pass over a million lines or a
+// watch held open for hours is the intended behaviour, not a hung
+// request. The handlers bound themselves (body size caps, line caps,
+// hub shutdown) and extend the connection's read/write deadlines as
+// they make progress.
+func (s *Server) instrumentStreaming(endpoint string, class admission.Class, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.opts.now()
+		sw := &statusWriter{ResponseWriter: w}
+		if s.admission != nil {
+			release, dec := s.admission.Admit(r.Context(), class, clientKey(r))
+			if !dec.Admitted {
+				writeRetryableError(sw, dec.Status, dec.RetryAfter,
+					"overloaded: request shed (%s), retry later", dec.Reason)
+				s.metrics.ObserveShed(endpoint, sw.status)
+				s.logf(`{"event":"shed","endpoint":%q,"class":%q,"reason":%q,"status":%d,"retry_after_s":%d}`,
+					endpoint, class, dec.Reason, sw.status, int(dec.RetryAfter.Seconds()))
+				return
+			}
+			defer func() { release(s.opts.now().Sub(start)) }()
+		}
+		if s.opts.testHold != nil {
+			s.opts.testHold(endpoint)
+		}
+		h(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
@@ -508,6 +612,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i, c := range hits {
 		out.Matches[i] = orgToJSON(c)
 	}
+	// Only the (potentially large) result body is worth compressing;
+	// the error paths above stay identity-encoded.
+	if gz := negotiateGzip(w, r); gz != nil {
+		defer finishGzip(w, gz)
+		w = &gzipResponseWriter{ResponseWriter: w, gz: gz}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -556,6 +666,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // mode so a fleet orchestrator can verify cross-replica consistency
 // from the reload call itself.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	// Reload takes no body today, but cap anything a client posts so
+	// every body-reading path is bounded.
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var snap *Snapshot
 	var err error
 	switch mode := r.URL.Query().Get("mode"); mode {
@@ -628,6 +741,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, s.snap.Load(), s.opts.now())
+	s.watch.writeMetrics(w)
 	if s.admission != nil {
 		s.admission.WriteMetrics(w)
 	}
@@ -653,17 +767,29 @@ func Serve(ctx context.Context, addr string, snap *Snapshot, opts Options) error
 func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	// No BaseContext wiring ctx into requests: cancellation must stop
 	// accepting, not kill in-flight requests — Shutdown drains them.
+	// The read/write timeouts bound a whole connection's I/O; the
+	// streaming endpoints (/v1/bulk, /v1/watch) extend their deadlines
+	// per chunk via http.ResponseController, so a legitimate long
+	// stream outlives them while a stalled peer still gets cut off.
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       s.opts.RequestTimeout,
 		WriteTimeout:      2 * s.opts.RequestTimeout,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	s.logf(`{"event":"listening","addr":%q}`, ln.Addr().String())
 	select {
 	case <-ctx.Done():
+		// Close the watch hub first: Shutdown waits for in-flight
+		// requests, and a watch subscriber is in-flight until its event
+		// channel closes. Closing the hub ends every stream cleanly
+		// (after delivering anything already queued), so the drain
+		// below terminates.
+		s.watch.close()
 		shutCtx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		defer cancel()
 		err := hs.Shutdown(shutCtx)
