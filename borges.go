@@ -46,6 +46,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/core"
 	"github.com/nu-aqualab/borges/internal/eval"
+	"github.com/nu-aqualab/borges/internal/fleet"
 	"github.com/nu-aqualab/borges/internal/llm"
 	"github.com/nu-aqualab/borges/internal/llm/openai"
 	"github.com/nu-aqualab/borges/internal/mapdiff"
@@ -433,6 +434,56 @@ func LoadSnapshotFile(path string) (*Snapshot, error) { return serve.LoadSnapsho
 func Serve(ctx context.Context, addr string, snap *Snapshot, opts ServeOptions) error {
 	return serve.Serve(ctx, addr, snap, opts)
 }
+
+// Fleet distribution layer: one distributor publishing versioned
+// binary snapshot artifacts, many verifying replicas following it.
+type (
+	// FleetDistributor wraps a LookupServer with the /fleet/* surface:
+	// a versioned snapshot manifest, ranged artifact and delta
+	// downloads, and a consistency endpoint fed by replica heartbeats.
+	// Every snapshot swap republishes automatically.
+	FleetDistributor = fleet.Distributor
+	// FleetDistributorOptions tune a FleetDistributor.
+	FleetDistributorOptions = fleet.DistributorOptions
+	// FleetReplica is a follower: a local lookup server whose
+	// snapshots are fetched from a distributor, content-hash-verified
+	// before they can serve, persisted locally as a last-good artifact
+	// for crash recovery, and swapped in atomically.
+	FleetReplica = fleet.Replica
+	// FleetReplicaOptions tune a FleetReplica.
+	FleetReplicaOptions = fleet.ReplicaOptions
+	// FleetManifest describes a distributor's current publish:
+	// sequence, content hash, size, artifact URL, optional delta.
+	FleetManifest = fleet.Manifest
+	// FleetHeartbeat is one replica's served-version report.
+	FleetHeartbeat = fleet.Heartbeat
+	// FleetStatus is the distributor's fleet consistency view: the
+	// current publish plus each live replica's version and divergence.
+	FleetStatus = fleet.Status
+)
+
+// NewFleetDistributor builds a lookup server wired for distribution
+// and publishes snap as sequence 1. Serve it with its Serve or
+// ServeListener methods; its Handler mounts /fleet/* in front of the
+// lookup API.
+func NewFleetDistributor(snap *Snapshot, serveOpts ServeOptions, opts FleetDistributorOptions) (*FleetDistributor, error) {
+	return fleet.NewDistributor(snap, serveOpts, opts)
+}
+
+// NewFleetReplica joins a distributor: cold-start from the local
+// last-good artifact when present (milliseconds, no network), a
+// blocking verified fetch otherwise. Call Run to start the follower
+// loop and Serve to expose the lookup API.
+func NewFleetReplica(ctx context.Context, opts FleetReplicaOptions) (*FleetReplica, error) {
+	return fleet.NewReplica(ctx, opts)
+}
+
+// ParseFleetManifest decodes and validates a /fleet/manifest body;
+// malformed input yields a typed error, never a panic.
+func ParseFleetManifest(data []byte) (*FleetManifest, error) { return fleet.ParseManifest(data) }
+
+// ParseFleetHeartbeat decodes and validates a replica heartbeat body.
+func ParseFleetHeartbeat(data []byte) (*FleetHeartbeat, error) { return fleet.ParseHeartbeat(data) }
 
 // Synthetic corpus generation.
 type (

@@ -93,6 +93,13 @@ type Config struct {
 	// RetrySeed makes retry jitter deterministic in tests (0 = fixed
 	// default seed).
 	RetrySeed int64
+	// OnReconnect, when non-nil, observes every Watch stream reconnect:
+	// n is the total reconnects this Watch call has performed and err
+	// the disconnect that caused this one (nil for a clean server-side
+	// stream close). Fleet replicas export n as a metric. The callback
+	// runs on the watch goroutine before the reconnect backoff sleep —
+	// keep it fast.
+	OnReconnect func(n int64, err error)
 	// sleepFn overrides backoff sleeping in tests.
 	sleepFn func(ctx context.Context, d time.Duration) error
 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"time"
 
 	"github.com/nu-aqualab/borges/internal/resilience"
 	"github.com/nu-aqualab/borges/internal/serve"
@@ -28,8 +27,13 @@ type WatchEvent = serve.WatchEvent
 // since is the sequence number to resume after; 0 starts from the
 // next change.
 func (c *Client) Watch(ctx context.Context, since uint64, fn func(ev *WatchEvent) error) error {
-	backoff := c.cfg.RetryBaseDelay
+	sleep := c.cfg.sleepFn
+	if sleep == nil {
+		sleep = resilience.Sleep
+	}
 	last := since
+	fails := 0 // consecutive reconnects without a delivered event
+	var reconnects int64
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -43,19 +47,22 @@ func (c *Client) Watch(ctx context.Context, since uint64, fn func(ev *WatchEvent
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		// Disconnected (server restart, eviction, network). Back off —
-		// honoring any Retry-After the refusal carried — and resume.
-		wait := backoff
-		if hint, ok := resilience.RetryAfterOf(err); ok {
-			wait = hint
-		}
-		if serr := resilience.Sleep(ctx, wait); serr != nil {
-			return serr
-		}
+		// Disconnected (server restart, eviction, network). Back off
+		// under the retry policy — exponential from RetryBaseDelay,
+		// capped, jittered so a fleet of replicas spreads out, honoring
+		// any Retry-After the refusal carried — and resume. A stream
+		// that delivered events restarts the schedule: the server was
+		// healthy, the drop is fresh.
 		if delivered {
-			backoff = c.cfg.RetryBaseDelay // reset after a healthy stream
-		} else if backoff < 30*time.Second {
-			backoff *= 2
+			fails = 0
+		}
+		fails++
+		reconnects++
+		if c.cfg.OnReconnect != nil {
+			c.cfg.OnReconnect(reconnects, err)
+		}
+		if serr := sleep(ctx, c.policy.Backoff(fails, err)); serr != nil {
+			return serr
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchReconnectBackoffAndCallback pins the Watch reconnect loop
+// to the retry policy: each consecutive failed connection backs off
+// exponentially from RetryBaseDelay (with the policy's jitter), and
+// OnReconnect observes every reconnect with its running count.
+func TestWatchReconnectBackoffAndCallback(t *testing.T) {
+	// A watch endpoint that accepts the stream and immediately ends it:
+	// every connection is a clean EOF the client must recover from.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/watch" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const base = 10 * time.Millisecond
+	var mu sync.Mutex
+	var counts []int64
+	var slept []time.Duration
+	c := newTestClient(t, Config{
+		BaseURL:        ts.URL,
+		RetryBaseDelay: base,
+		RetrySeed:      7,
+		OnReconnect: func(n int64, err error) {
+			mu.Lock()
+			counts = append(counts, n)
+			mu.Unlock()
+			if n >= 4 {
+				cancel()
+			}
+		},
+		sleepFn: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return ctx.Err()
+		},
+	})
+
+	err := c.Watch(ctx, 0, func(ev *WatchEvent) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Watch returned %v, want context.Canceled", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(counts) != 4 {
+		t.Fatalf("OnReconnect fired %d times, want 4: %v", len(counts), counts)
+	}
+	for i, n := range counts {
+		if n != int64(i+1) {
+			t.Fatalf("OnReconnect counts = %v, want 1..4", counts)
+		}
+	}
+	if len(slept) != 4 {
+		t.Fatalf("slept %d times, want 4: %v", len(slept), slept)
+	}
+	for i, d := range slept {
+		// Policy schedule: base·2^i, default 20% jitter shaving downward.
+		hi := base << i
+		lo := time.Duration(float64(hi) * 0.8)
+		if d < lo || d > hi {
+			t.Fatalf("backoff %d = %v, want within [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}

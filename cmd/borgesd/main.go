@@ -18,11 +18,24 @@
 //
 //	borgesd -addr :8080 -seed 1 -scale 0.05
 //
-// -snapshot-out writes the initial snapshot as a binary artifact
-// (atomically: temp file, fsync, rename) for the next cold start.
+// -snapshot-out writes the snapshot as a binary artifact (atomically:
+// temp file, fsync, rename) at boot and again after every successful
+// reload, so a restart always cold-starts from the latest data.
 // -delta-in names a mapping delta (borges-diff -delta); POST
 // /admin/reload?mode=delta patches the serving snapshot in place of a
 // full rebuild, validating the delta against the serving base first.
+//
+// A fleet distributes one build to many serving processes. The
+// distributor publishes every snapshot swap as a versioned binary
+// artifact, and replicas follow it — fetching resumably, verifying the
+// content hash before anything serves, persisting a last-good artifact
+// for crash recovery, and heartbeating their served version back:
+//
+//	borgesd -addr :8080 -fleet -snapshot-in snapshot.bin
+//	borgesd -addr :8081 -join http://127.0.0.1:8080 -last-good r1.snapbin
+//
+// GET /fleet/status on the distributor reports which version each
+// replica serves and flags divergence.
 //
 // Endpoints:
 //
@@ -59,6 +72,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -94,6 +108,12 @@ func main() {
 	bulkMaxLines := flag.Int("bulk-max-lines", 0, "max input lines per /v1/bulk request (0 = default 1048576)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "max request body bytes on body-reading endpoints (0 = default 64 MiB)")
 	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber /v1/watch event queue depth; a subscriber this many reloads behind is evicted (0 = default 64)")
+	fleetMode := flag.Bool("fleet", false, "distributor mode: publish versioned snapshot artifacts on /fleet/* for replicas to follow")
+	join := flag.String("join", "", "replica mode: follow the distributor at this base URL (e.g. http://host:8080); snapshots come from it, not from -mapping/-snapshot-in")
+	replicaID := flag.String("replica-id", "", "replica identity in heartbeats and /fleet/status (default hostname-pid)")
+	lastGood := flag.String("last-good", "borgesd-lastgood.snapbin", "replica last-good artifact path: every verified snapshot is persisted here and cold starts load it before touching the network")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 5*time.Second, "replica served-version report period")
+	pollInterval := flag.Duration("poll-interval", 5*time.Second, "replica manifest poll fallback period (the watch stream and heartbeats usually notify faster)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -123,6 +143,60 @@ func main() {
 
 	if *deltaIn != "" {
 		opts.DeltaSource = borges.MappingDeltaFileSource(*deltaIn)
+	}
+
+	if *snapshotOut != "" {
+		// Persist after every successful reload, not just at boot, so a
+		// restart serves the latest data. The write is atomic (temp,
+		// fsync, rename) and runs with the reload latch held — it can
+		// delay the next reload, never a lookup.
+		out := *snapshotOut
+		opts.OnSwap = func(s *borges.Snapshot) {
+			hash, err := borges.WriteSnapshotFile(out, s)
+			if err != nil {
+				log.Printf("snapshot-out: %v", err)
+				return
+			}
+			log.Printf("persisted reloaded snapshot %s (hash %.12s)", out, hash)
+		}
+	}
+
+	if *join != "" {
+		if *mapping != "" || *snapshotIn != "" || *fleetMode {
+			log.Fatal("-join is mutually exclusive with -mapping, -snapshot-in, and -fleet")
+		}
+		id := *replicaID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		rep, err := borges.NewFleetReplica(ctx, borges.FleetReplicaOptions{
+			ID:                id,
+			Distributor:       *join,
+			LastGood:          *lastGood,
+			Addr:              *addr,
+			PollInterval:      *pollInterval,
+			HeartbeatInterval: *heartbeatInterval,
+			Serve:             opts,
+			Logf:              opts.Logf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := rep.Server().Snapshot()
+		st := snap.Stats()
+		log.Printf("replica %s serving %d organizations / %d networks (hash %.12s) on %s, following %s",
+			id, st.Orgs, st.ASNs, snap.ContentHash(), *addr, *join)
+		go func() {
+			if err := rep.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("follower loop: %v", err)
+			}
+		}()
+		if err := rep.Serve(ctx, *addr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shut down cleanly")
+		return
 	}
 
 	var (
@@ -194,6 +268,21 @@ func main() {
 	st := snap.Stats()
 	log.Printf("serving %d organizations / %d networks (θ = %.4f) on %s",
 		st.Orgs, st.ASNs, st.Theta, *addr)
+
+	if *fleetMode {
+		dist, err := borges.NewFleetDistributor(snap, opts, borges.FleetDistributorOptions{
+			Logf: opts.Logf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("distributing snapshots on %s/fleet/* (hash %.12s)", *addr, dist.Manifest().ContentHash)
+		if err := dist.Serve(ctx, *addr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shut down cleanly")
+		return
+	}
 
 	if err := borges.Serve(ctx, *addr, snap, opts); err != nil {
 		log.Fatal(err)

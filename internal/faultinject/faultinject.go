@@ -49,6 +49,20 @@ const (
 	// KindTornBody serves a 200 whose body ends in io.ErrUnexpectedEOF
 	// partway through the payload (HTTP only) — the torn-favicon case.
 	KindTornBody
+	// KindTruncateBody passes the request through to the real backend
+	// and cuts the response body short mid-stream (io.ErrUnexpectedEOF
+	// after roughly half the declared length) — a dropped connection
+	// during a large artifact download. Opt-in only: never drawn unless
+	// listed in Config.Kinds, because the default kind set's draws are
+	// order- and length-sensitive and existing fixed-seed suites assert
+	// exact outcomes against it.
+	KindTruncateBody
+	// KindFlipByte passes the request through and flips one
+	// deterministically chosen byte of the real response body — an
+	// in-flight corruption that only end-to-end content verification
+	// catches (the length and status look healthy). Opt-in only, like
+	// KindTruncateBody.
+	KindFlipByte
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +80,10 @@ func (k Kind) String() string {
 		return "slow-loris"
 	case KindTornBody:
 		return "torn-body"
+	case KindTruncateBody:
+		return "truncate-body"
+	case KindFlipByte:
+		return "flip-byte"
 	default:
 		return "unknown"
 	}

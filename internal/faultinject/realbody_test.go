@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// TestRealBodyFaultKinds covers the opt-in corruption kinds used by
+// the fleet chaos suite: KindTruncateBody tears a real response
+// mid-transfer, KindFlipByte delivers the full length with exactly one
+// byte inverted. Both are transient by default — the second attempt on
+// the same key passes through clean.
+func TestRealBodyFaultKinds(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	t.Run("truncate", func(t *testing.T) {
+		c := &http.Client{Transport: NewTransport(http.DefaultTransport, Config{
+			Seed: 3, Rate: 1, Kinds: []Kind{KindTruncateBody},
+		})}
+		resp, err := c.Get(ts.URL + "/artifact")
+		if err != nil {
+			t.Fatalf("faulted GET: %v", err)
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+			t.Fatalf("read error = %v, want ErrUnexpectedEOF", rerr)
+		}
+		if len(data) == 0 || len(data) >= len(payload) {
+			t.Fatalf("truncated body is %d bytes of %d, want a proper prefix", len(data), len(payload))
+		}
+		if !bytes.Equal(data, payload[:len(data)]) {
+			t.Fatal("truncated body is not a prefix of the real payload")
+		}
+
+		resp, err = c.Get(ts.URL + "/artifact")
+		if err != nil {
+			t.Fatalf("second GET: %v", err)
+		}
+		data, rerr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || !bytes.Equal(data, payload) {
+			t.Fatalf("second attempt not clean: err=%v len=%d", rerr, len(data))
+		}
+	})
+
+	t.Run("flip", func(t *testing.T) {
+		c := &http.Client{Transport: NewTransport(http.DefaultTransport, Config{
+			Seed: 5, Rate: 1, Kinds: []Kind{KindFlipByte},
+		})}
+		resp, err := c.Get(ts.URL + "/artifact")
+		if err != nil {
+			t.Fatalf("faulted GET: %v", err)
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Fatalf("flip read error: %v", rerr)
+		}
+		if len(data) != len(payload) {
+			t.Fatalf("flipped body is %d bytes, want full %d", len(data), len(payload))
+		}
+		diff := 0
+		for i := range data {
+			if data[i] != payload[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("flipped body differs in %d bytes, want exactly 1", diff)
+		}
+
+		resp, err = c.Get(ts.URL + "/artifact")
+		if err != nil {
+			t.Fatalf("second GET: %v", err)
+		}
+		data, rerr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || !bytes.Equal(data, payload) {
+			t.Fatalf("second attempt not clean: err=%v", rerr)
+		}
+	})
+}
+
+// TestRealBodyKindsAreOptIn pins the default HTTP kind set: the
+// body-corruption kinds must never be drawn unless explicitly listed,
+// because growing the default set would silently reshuffle which kind
+// every fixed-seed chaos key draws.
+func TestRealBodyKindsAreOptIn(t *testing.T) {
+	for _, k := range httpKinds {
+		if k == KindTruncateBody || k == KindFlipByte {
+			t.Fatalf("default HTTP kind set includes opt-in kind %v", k)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
@@ -12,7 +13,11 @@ import (
 	"time"
 )
 
-// httpKinds are the fault varieties the transport can draw.
+// httpKinds are the fault varieties the transport draws by default.
+// KindTruncateBody and KindFlipByte are deliberately absent: kind
+// selection is sum % len(kinds), so growing this list would reshuffle
+// which kind every fixed-seed suite's keys draw. The corruption kinds
+// are opt-in via Config.Kinds.
 var httpKinds = []Kind{
 	KindTimeout, KindRateLimit, KindServerError,
 	KindReset, KindSlowLoris, KindTornBody,
@@ -84,6 +89,35 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp := t.respond(req, http.StatusOK, "")
 		resp.Body = &tornBody{prefix: []byte("<html><body>torn")}
 		resp.ContentLength = int64(len("<html><body>torn")) * 4
+		return resp, nil
+	case KindTruncateBody, KindFlipByte:
+		// These kinds corrupt the *real* response rather than fabricate
+		// one: the request reaches Inner, and the damage happens to the
+		// bytes in flight — the case only end-to-end verification (a
+		// content hash over the received artifact) can catch.
+		resp, err := t.Inner.RoundTrip(req)
+		if err != nil || resp.Body == nil {
+			return resp, err
+		}
+		if kind == KindTruncateBody {
+			keep := resp.ContentLength / 2
+			if keep <= 0 {
+				keep = 512
+			}
+			resp.Body = &truncatedRealBody{inner: resp.Body, remaining: keep, key: key}
+		} else {
+			var off int64
+			if resp.ContentLength > 1 {
+				// Deterministic flip position: derived from (seed, key)
+				// alone so reruns corrupt the same byte.
+				h := fnv.New64a()
+				io.WriteString(h, strconv.FormatInt(t.Config.Seed, 10))
+				io.WriteString(h, "\x00flip\x00")
+				io.WriteString(h, key)
+				off = int64(whiten(h.Sum64()) % uint64(resp.ContentLength))
+			}
+			resp.Body = &flippedRealBody{inner: resp.Body, offset: off}
+		}
 		return resp, nil
 	default:
 		return nil, fmt.Errorf("faultinject: %s: unknown fault kind %d", key, kind)
@@ -171,3 +205,54 @@ func (b *tornBody) Read(p []byte) (int, error) {
 }
 
 func (b *tornBody) Close() error { return nil }
+
+// truncatedRealBody forwards the real response body up to `remaining`
+// bytes, then fails with io.ErrUnexpectedEOF — the connection died
+// partway through a download the declared Content-Length promised more
+// of. A ranged retry can resume past the delivered prefix.
+type truncatedRealBody struct {
+	inner     io.ReadCloser
+	remaining int64
+	key       string
+}
+
+func (b *truncatedRealBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faultinject: %s: truncated mid-transfer: %w", b.key, io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// Inner ended before the cut point: deliver its EOF untouched.
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = fmt.Errorf("faultinject: %s: truncated mid-transfer: %w", b.key, io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (b *truncatedRealBody) Close() error { return b.inner.Close() }
+
+// flippedRealBody forwards the real response body with exactly one
+// byte inverted at a predetermined offset. Length, status, and headers
+// all stay plausible; only content verification notices.
+type flippedRealBody struct {
+	inner  io.ReadCloser
+	offset int64
+	pos    int64
+}
+
+func (b *flippedRealBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	if n > 0 && b.pos <= b.offset && b.offset < b.pos+int64(n) {
+		p[b.offset-b.pos] ^= 0xFF
+	}
+	b.pos += int64(n)
+	return n, err
+}
+
+func (b *flippedRealBody) Close() error { return b.inner.Close() }

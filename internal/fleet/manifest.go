@@ -1,0 +1,189 @@
+// Package fleet turns one borgesd process into a snapshot distributor
+// and many others into verifying replicas — the horizontal scale-out
+// story: a builder/distributor publishes versioned binary snapshot
+// artifacts, and a fleet of stateless replicas fetches, verifies, and
+// atomically swaps them.
+//
+// The distributor wraps a serve.Server with /fleet/* routes: a
+// versioned manifest (sequence number, provenance-excluded content
+// hash, size, artifact URL), ranged snapshot and delta downloads
+// served straight from the in-memory snapbin artifact, and a fleet
+// consistency endpoint fed by replica heartbeats. Every snapshot swap
+// on the distributor republishes automatically via serve.Options.OnSwap.
+//
+// A replica joins a distributor, cold-starts from its local last-good
+// artifact when one exists (milliseconds, no network), and runs a
+// follower loop: ride the distributor's /v1/watch SSE feed for publish
+// events with polling as the fallback, fetch changed artifacts with
+// resumable ranged GETs under a retry policy and per-distributor
+// circuit breaker, verify the snapbin content hash before anything
+// touches the serving path, and reuse the server's validate-then-swap
+// reload. When the replica's current hash matches the published
+// delta's base, the mapdiff delta path patches the snapshot
+// incrementally instead of refetching everything.
+//
+// Convergence is checkable end to end because builds are
+// deterministic: two replicas serving the same logical mapping report
+// byte-identical content hashes, so /fleet/status divergence is a real
+// signal, never an artifact of encoding.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+)
+
+// Typed decode errors: every malformed manifest or heartbeat yields
+// one of these (wrapped with detail), never a panic — the fuzz suite
+// holds the decoders to that.
+var (
+	// ErrBadManifest reports a manifest that failed validation.
+	ErrBadManifest = errors.New("fleet: malformed manifest")
+	// ErrBadHeartbeat reports a heartbeat that failed validation.
+	ErrBadHeartbeat = errors.New("fleet: malformed heartbeat")
+)
+
+// Manifest describes the distributor's currently published snapshot:
+// what version exists, how to verify it, and where to fetch it.
+type Manifest struct {
+	// Seq increments on every publish (1 = the distributor's initial
+	// snapshot). It orders versions; identity is the content hash.
+	Seq uint64 `json:"seq"`
+	// ContentHash is the snapbin provenance-excluded SHA-256 of the
+	// artifact — the value a replica must observe on its own decode
+	// before the snapshot may serve.
+	ContentHash string `json:"content_hash"`
+	// Size is the artifact's byte length, which lets a replica size
+	// buffers and validate ranged resumes.
+	Size int64 `json:"size"`
+	// SnapshotURL locates the artifact, relative to the distributor
+	// base URL. It carries the hash as a query parameter so a resumed
+	// ranged fetch can never splice bytes of two different versions.
+	SnapshotURL string `json:"snapshot_url"`
+	// Delta, when present, offers an incremental path from the
+	// previously published version.
+	Delta *DeltaInfo `json:"delta,omitempty"`
+}
+
+// DeltaInfo advertises the JSONL mapping delta from the previous
+// publish to the current one.
+type DeltaInfo struct {
+	// BaseHash is the content hash the delta applies to. A replica
+	// serving any other hash must take the full-artifact path.
+	BaseHash string `json:"base_hash"`
+	// URL locates the delta, relative to the distributor base URL.
+	URL string `json:"url"`
+	// Size is the delta's byte length.
+	Size int64 `json:"size"`
+}
+
+// Heartbeat is one replica's periodic report: which version it is
+// serving right now. The distributor aggregates these into
+// /fleet/status and flags divergence.
+type Heartbeat struct {
+	// ID identifies the replica (stable across restarts).
+	ID string `json:"id"`
+	// Seq is the last manifest sequence the replica synced to (0 when
+	// serving a cold-started last-good artifact it has not yet matched
+	// to a manifest).
+	Seq uint64 `json:"seq"`
+	// ContentHash is the hash of the snapshot the replica is serving.
+	ContentHash string `json:"content_hash"`
+	// Addr, when set, is the replica's serving address for operators.
+	Addr string `json:"addr,omitempty"`
+}
+
+// maxIDLen bounds heartbeat identity fields; anything longer is an
+// encoding mistake or an abuse attempt, not a replica name.
+const maxIDLen = 256
+
+// validHash reports whether s is a well-formed snapbin content hash:
+// exactly 64 lowercase hex digits.
+func validHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validRelURL reports whether s parses as a URL usable relative to the
+// distributor base — a non-empty path with no scheme/host hijack.
+func validRelURL(s string) bool {
+	if s == "" {
+		return false
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return false
+	}
+	// Absolute URLs would let a tampered manifest redirect a replica's
+	// fetch to an arbitrary host; the artifact must come from the
+	// distributor the operator joined.
+	return u.Scheme == "" && u.Host == "" && u.Path != ""
+}
+
+// ParseManifest decodes and validates a /fleet/manifest response.
+// Every failure wraps ErrBadManifest.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if m.Seq == 0 {
+		return nil, fmt.Errorf("%w: seq must be >= 1", ErrBadManifest)
+	}
+	if !validHash(m.ContentHash) {
+		return nil, fmt.Errorf("%w: content_hash %q is not 64 lowercase hex digits", ErrBadManifest, m.ContentHash)
+	}
+	if m.Size <= 0 {
+		return nil, fmt.Errorf("%w: size %d must be positive", ErrBadManifest, m.Size)
+	}
+	if !validRelURL(m.SnapshotURL) {
+		return nil, fmt.Errorf("%w: snapshot_url %q is not a relative URL path", ErrBadManifest, m.SnapshotURL)
+	}
+	if d := m.Delta; d != nil {
+		if !validHash(d.BaseHash) {
+			return nil, fmt.Errorf("%w: delta base_hash %q is not 64 lowercase hex digits", ErrBadManifest, d.BaseHash)
+		}
+		if d.BaseHash == m.ContentHash {
+			return nil, fmt.Errorf("%w: delta base_hash equals content_hash", ErrBadManifest)
+		}
+		if m.Delta.Size <= 0 {
+			return nil, fmt.Errorf("%w: delta size %d must be positive", ErrBadManifest, d.Size)
+		}
+		if !validRelURL(d.URL) {
+			return nil, fmt.Errorf("%w: delta url %q is not a relative URL path", ErrBadManifest, d.URL)
+		}
+	}
+	return &m, nil
+}
+
+// ParseHeartbeat decodes and validates a replica heartbeat. Every
+// failure wraps ErrBadHeartbeat.
+func ParseHeartbeat(data []byte) (*Heartbeat, error) {
+	var h Heartbeat
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeartbeat, err)
+	}
+	if h.ID == "" {
+		return nil, fmt.Errorf("%w: missing replica id", ErrBadHeartbeat)
+	}
+	if len(h.ID) > maxIDLen {
+		return nil, fmt.Errorf("%w: replica id longer than %d bytes", ErrBadHeartbeat, maxIDLen)
+	}
+	if !validHash(h.ContentHash) {
+		return nil, fmt.Errorf("%w: content_hash %q is not 64 lowercase hex digits", ErrBadHeartbeat, h.ContentHash)
+	}
+	if len(h.Addr) > maxIDLen {
+		return nil, fmt.Errorf("%w: addr longer than %d bytes", ErrBadHeartbeat, maxIDLen)
+	}
+	return &h, nil
+}

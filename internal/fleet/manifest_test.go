@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const (
+	hashA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	hashB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+)
+
+func TestParseManifestValid(t *testing.T) {
+	m, err := ParseManifest([]byte(`{
+		"seq": 7,
+		"content_hash": "` + hashA + `",
+		"size": 1024,
+		"snapshot_url": "/fleet/snapshot?hash=` + hashA + `",
+		"delta": {"base_hash": "` + hashB + `", "url": "/fleet/delta?base=` + hashB + `", "size": 64}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseManifest: %v", err)
+	}
+	if m.Seq != 7 || m.ContentHash != hashA || m.Size != 1024 {
+		t.Fatalf("manifest fields wrong: %+v", m)
+	}
+	if m.Delta == nil || m.Delta.BaseHash != hashB || m.Delta.Size != 64 {
+		t.Fatalf("delta fields wrong: %+v", m.Delta)
+	}
+}
+
+func TestParseManifestRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"seq":`,
+		"zero seq":        `{"seq":0,"content_hash":"` + hashA + `","size":1,"snapshot_url":"/s"}`,
+		"short hash":      `{"seq":1,"content_hash":"abc","size":1,"snapshot_url":"/s"}`,
+		"uppercase hash":  `{"seq":1,"content_hash":"` + strings.ToUpper(hashA) + `","size":1,"snapshot_url":"/s"}`,
+		"zero size":       `{"seq":1,"content_hash":"` + hashA + `","size":0,"snapshot_url":"/s"}`,
+		"negative size":   `{"seq":1,"content_hash":"` + hashA + `","size":-5,"snapshot_url":"/s"}`,
+		"empty url":       `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":""}`,
+		"absolute url":    `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"http://evil.example/x"}`,
+		"bad url":         `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"::bad::"}`,
+		"delta bad hash":  `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"/s","delta":{"base_hash":"xyz","url":"/d","size":1}}`,
+		"delta self base": `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"/s","delta":{"base_hash":"` + hashA + `","url":"/d","size":1}}`,
+		"delta zero size": `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"/s","delta":{"base_hash":"` + hashB + `","url":"/d","size":0}}`,
+		"delta abs url":   `{"seq":1,"content_hash":"` + hashA + `","size":1,"snapshot_url":"/s","delta":{"base_hash":"` + hashB + `","url":"https://evil/d","size":1}}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseManifest([]byte(in)); !errors.Is(err, ErrBadManifest) {
+			t.Errorf("%s: err = %v, want ErrBadManifest", name, err)
+		}
+	}
+}
+
+func TestParseHeartbeatValid(t *testing.T) {
+	h, err := ParseHeartbeat([]byte(`{"id":"r1","seq":3,"content_hash":"` + hashA + `","addr":":8081"}`))
+	if err != nil {
+		t.Fatalf("ParseHeartbeat: %v", err)
+	}
+	if h.ID != "r1" || h.Seq != 3 || h.ContentHash != hashA || h.Addr != ":8081" {
+		t.Fatalf("heartbeat fields wrong: %+v", h)
+	}
+}
+
+func TestParseHeartbeatRejects(t *testing.T) {
+	longID := strings.Repeat("x", maxIDLen+1)
+	cases := map[string]string{
+		"not json":   `{`,
+		"no id":      `{"seq":1,"content_hash":"` + hashA + `"}`,
+		"long id":    `{"id":"` + longID + `","seq":1,"content_hash":"` + hashA + `"}`,
+		"bad hash":   `{"id":"r1","seq":1,"content_hash":"zz"}`,
+		"long addr":  `{"id":"r1","seq":1,"content_hash":"` + hashA + `","addr":"` + longID + `"}`,
+		"array body": `[1,2,3]`,
+	}
+	for name, in := range cases {
+		if _, err := ParseHeartbeat([]byte(in)); !errors.Is(err, ErrBadHeartbeat) {
+			t.Errorf("%s: err = %v, want ErrBadHeartbeat", name, err)
+		}
+	}
+}
+
+// FuzzParseManifest holds the manifest decoder to its contract: any
+// input yields either a validated manifest or an error wrapping
+// ErrBadManifest — never a panic, never a half-validated value.
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"content_hash":"` + hashA + `","size":10,"snapshot_url":"/fleet/snapshot?hash=` + hashA + `"}`))
+	f.Add([]byte(`{"seq":0}`))
+	f.Add([]byte(`{"seq":-1,"size":-99}`))
+	f.Add([]byte(`{"seq":1,"content_hash":"` + hashA + `","size":10,"snapshot_url":"/s","delta":{"base_hash":"` + hashB + `","url":"/d","size":5}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if m.Seq == 0 || !validHash(m.ContentHash) || m.Size <= 0 || !validRelURL(m.SnapshotURL) {
+			t.Fatalf("invalid manifest passed validation: %+v", m)
+		}
+		if m.Delta != nil && (!validHash(m.Delta.BaseHash) || m.Delta.Size <= 0 || !validRelURL(m.Delta.URL)) {
+			t.Fatalf("invalid delta passed validation: %+v", m.Delta)
+		}
+	})
+}
+
+// FuzzParseHeartbeat is FuzzParseManifest for the heartbeat decoder.
+func FuzzParseHeartbeat(f *testing.F) {
+	f.Add([]byte(`{"id":"r1","seq":1,"content_hash":"` + hashA + `"}`))
+	f.Add([]byte(`{"id":""}`))
+	f.Add([]byte(`{"seq":18446744073709551615}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHeartbeat(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadHeartbeat) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if h.ID == "" || len(h.ID) > maxIDLen || !validHash(h.ContentHash) {
+			t.Fatalf("invalid heartbeat passed validation: %+v", h)
+		}
+	})
+}

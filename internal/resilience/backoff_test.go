@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPolicyBackoffExported covers the exported Backoff schedule used
+// by callers running their own retry loops (the watch reconnect loop,
+// the fleet follower): doubling from BaseDelay, n<1 clamped, MaxDelay
+// cap, and Retry-After hints replacing the computed delay.
+func TestPolicyBackoffExported(t *testing.T) {
+	p := &Policy{BaseDelay: 100 * time.Millisecond, Jitter: -1}
+	if got := p.Backoff(1, nil); got != 100*time.Millisecond {
+		t.Fatalf("Backoff(1) = %v, want 100ms", got)
+	}
+	if got := p.Backoff(3, nil); got != 400*time.Millisecond {
+		t.Fatalf("Backoff(3) = %v, want 400ms", got)
+	}
+	if got := p.Backoff(0, nil); got != 100*time.Millisecond {
+		t.Fatalf("Backoff(0) = %v, want clamp to first delay", got)
+	}
+
+	capped := &Policy{BaseDelay: 10 * time.Second, MaxDelay: 15 * time.Second, Jitter: -1}
+	if got := capped.Backoff(4, nil); got != 15*time.Second {
+		t.Fatalf("capped Backoff(4) = %v, want 15s", got)
+	}
+
+	hinted := &Policy{BaseDelay: 100 * time.Millisecond, Jitter: -1}
+	err := &StatusError{Code: 429, RetryAfter: 5 * time.Second}
+	if got := hinted.Backoff(1, err); got != 5*time.Second {
+		t.Fatalf("hinted Backoff = %v, want the 5s Retry-After", got)
+	}
+
+	// Default jitter shaves at most 20% off the computed delay.
+	jittered := &Policy{BaseDelay: 100 * time.Millisecond, Seed: 9}
+	for i := 0; i < 10; i++ {
+		d := jittered.Backoff(2, nil)
+		if d < 160*time.Millisecond || d > 200*time.Millisecond {
+			t.Fatalf("jittered Backoff(2) = %v, want within [160ms, 200ms]", d)
+		}
+	}
+}

@@ -147,6 +147,18 @@ func (p *Policy) backoff(n int, err error) time.Duration {
 	return d
 }
 
+// Backoff exposes the policy's backoff schedule for callers that run
+// their own retry loop (a watch stream that reconnects forever cannot
+// use Do's bounded attempts): the wait before attempt n+1 given n
+// completed failures, with the same cap, jitter, and Retry-After
+// handling Do applies.
+func (p *Policy) Backoff(n int, err error) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	return p.backoff(n, err)
+}
+
 func (p *Policy) jitterFraction() float64 {
 	switch {
 	case p.Jitter < 0:

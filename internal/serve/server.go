@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -115,6 +116,18 @@ type Options struct {
 	// reload publishes is evicted rather than allowed to block the
 	// swap or balloon memory.
 	WatchBuffer int
+	// OnSwap, when non-nil, observes every successfully published
+	// snapshot — the initial one is not reported, only reload swaps.
+	// It runs with the reload latch held (swaps are serialized), so a
+	// slow callback delays subsequent reloads, never lookups. Fleet
+	// distributors use it to publish artifacts; -snapshot-out uses it
+	// to persist the latest snapshot for the next cold start.
+	OnSwap func(*Snapshot)
+	// ExtraMetrics, when non-nil, appends additional Prometheus text
+	// blocks to every /metrics response after the server's own series —
+	// how the fleet layer exports borgesd_fleet_* without the serve
+	// package knowing about it.
+	ExtraMetrics func(io.Writer)
 	// now overrides the clock in tests.
 	now func() time.Time
 	// testHold, when set, is called with the endpoint name after
@@ -325,6 +338,9 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 			delta = mapdiff.ComputeDelta(old.Mapping(), next.Mapping())
 		}
 		s.watch.publish(next, delta)
+	}
+	if s.opts.OnSwap != nil {
+		s.opts.OnSwap(next)
 	}
 	d := s.opts.now().Sub(start)
 	s.metrics.ObserveReload(true)
@@ -745,6 +761,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.admission != nil {
 		s.admission.WriteMetrics(w)
 	}
+	if s.opts.ExtraMetrics != nil {
+		s.opts.ExtraMetrics(w)
+	}
 }
 
 // Serve listens on addr and serves snap until ctx is cancelled, then
@@ -765,6 +784,15 @@ func Serve(ctx context.Context, addr string, snap *Snapshot, opts Options) error
 
 // ServeListener serves on an existing listener until ctx is cancelled.
 func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	return s.ServeHandler(ctx, ln, s.Handler())
+}
+
+// ServeHandler is ServeListener with a caller-supplied handler —
+// typically the server's own Handler wrapped with extra routes (the
+// fleet distributor mounts /fleet/* this way). Shutdown discipline is
+// identical: the watch hub closes first so SSE streams end, then
+// in-flight requests drain.
+func (s *Server) ServeHandler(ctx context.Context, ln net.Listener, handler http.Handler) error {
 	// No BaseContext wiring ctx into requests: cancellation must stop
 	// accepting, not kill in-flight requests — Shutdown drains them.
 	// The read/write timeouts bound a whole connection's I/O; the
@@ -772,7 +800,7 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	// per chunk via http.ResponseController, so a legitimate long
 	// stream outlives them while a stalled peer still gets cut off.
 	hs := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       s.opts.RequestTimeout,
 		WriteTimeout:      2 * s.opts.RequestTimeout,
