@@ -426,6 +426,49 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) { return serve.LoadSnapshot(r)
 // LoadSnapshotFile decodes the binary snapshot artifact at path.
 func LoadSnapshotFile(path string) (*Snapshot, error) { return serve.LoadSnapshotFile(path) }
 
+// Storage integrity layer: generation ring, canary-gated swaps, and
+// background scrubbing.
+type (
+	// GenerationRing keeps the last N verified snapshot artifacts on
+	// disk so every swap is reversible (POST /admin/rollback, automatic
+	// rollback after a failed health probe). Nothing in the ring serves
+	// without a full decode re-verifying its content hash.
+	GenerationRing = serve.GenerationRing
+	// SnapshotGeneration describes one verified artifact in the ring,
+	// as surfaced by /v1/stats lineage.
+	SnapshotGeneration = serve.Generation
+	// CanaryConfig tunes the pre-swap canary: a deterministic sample of
+	// lookups and searches replayed against every candidate snapshot
+	// before it can serve. The zero value is on with defaults; set
+	// Disable to promote unchecked.
+	CanaryConfig = serve.CanaryConfig
+	// ScrubTarget is one store the background scrubber sweeps.
+	ScrubTarget = serve.ScrubTarget
+	// ScrubResult is one target's outcome for a single scrub pass.
+	ScrubResult = serve.ScrubResult
+	// ScrubSummary aggregates a full scrub cycle: totals, the health
+	// probe outcome, and any automatic rollback it triggered.
+	ScrubSummary = serve.ScrubSummary
+)
+
+// Storage integrity sentinel errors.
+var (
+	// ErrCanaryRejected: a candidate snapshot failed the pre-swap
+	// canary and was refused (HTTP 422 on /admin/reload).
+	ErrCanaryRejected = serve.ErrCanaryRejected
+	// ErrNoVerifiedGeneration: a rollback found no on-disk generation
+	// other than the serving one that decodes and verifies.
+	ErrNoVerifiedGeneration = serve.ErrNoVerifiedGeneration
+)
+
+// NewGenerationRing opens (creating if needed) a generation ring
+// directory and adopts every artifact in it that still decodes and
+// verifies; corrupt files are quarantined immediately. Set the result
+// as ServeOptions.Generations.
+func NewGenerationRing(dir string, keep int, logf func(format string, args ...any)) (*GenerationRing, error) {
+	return serve.NewGenerationRing(dir, keep, nil, logf)
+}
+
 // Serve listens on addr and serves the snapshot's JSON lookup API
 // (/v1/as/{asn}, /v1/org/{id}, /v1/search, /v1/bulk, /v1/watch,
 // /v1/stats, /admin/reload, /healthz, /metrics) until ctx is

@@ -51,6 +51,8 @@
 //	                      resumes after a disconnect
 //	GET  /v1/stats        θ, org/ASN counts, size histogram
 //	POST /admin/reload    re-read -mapping (or re-run the pipeline)
+//	POST /admin/rollback  swap back to the newest verified generation
+//	                      (with -keep-generations)
 //	GET  /healthz         liveness + snapshot age + degraded/ok run health
 //	GET  /metrics         Prometheus text format
 //	GET  /debug/pprof/*   runtime profiles (only with -pprof)
@@ -108,6 +110,12 @@ func main() {
 	bulkMaxLines := flag.Int("bulk-max-lines", 0, "max input lines per /v1/bulk request (0 = default 1048576)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "max request body bytes on body-reading endpoints (0 = default 64 MiB)")
 	watchBuffer := flag.Int("watch-buffer", 0, "per-subscriber /v1/watch event queue depth; a subscriber this many reloads behind is evicted (0 = default 64)")
+	keepGenerations := flag.Int("keep-generations", 0, "keep the last N verified snapshot generations on disk for rollback (0 disables the generation ring)")
+	generationsDir := flag.String("generations-dir", "borgesd-generations", "directory holding the generation ring (with -keep-generations)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background integrity-scrub period: re-verify generations, -snapshot-out, and replica last-good artifacts, quarantining corruption; a failed post-scrub health probe auto-rolls back (0 disables)")
+	noCanary := flag.Bool("no-canary", false, "skip the canary check that replays sampled lookups against every candidate snapshot before it swaps in")
+	canarySamples := flag.Int("canary-samples", 0, "lookups the canary replays per candidate snapshot (0 = default 64)")
+	canaryThetaTol := flag.Float64("canary-theta-tol", 0, "reject a candidate whose θ differs from the serving snapshot's by more than this (0 disables the θ gate)")
 	fleetMode := flag.Bool("fleet", false, "distributor mode: publish versioned snapshot artifacts on /fleet/* for replicas to follow")
 	join := flag.String("join", "", "replica mode: follow the distributor at this base URL (e.g. http://host:8080); snapshots come from it, not from -mapping/-snapshot-in")
 	replicaID := flag.String("replica-id", "", "replica identity in heartbeats and /fleet/status (default hostname-pid)")
@@ -145,20 +153,28 @@ func main() {
 		opts.DeltaSource = borges.MappingDeltaFileSource(*deltaIn)
 	}
 
-	if *snapshotOut != "" {
-		// Persist after every successful reload, not just at boot, so a
-		// restart serves the latest data. The write is atomic (temp,
-		// fsync, rename) and runs with the reload latch held — it can
-		// delay the next reload, never a lookup.
-		out := *snapshotOut
-		opts.OnSwap = func(s *borges.Snapshot) {
-			hash, err := borges.WriteSnapshotFile(out, s)
-			if err != nil {
-				log.Printf("snapshot-out: %v", err)
-				return
-			}
-			log.Printf("persisted reloaded snapshot %s (hash %.12s)", out, hash)
+	// Snapshot persistence after every successful swap is handled by
+	// the serving layer: best-effort (a failed write is logged and
+	// counted as borgesd_snapshot_persist_errors_total, never fails the
+	// swap), atomic, and scrubbed for at-rest corruption.
+	opts.SnapshotOut = *snapshotOut
+	opts.Canary = borges.CanaryConfig{
+		Disable:        *noCanary,
+		Samples:        *canarySamples,
+		ThetaTolerance: *canaryThetaTol,
+	}
+	opts.ScrubInterval = *scrubInterval
+
+	var ring *borges.GenerationRing
+	if *keepGenerations > 0 {
+		var err error
+		ring, err = borges.NewGenerationRing(*generationsDir, *keepGenerations, opts.Logf)
+		if err != nil {
+			log.Fatal(err)
 		}
+		opts.Generations = ring
+		log.Printf("generation ring at %s keeps %d verified snapshots (%d recovered)",
+			*generationsDir, *keepGenerations, ring.Len())
 	}
 
 	if *join != "" {
@@ -184,6 +200,11 @@ func main() {
 			log.Fatal(err)
 		}
 		snap := rep.Server().Snapshot()
+		if ring != nil {
+			if _, err := ring.Record(snap, time.Now()); err != nil {
+				log.Printf("generation ring: %v", err)
+			}
+		}
 		st := snap.Stats()
 		log.Printf("replica %s serving %d organizations / %d networks (hash %.12s) on %s, following %s",
 			id, st.Orgs, st.ASNs, snap.ContentHash(), *addr, *join)
@@ -258,11 +279,22 @@ func main() {
 	}
 
 	if *snapshotOut != "" {
-		hash, err := borges.WriteSnapshotFile(*snapshotOut, snap)
-		if err != nil {
-			log.Fatal(err)
+		// Boot-time persistence failing is a warning, not a reason to
+		// refuse service: the snapshot is in memory and serving, the
+		// persist-error metric reflects the miss, and the scrubber (or
+		// the next successful swap) rewrites the artifact.
+		if hash, err := borges.WriteSnapshotFile(*snapshotOut, snap); err != nil {
+			log.Printf("snapshot-out: %v (continuing without boot persistence)", err)
+		} else {
+			log.Printf("wrote binary snapshot %s (hash %.12s)", *snapshotOut, hash)
 		}
-		log.Printf("wrote binary snapshot %s (hash %.12s)", *snapshotOut, hash)
+	}
+	if ring != nil {
+		// The boot snapshot becomes generation one, so the very first
+		// reload is already reversible.
+		if _, err := ring.Record(snap, time.Now()); err != nil {
+			log.Printf("generation ring: %v", err)
+		}
 	}
 
 	st := snap.Stats()

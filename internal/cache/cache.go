@@ -41,6 +41,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/nu-aqualab/borges/internal/vfs"
 )
 
 // Options configure a Cache. The zero value is usable: an in-memory
@@ -53,6 +55,9 @@ type Options struct {
 	// Dir/entries.jsonl and replayed (by offset, not into memory) when
 	// a Cache is reopened on the same directory.
 	Dir string
+	// FS overrides the filesystem the disk tier uses (default the real
+	// one). Chaos tests substitute a deterministic fault filesystem.
+	FS vfs.FS
 }
 
 // DefaultMaxEntries is the default in-memory LRU capacity.
@@ -72,6 +77,11 @@ type Stats struct {
 	Dedups int64
 	// Evictions counts LRU entries dropped from the memory tier.
 	Evictions int64
+	// CorruptRecords counts disk-tier reads whose per-record content
+	// hash (or JSONL framing) failed verification. Each such record is
+	// dropped from the disk index — the lookup becomes a miss, and the
+	// next Put for that key re-appends a fresh, intact line.
+	CorruptRecords int64
 	// Entries is the current memory-tier size; DiskEntries counts keys
 	// indexed in the disk log.
 	Entries     int
@@ -105,14 +115,19 @@ type Cache struct {
 	// Disk tier. offsets maps key → byte offset of its JSONL line;
 	// log is the append handle (also used for ReadAt).
 	offsets map[string]int64
-	log     *os.File
+	log     vfs.File
 	logSize int64
 }
 
-// diskLine is the JSONL wire form of one disk-tier entry.
+// diskLine is the JSONL wire form of one disk-tier entry. H is the hex
+// SHA-256 of V, written on every append and verified on every read, so
+// a record silently damaged at rest (bit rot, torn sector) is detected
+// instead of served. Lines from logs written before H existed carry no
+// hash and are accepted as-is.
 type diskLine struct {
 	K string `json:"k"`
 	V []byte `json:"v"` // encoding/json base64-encodes []byte
+	H string `json:"h,omitempty"`
 }
 
 // New opens a Cache. With Options.Dir set, an existing log in that
@@ -136,11 +151,12 @@ func New(opts Options) (*Cache, error) {
 }
 
 func (c *Cache) openLog(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.Or(c.opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cache: create dir: %w", err)
 	}
 	path := filepath.Join(dir, "entries.jsonl")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("cache: open log: %w", err)
 	}
@@ -212,7 +228,8 @@ func (c *Cache) getLocked(key string, count bool) ([]byte, bool) {
 		return el.Value.(*entry).val, true
 	}
 	if off, ok := c.offsets[key]; ok && c.log != nil {
-		if val, err := c.readAt(off, key); err == nil {
+		val, err := c.readAt(off, key)
+		if err == nil {
 			c.putLocked(key, val)
 			if count {
 				c.stats.Hits++
@@ -220,6 +237,13 @@ func (c *Cache) getLocked(key string, count bool) ([]byte, bool) {
 			}
 			return val, true
 		}
+		// The record is damaged (hash mismatch, torn framing, wrong
+		// key at the offset). Drop it from the disk index: this lookup
+		// is a miss, and because appendLocked skips only keys still in
+		// offsets, the next Put for this key writes a fresh line — the
+		// log self-heals instead of replaying corruption forever.
+		c.stats.CorruptRecords++
+		delete(c.offsets, key)
 	}
 	if count {
 		c.stats.Misses++
@@ -251,6 +275,12 @@ func (c *Cache) readAt(off int64, key string) ([]byte, error) {
 	}
 	if dl.K != key {
 		return nil, fmt.Errorf("cache: log offset %d holds key %.16s…, want %.16s…", off, dl.K, key)
+	}
+	if dl.H != "" {
+		sum := sha256.Sum256(dl.V)
+		if dl.H != hex.EncodeToString(sum[:]) {
+			return nil, fmt.Errorf("cache: log offset %d record hash mismatch for %.16s…", off, key)
+		}
 	}
 	return dl.V, nil
 }
@@ -286,7 +316,8 @@ func (c *Cache) appendLocked(key string, val []byte) error {
 	if _, ok := c.offsets[key]; ok {
 		return nil // already durable; identical by content-addressing
 	}
-	line, err := json.Marshal(diskLine{K: key, V: val})
+	sum := sha256.Sum256(val)
+	line, err := json.Marshal(diskLine{K: key, V: val, H: hex.EncodeToString(sum[:])})
 	if err != nil {
 		return fmt.Errorf("cache: encode log line: %w", err)
 	}
@@ -335,6 +366,29 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func(ctx context
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.val, fl.err
+}
+
+// Scrub re-reads and re-verifies every record indexed in the disk log,
+// dropping corrupt ones from the index (each becomes a future miss and
+// is re-written by the next Put). It returns how many records were
+// checked and how many were found corrupt; the background scrubber
+// wires this in as a scrub target. Safe to call concurrently with
+// serving traffic — it holds the cache lock like any other operation.
+func (c *Cache) Scrub() (checked, corrupt int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return 0, 0
+	}
+	for key, off := range c.offsets {
+		checked++
+		if _, err := c.readAt(off, key); err != nil {
+			corrupt++
+			c.stats.CorruptRecords++
+			delete(c.offsets, key)
+		}
+	}
+	return checked, corrupt
 }
 
 // Stats returns a snapshot of the cache's counters.

@@ -1,0 +1,470 @@
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/nu-aqualab/borges/internal/vfs"
+)
+
+// FSKind is a disk fault variety. The set mirrors how durable storage
+// actually decays: writes tear or lose their fsync, reads come back
+// flipped or short.
+type FSKind int
+
+const (
+	// FSKindShortWrite accepts roughly half of a Write and then fails
+	// with ErrShortWrite — a torn write. The bytes that landed stay in
+	// the file, exactly like a crash mid-write.
+	FSKindShortWrite FSKind = iota
+	// FSKindSyncError fails File.Sync — the write-back cache lied and
+	// the kernel noticed at fsync time (the classic "disk full /
+	// EIO at fsync" failure).
+	FSKindSyncError
+	// FSKindFlipByte serves reads with one deterministically chosen
+	// byte inverted — at-rest bit rot that only content verification
+	// catches (size and structure look healthy).
+	FSKindFlipByte
+	// FSKindTruncateRead serves reads as if the file ended at roughly
+	// half its real size — a torn artifact observed at read time.
+	FSKindTruncateRead
+)
+
+// String implements fmt.Stringer.
+func (k FSKind) String() string {
+	switch k {
+	case FSKindShortWrite:
+		return "short-write"
+	case FSKindSyncError:
+		return "sync-error"
+	case FSKindFlipByte:
+		return "flip-byte"
+	case FSKindTruncateRead:
+		return "truncate-read"
+	default:
+		return "unknown"
+	}
+}
+
+var allFSKinds = []FSKind{FSKindShortWrite, FSKindSyncError, FSKindFlipByte, FSKindTruncateRead}
+
+// FSConfig shapes a fault filesystem. The zero value injects nothing.
+type FSConfig struct {
+	// Seed determines every path's fate. Two fault filesystems with the
+	// same seed, root, and config agree on which paths fail and how.
+	Seed int64
+	// Rate is the fraction of paths that are faulted, in [0, 1].
+	Rate float64
+	// PersistentRate is the fraction of *faulted* paths whose
+	// write-side faults (short write, sync error) fire on every
+	// attempt rather than only the first, in [0, 1]. Read-side faults
+	// (flip, truncate) model at-rest damage and are always persistent.
+	PersistentRate float64
+	// Kinds restricts which fault varieties are drawn. Empty means all.
+	Kinds []FSKind
+	// PathContains, when non-empty, exempts any path whose root-relative
+	// form does not contain the substring — chaos aimed at one artifact
+	// family (".snapbin", "cache.log") without collateral damage.
+	PathContains string
+	// Force pins explicit fates by root-relative (slash-separated) path,
+	// overriding the seeded draw. Forced faults follow PersistentRate
+	// semantics only if ForceTransient is set; by default they are
+	// persistent. Tests use Force for surgical, readable setups and the
+	// seeded draw for storms.
+	Force map[string]FSKind
+	// ForceTransient makes forced write-side faults transient (first
+	// attempt only) instead of persistent.
+	ForceTransient bool
+}
+
+// FaultFS wraps an inner vfs.FS and injects deterministic disk faults.
+// A path's fate is a pure function of (seed, path-relative-to-root):
+// t.TempDir() roots vary per run, but relative artifact names do not,
+// so fixed-seed suites reproduce bit-for-bit. The ledger counts every
+// injection per path, giving chaos tests exact-count assertions under
+// -race.
+type FaultFS struct {
+	inner vfs.FS
+	root  string
+	cfg   FSConfig
+	kinds []FSKind
+
+	mu    sync.Mutex
+	paths map[string]*fsPathState
+}
+
+type fsPathState struct {
+	fate      fsFate
+	attempts  int // write-side attempts (Write/Sync on opened handles)
+	reads     int
+	writes    int
+	injected  int
+	readFault bool // a read-side fault fired at least once
+}
+
+type fsFate struct {
+	faulted    bool
+	persistent bool
+	kind       FSKind
+}
+
+// NewFS wraps inner with deterministic fault injection. Paths are
+// keyed relative to root; paths outside root use their cleaned
+// absolute form (still deterministic, but run-dependent — keep chaos
+// inside root).
+func NewFS(inner vfs.FS, root string, cfg FSConfig) *FaultFS {
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = allFSKinds
+	}
+	return &FaultFS{
+		inner: vfs.Or(inner),
+		root:  filepath.Clean(root),
+		cfg:   cfg,
+		kinds: kinds,
+		paths: make(map[string]*fsPathState),
+	}
+}
+
+// Key returns the ledger key for path: its slash-separated form
+// relative to the configured root.
+func (f *FaultFS) Key(path string) string {
+	rel, err := filepath.Rel(f.root, filepath.Clean(path))
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Clean(path))
+	}
+	return filepath.ToSlash(rel)
+}
+
+func (f *FaultFS) fateOf(key string) fsFate {
+	if forced, ok := f.cfg.Force[key]; ok {
+		return fsFate{faulted: true, persistent: !f.cfg.ForceTransient, kind: forced}
+	}
+	if f.cfg.Rate <= 0 {
+		return fsFate{}
+	}
+	if f.cfg.PathContains != "" && !strings.Contains(key, f.cfg.PathContains) {
+		return fsFate{}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, strconv.FormatInt(f.cfg.Seed, 10))
+	io.WriteString(h, "\x00fs\x00")
+	io.WriteString(h, key)
+	sum := h.Sum64()
+	if fraction(sum) >= f.cfg.Rate {
+		return fsFate{}
+	}
+	sum = whiten(sum)
+	persistent := fraction(sum) < f.cfg.PersistentRate
+	sum = whiten(sum)
+	return fsFate{faulted: true, persistent: persistent, kind: f.kinds[sum%uint64(len(f.kinds))]}
+}
+
+// state returns (creating if needed) the ledger entry for key.
+func (f *FaultFS) state(key string) *fsPathState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.paths[key]
+	if !ok {
+		st = &fsPathState{fate: f.fateOf(key)}
+		f.paths[key] = st
+	}
+	return st
+}
+
+// writeFaultFor reports whether the next write-side attempt on key is
+// faulted, advancing the attempt ordinal. Transient fates fault only
+// the first attempt.
+func (f *FaultFS) writeFaultFor(key string) (bool, FSKind) {
+	st := f.state(key)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st.attempts++
+	fate := st.fate
+	if !fate.faulted || (fate.kind != FSKindShortWrite && fate.kind != FSKindSyncError) {
+		return false, 0
+	}
+	if !fate.persistent && st.attempts > 1 {
+		return false, 0
+	}
+	st.injected++
+	return true, fate.kind
+}
+
+// readFaultFor reports the read-side fault (if any) on key. Read
+// faults model at-rest damage, so they are unconditional for the
+// path's lifetime; the ledger records that corruption was observed.
+func (f *FaultFS) readFaultFor(key string) (bool, FSKind) {
+	st := f.state(key)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fate := st.fate
+	if !fate.faulted || (fate.kind != FSKindFlipByte && fate.kind != FSKindTruncateRead) {
+		return false, 0
+	}
+	st.injected++
+	st.readFault = true
+	return true, fate.kind
+}
+
+// flipPos derives the deterministic byte position to invert for key in
+// a payload of size n.
+func (f *FaultFS) flipPos(key string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, strconv.FormatInt(f.cfg.Seed, 10))
+	io.WriteString(h, "\x00flip\x00")
+	io.WriteString(h, key)
+	return int(whiten(h.Sum64()) % uint64(n))
+}
+
+// FSStats is a fault filesystem's ledger summary.
+type FSStats struct {
+	// Paths counts distinct paths seen.
+	Paths int
+	// Injected counts faulted operations across all paths.
+	Injected int
+	// CorruptReadPaths lists paths whose reads were served corrupted
+	// (flipped or truncated) at least once, sorted.
+	CorruptReadPaths []string
+	// WriteFaultPaths lists paths that suffered at least one short
+	// write or sync error, sorted.
+	WriteFaultPaths []string
+}
+
+// Stats summarizes the ledger.
+func (f *FaultFS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FSStats{Paths: len(f.paths)}
+	for key, st := range f.paths {
+		s.Injected += st.injected
+		if st.readFault {
+			s.CorruptReadPaths = append(s.CorruptReadPaths, key)
+		}
+		if st.injected > 0 && (st.fate.kind == FSKindShortWrite || st.fate.kind == FSKindSyncError) {
+			s.WriteFaultPaths = append(s.WriteFaultPaths, key)
+		}
+	}
+	sortStrings(s.CorruptReadPaths)
+	sortStrings(s.WriteFaultPaths)
+	return s
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// --- vfs.FS implementation ---
+
+func (f *FaultFS) Open(name string) (vfs.File, error) {
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(inner, name), nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(inner, name), nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (vfs.File, error) {
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	// Temp files inherit the fate of the *destination*, not the random
+	// temp name: the atomic-write idiom (CreateTemp "x.tmp-*" → rename
+	// to "x") must draw one stable fate per logical artifact or fixed
+	// seeds could not target it.
+	base := pattern
+	if i := strings.Index(base, ".tmp-"); i >= 0 {
+		base = base[:i]
+	} else {
+		base = strings.TrimRight(base, "*-")
+	}
+	return &faultFile{File: inner, fs: f, key: f.Key(filepath.Join(dir, base))}, nil
+}
+
+func (f *FaultFS) wrap(inner vfs.File, name string) vfs.File {
+	return &faultFile{File: inner, fs: f, key: f.Key(name)}
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.corruptRead(f.Key(name), data), nil
+}
+
+// corruptRead applies the path's read-side fault to a whole-file
+// payload.
+func (f *FaultFS) corruptRead(key string, data []byte) []byte {
+	inject, kind := f.readFaultFor(key)
+	if !inject || len(data) == 0 {
+		return data
+	}
+	switch kind {
+	case FSKindFlipByte:
+		out := make([]byte, len(data))
+		copy(out, data)
+		out[f.flipPos(key, len(out))] ^= 0xff
+		return out
+	case FSKindTruncateRead:
+		return data[:len(data)/2]
+	}
+	return data
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	key := f.Key(name)
+	if inject, kind := f.writeFaultFor(key); inject {
+		switch kind {
+		case FSKindShortWrite:
+			// Land the torn prefix, then fail — like the kernel did.
+			_ = f.inner.WriteFile(name, data[:len(data)/2], perm)
+			return fmt.Errorf("faultinject: %s: %w", key, io.ErrShortWrite)
+		case FSKindSyncError:
+			return fmt.Errorf("faultinject: %s: sync error: %w", key, fs.ErrInvalid)
+		}
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	return f.inner.Stat(name)
+}
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FaultFS) SyncDir(path string) error                  { return f.inner.SyncDir(path) }
+
+// faultFile wraps an open handle. Write-side faults fire per attempt
+// (Write or Sync); read-side faults corrupt the view of the underlying
+// bytes without touching the file.
+type faultFile struct {
+	vfs.File
+	fs  *FaultFS
+	key string
+
+	mu  sync.Mutex
+	pos int64 // streaming-read offset for the corrupted view
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if inject, kind := ff.fs.writeFaultFor(ff.key); inject {
+		switch kind {
+		case FSKindShortWrite:
+			n, _ := ff.File.Write(p[:len(p)/2])
+			return n, fmt.Errorf("faultinject: %s: %w", ff.key, io.ErrShortWrite)
+		case FSKindSyncError:
+			// Sync faults let the write through; the error waits for
+			// Sync. Fall through to the real write.
+		}
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if inject, kind := ff.fs.writeFaultFor(ff.key); inject && kind == FSKindShortWrite {
+		n, _ := ff.File.WriteAt(p[:len(p)/2], off)
+		return n, fmt.Errorf("faultinject: %s: %w", ff.key, io.ErrShortWrite)
+	}
+	return ff.File.WriteAt(p, off)
+}
+
+func (ff *faultFile) Sync() error {
+	if inject, kind := ff.fs.writeFaultFor(ff.key); inject && kind == FSKindSyncError {
+		return fmt.Errorf("faultinject: %s: sync error: %w", ff.key, fs.ErrInvalid)
+	}
+	return ff.File.Sync()
+}
+
+// corruptView returns the faulted length of the file and whether a
+// flip applies, consulting the real size once per call.
+func (ff *faultFile) corruptView() (kind FSKind, limit int64, ok bool) {
+	inject, k := ff.fs.readFaultFor(ff.key)
+	if !inject {
+		return 0, 0, false
+	}
+	st, err := ff.File.Stat()
+	if err != nil {
+		return 0, 0, false
+	}
+	size := st.Size()
+	if k == FSKindTruncateRead {
+		return k, size / 2, true
+	}
+	return k, size, true
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	kind, limit, ok := ff.corruptView()
+	if !ok {
+		return ff.File.ReadAt(p, off)
+	}
+	if off >= limit {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > limit-off {
+		p = p[:limit-off]
+	}
+	n, err := ff.File.ReadAt(p, off)
+	if kind == FSKindFlipByte && n > 0 {
+		pos := int64(ff.fs.flipPos(ff.key, int(limit)))
+		if pos >= off && pos < off+int64(n) {
+			p[pos-off] ^= 0xff
+		}
+	}
+	if err == nil && int64(n)+off == limit && kind == FSKindTruncateRead {
+		err = io.EOF
+	}
+	return n, err
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	_, _, corrupt := ff.corruptView()
+	if !corrupt {
+		return ff.File.Read(p)
+	}
+	ff.mu.Lock()
+	pos := ff.pos
+	ff.mu.Unlock()
+	n, err := ff.ReadAt(p, pos)
+	ff.mu.Lock()
+	ff.pos += int64(n)
+	ff.mu.Unlock()
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := ff.File.Seek(offset, whence)
+	ff.mu.Lock()
+	ff.pos = pos
+	ff.mu.Unlock()
+	return pos, err
+}

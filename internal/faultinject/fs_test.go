@@ -1,0 +1,218 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/vfs"
+)
+
+// TestFaultFSDeterministic: two fault filesystems with the same seed
+// and config, over different absolute roots, agree on every
+// root-relative path's fate — the property that makes t.TempDir()
+// chaos runs reproduce bit-for-bit.
+func TestFaultFSDeterministic(t *testing.T) {
+	cfg := FSConfig{Seed: 42, Rate: 0.5, PersistentRate: 0.5}
+	a := NewFS(vfs.OS, "/rootA", cfg)
+	b := NewFS(vfs.OS, "/some/other/rootB", cfg)
+	diff := 0
+	faulted := 0
+	for i := 0; i < 200; i++ {
+		key := filepath.Join("gen", "artifact-"+string(rune('a'+i%26))+"-"+string(rune('0'+i/26))+".snapbin")
+		fa := a.fateOf(a.Key(filepath.Join("/rootA", key)))
+		fb := b.fateOf(b.Key(filepath.Join("/some/other/rootB", key)))
+		if fa != fb {
+			diff++
+		}
+		if fa.faulted {
+			faulted++
+		}
+	}
+	if diff != 0 {
+		t.Fatalf("%d fates differ across roots", diff)
+	}
+	if faulted == 0 || faulted == 200 {
+		t.Fatalf("faulted = %d/200, want a nontrivial fraction at Rate=0.5", faulted)
+	}
+}
+
+// TestFaultFSShortWrite: a forced short write tears WriteFile —
+// the prefix lands, the call errors — and the per-handle Write path
+// fails the same way.
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Force: map[string]FSKind{"artifact.bin": FSKindShortWrite},
+	})
+	path := filepath.Join(dir, "artifact.bin")
+	payload := []byte("0123456789abcdef")
+
+	err := ffs.WriteFile(path, payload, 0o644)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("WriteFile error = %v, want ErrShortWrite", err)
+	}
+	got, _ := os.ReadFile(path)
+	if len(got) != len(payload)/2 {
+		t.Fatalf("torn write left %d bytes, want %d", len(got), len(payload)/2)
+	}
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "artifact.bin"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	n, err := f.Write(payload)
+	if !errors.Is(err, io.ErrShortWrite) || n != len(payload)/2 {
+		t.Fatalf("Write = %d, %v; want %d, ErrShortWrite", n, err, len(payload)/2)
+	}
+	f.Close()
+
+	st := ffs.Stats()
+	if len(st.WriteFaultPaths) != 1 || st.WriteFaultPaths[0] != "artifact.bin" {
+		t.Fatalf("WriteFaultPaths = %v", st.WriteFaultPaths)
+	}
+}
+
+// TestFaultFSSyncError: writes land but Sync fails — the lying
+// write-back cache.
+func TestFaultFSSyncError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Force: map[string]FSKind{"last-good.snapbin": FSKindSyncError},
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "last-good.snapbin"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("Write should pass through under sync fault: %v", err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("Sync should fail")
+	}
+	f.Close()
+}
+
+// TestFaultFSTransientSyncError: with ForceTransient, only the first
+// write-side attempt faults — the retry heals, like the transport
+// harness's transient keys.
+func TestFaultFSTransientSyncError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Force:          map[string]FSKind{"x": FSKindSyncError},
+		ForceTransient: true,
+	})
+	path := filepath.Join(dir, "x")
+	f, _ := ffs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err := f.Sync(); err == nil {
+		t.Fatal("first Sync should fail")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync should heal: %v", err)
+	}
+	f.Close()
+}
+
+// TestFaultFSFlipByte: ReadFile serves exactly one inverted byte at a
+// stable position, and the file on disk is untouched.
+func TestFaultFSFlipByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen-000001.snapbin")
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Seed:  7,
+		Force: map[string]FSKind{"gen-000001.snapbin": FSKindFlipByte},
+	})
+	got1, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	got2, _ := ffs.ReadFile(path)
+	if string(got1) != string(got2) {
+		t.Fatal("flip position must be stable across reads")
+	}
+	diffs := 0
+	for i := range payload {
+		if got1[i] != payload[i] {
+			diffs++
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("flipped %d bytes, want exactly 1", diffs)
+	}
+	onDisk, _ := os.ReadFile(path)
+	if string(onDisk) != string(payload) {
+		t.Fatal("fault FS must not touch the file at rest")
+	}
+	st := ffs.Stats()
+	if len(st.CorruptReadPaths) != 1 || st.CorruptReadPaths[0] != "gen-000001.snapbin" {
+		t.Fatalf("CorruptReadPaths = %v", st.CorruptReadPaths)
+	}
+}
+
+// TestFaultFSTruncateRead: whole-file and handle reads both observe a
+// half-length file.
+func TestFaultFSTruncateRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	payload := make([]byte, 100)
+	os.WriteFile(path, payload, 0o644)
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Force: map[string]FSKind{"t.bin": FSKindTruncateRead},
+	})
+	got, err := ffs.ReadFile(path)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("ReadFile = %d bytes, %v; want 50", len(got), err)
+	}
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	all, err := io.ReadAll(f)
+	if err != nil || len(all) != 50 {
+		t.Fatalf("streamed read = %d bytes, %v; want 50", len(all), err)
+	}
+	if _, err := f.ReadAt(make([]byte, 10), 60); err != io.EOF {
+		t.Fatalf("ReadAt past truncated view = %v, want EOF", err)
+	}
+}
+
+// TestFaultFSPathContains: the substring filter exempts unrelated
+// paths from seeded chaos.
+func TestFaultFSPathContains(t *testing.T) {
+	ffs := NewFS(vfs.OS, "/r", FSConfig{Seed: 1, Rate: 1, PathContains: ".snapbin"})
+	if f := ffs.fateOf("cache/cache.log"); f.faulted {
+		t.Fatal("cache.log should be exempt")
+	}
+	if f := ffs.fateOf("gen/g1.snapbin"); !f.faulted {
+		t.Fatal("snapbin path should be faulted at Rate=1")
+	}
+}
+
+// TestFaultFSTempInheritsDestinationFate: the atomic-write temp file
+// (CreateTemp "x.tmp-*") draws the destination's fate, so Force and
+// seeded draws can target logical artifacts.
+func TestFaultFSTempInheritsDestinationFate(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(vfs.OS, dir, FSConfig{
+		Force: map[string]FSKind{"snap.bin": FSKindShortWrite},
+	})
+	f, err := ffs.CreateTemp(dir, "snap.bin.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if _, err := f.Write(make([]byte, 64)); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("temp write error = %v, want ErrShortWrite", err)
+	}
+	f.Close()
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/mapdiff"
 	"github.com/nu-aqualab/borges/internal/resilience"
 	"github.com/nu-aqualab/borges/internal/serve"
+	"github.com/nu-aqualab/borges/internal/vfs"
 )
 
 // errSuperseded reports that the artifact version a fetch asked for
@@ -48,6 +49,10 @@ type ReplicaOptions struct {
 	// HTTPClient overrides the fetch transport (default
 	// http.DefaultClient). Chaos tests inject faults here.
 	HTTPClient *http.Client
+	// FS overrides the filesystem used for last-good and .part I/O
+	// (default the real one). Chaos tests inject disk faults here the
+	// same way HTTPClient injects transport faults.
+	FS vfs.FS
 	// PollInterval is the manifest poll fallback period (default 5s).
 	// The watch stream and heartbeat responses usually deliver change
 	// notifications faster; the poll is the floor on staleness when
@@ -86,20 +91,23 @@ type Replica struct {
 	opts ReplicaOptions
 	base string // distributor URL, trailing slash trimmed
 	http *http.Client
+	fsys vfs.FS
 	exec *resilience.Executor
 	srv  *serve.Server
 
 	mu     sync.Mutex
 	staged *serve.Snapshot // verified, awaiting the server's swap
 
-	syncedSeq       atomic.Uint64
-	fullFetches     atomic.Int64
-	deltaFetches    atomic.Int64
-	deltaFallbacks  atomic.Int64
-	corruptRejected atomic.Int64
-	resumedFetches  atomic.Int64
-	watchReconnects atomic.Int64
-	heartbeatErrs   atomic.Int64
+	syncedSeq           atomic.Uint64
+	fullFetches         atomic.Int64
+	deltaFetches        atomic.Int64
+	deltaFallbacks      atomic.Int64
+	corruptRejected     atomic.Int64
+	resumedFetches      atomic.Int64
+	watchReconnects     atomic.Int64
+	heartbeatErrs       atomic.Int64
+	lastGoodQuarantined atomic.Int64
+	lastGoodRepairs     atomic.Int64
 }
 
 // NewReplica joins a distributor. Cold start prefers the local
@@ -140,6 +148,7 @@ func NewReplica(ctx context.Context, opts ReplicaOptions) (*Replica, error) {
 		opts: opts,
 		base: strings.TrimRight(opts.Distributor, "/"),
 		http: hc,
+		fsys: vfs.Or(opts.FS),
 		exec: &resilience.Executor{
 			Policy: &resilience.Policy{
 				MaxAttempts: opts.MaxAttempts,
@@ -160,6 +169,14 @@ func NewReplica(ctx context.Context, opts ReplicaOptions) (*Replica, error) {
 	}
 	serveOpts := opts.Serve
 	serveOpts.Prepared = r.prepared
+	if serveOpts.FS == nil {
+		serveOpts.FS = r.fsys
+	}
+	// The replica's last-good artifact joins the server's scrub sweep:
+	// corruption at rest is quarantined and repaired from the
+	// distributor instead of waiting to bite the next cold start.
+	serveOpts.ScrubTargets = append(append([]serve.ScrubTarget(nil), serveOpts.ScrubTargets...),
+		serve.ScrubTargetFunc("fleet-last-good", r.scrubLastGood))
 	innerMetrics := serveOpts.ExtraMetrics
 	serveOpts.ExtraMetrics = func(w io.Writer) {
 		if innerMetrics != nil {
@@ -179,7 +196,7 @@ func NewReplica(ctx context.Context, opts ReplicaOptions) (*Replica, error) {
 // artifact when it decodes and verifies, otherwise a blocking first
 // fetch from the distributor.
 func (r *Replica) coldStart(ctx context.Context) (*serve.Snapshot, error) {
-	if snap, err := serve.LoadSnapshotFile(r.opts.LastGood); err == nil {
+	if snap, err := serve.LoadSnapshotFileFS(r.fsys, r.opts.LastGood); err == nil {
 		r.logf(`{"event":"fleet_coldstart","source":"last-good","hash":%q}`, snap.ContentHash())
 		return snap, nil
 	} else if !errors.Is(err, os.ErrNotExist) {
@@ -430,7 +447,7 @@ func (r *Replica) applyDelta(ctx context.Context, man *Manifest, cur *serve.Snap
 	// so a crash right after the swap still cold-starts current. The
 	// re-encode necessarily reproduces the verified hash — the encoding
 	// is deterministic over logical content.
-	if _, err := serve.WriteSnapshotFile(r.opts.LastGood, next); err != nil {
+	if _, err := serve.WriteSnapshotFileFS(r.fsys, r.opts.LastGood, next); err != nil {
 		r.logf(`{"event":"fleet_lastgood","ok":false,"error":%q}`, err.Error())
 	}
 	return next, nil
@@ -470,12 +487,12 @@ func (r *Replica) fetchFull(ctx context.Context, man *Manifest) (*serve.Snapshot
 // clean.
 func (r *Replica) fetchFullOnce(ctx context.Context, man *Manifest, part string) (*serve.Snapshot, error) {
 	var offset int64
-	if fi, err := os.Stat(part); err == nil {
+	if fi, err := r.fsys.Stat(part); err == nil {
 		offset = fi.Size()
 	}
 	if offset > man.Size {
 		// Stale or foreign partial; impossible to resume meaningfully.
-		_ = os.Remove(part)
+		_ = r.fsys.Remove(part)
 		offset = 0
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+man.SnapshotURL, nil)
@@ -497,7 +514,7 @@ func (r *Replica) fetchFullOnce(ctx context.Context, man *Manifest, part string)
 	case http.StatusPartialContent:
 		r.resumedFetches.Add(1)
 	case http.StatusRequestedRangeNotSatisfiable:
-		_ = os.Remove(part)
+		_ = r.fsys.Remove(part)
 		return nil, resilience.MarkTransient(fmt.Errorf("fleet: range %d rejected for %s", offset, man.ContentHash))
 	default:
 		if err := fetchStatus(resp); err != nil {
@@ -510,7 +527,7 @@ func (r *Replica) fetchFullOnce(ctx context.Context, man *Manifest, part string)
 	if offset == 0 {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(part, flags, 0o644)
+	f, err := r.fsys.OpenFile(part, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -529,7 +546,7 @@ func (r *Replica) fetchFullOnce(ctx context.Context, man *Manifest, part string)
 		return nil, closeErr
 	}
 
-	data, err := os.ReadFile(part)
+	data, err := r.fsys.ReadFile(part)
 	if err != nil {
 		return nil, err
 	}
@@ -543,25 +560,22 @@ func (r *Replica) fetchFullOnce(ctx context.Context, man *Manifest, part string)
 		// Complete but corrupt (flipped bytes, wrong sections): the
 		// .part cannot be healed by resuming. Discard and refetch.
 		r.corruptRejected.Add(1)
-		_ = os.Remove(part)
+		_ = r.fsys.Remove(part)
 		return nil, resilience.MarkTransient(fmt.Errorf("fleet: artifact rejected: %w", err))
 	}
 	if snap.ContentHash() != man.ContentHash {
 		r.corruptRejected.Add(1)
-		_ = os.Remove(part)
+		_ = r.fsys.Remove(part)
 		return nil, resilience.MarkTransient(fmt.Errorf("fleet: artifact hash %s != manifest %s",
 			snap.ContentHash(), man.ContentHash))
 	}
 	// Verified: promote to last-good. The bytes are already fsynced;
 	// the rename makes the swap atomic, and the directory fsync makes
 	// it durable — same discipline as snapbin.WriteFile.
-	if err := os.Rename(part, r.opts.LastGood); err != nil {
+	if err := r.fsys.Rename(part, r.opts.LastGood); err != nil {
 		return nil, err
 	}
-	if dir, err := os.Open(filepath.Dir(r.opts.LastGood)); err == nil {
-		_ = dir.Sync()
-		_ = dir.Close()
-	}
+	_ = r.fsys.SyncDir(filepath.Dir(r.opts.LastGood))
 	return snap, nil
 }
 
@@ -604,6 +618,45 @@ func (r *Replica) heartbeat(ctx context.Context, poke func()) {
 	if man, err := ParseManifest(data); err == nil && man.ContentHash != cur.ContentHash() {
 		poke()
 	}
+}
+
+// scrubLastGood is the replica's scrub target: re-verify the last-good
+// artifact at rest and, when it is corrupt, quarantine it and repair by
+// re-fetching the current version from the distributor — the replica is
+// exactly the node that can restore its own durable state from the
+// source of truth. A missing file is not corruption (a fresh replica
+// simply hasn't persisted yet); a repair failure leaves the quarantine
+// in place and reports the error, and the next cycle tries again.
+func (r *Replica) scrubLastGood(ctx context.Context) serve.ScrubResult {
+	path := r.opts.LastGood
+	if _, err := r.fsys.Stat(path); err != nil {
+		return serve.ScrubResult{}
+	}
+	res := serve.ScrubResult{Checked: 1}
+	if _, err := serve.LoadSnapshotFileFS(r.fsys, path); err == nil {
+		return res
+	}
+	if err := r.fsys.Rename(path, path+".corrupt"); err == nil {
+		res.Quarantined = 1
+		r.lastGoodQuarantined.Add(1)
+		r.logf(`{"event":"fleet_lastgood_quarantine","path":%q}`, path)
+	}
+	man, err := r.fetchManifest(ctx)
+	if err != nil {
+		res.Err = fmt.Errorf("fleet: last-good repair: %w", err)
+		return res
+	}
+	// fetchFull verifies against the manifest hash and promotes the
+	// artifact into place as last-good — the repair is the normal
+	// download path, not a special case.
+	if _, err := r.fetchFull(ctx, man); err != nil {
+		res.Err = fmt.Errorf("fleet: last-good repair: %w", err)
+		return res
+	}
+	res.Repaired = 1
+	r.lastGoodRepairs.Add(1)
+	r.logf(`{"event":"fleet_lastgood_repair","ok":true,"hash":%q}`, man.ContentHash)
+	return res
 }
 
 // fetchStatus classifies a non-200 fleet response: 429/503 become
@@ -662,6 +715,12 @@ func (r *Replica) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP borgesd_fleet_heartbeat_errors_total Heartbeats that failed to reach the distributor.\n")
 	fmt.Fprintf(w, "# TYPE borgesd_fleet_heartbeat_errors_total counter\n")
 	fmt.Fprintf(w, "borgesd_fleet_heartbeat_errors_total %d\n", r.heartbeatErrs.Load())
+	fmt.Fprintf(w, "# HELP borgesd_fleet_lastgood_quarantined_total Corrupt last-good artifacts moved aside by the scrubber.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_fleet_lastgood_quarantined_total counter\n")
+	fmt.Fprintf(w, "borgesd_fleet_lastgood_quarantined_total %d\n", r.lastGoodQuarantined.Load())
+	fmt.Fprintf(w, "# HELP borgesd_fleet_lastgood_repairs_total Last-good artifacts rebuilt from the distributor after quarantine.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_fleet_lastgood_repairs_total counter\n")
+	fmt.Fprintf(w, "borgesd_fleet_lastgood_repairs_total %d\n", r.lastGoodRepairs.Load())
 }
 
 func (r *Replica) logf(format string, args ...any) {

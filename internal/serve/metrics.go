@@ -46,11 +46,101 @@ type Metrics struct {
 	bulkLines    int64
 	bulkErrLines int64
 	bulkDuration time.Duration
+	// Storage-integrity counters: canary-refused swaps, rollbacks by
+	// trigger, failed best-effort snapshot persists, and the background
+	// scrubber's accounting.
+	canaryRejects int64
+	rollbacks     map[string]int64
+	persistErrors int64
+	scrubCycles   int64
+	scrubChecked  int64
+	scrubCorrupt  int64
+	scrubRepaired int64
+	probeFailures int64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats)}
+	return &Metrics{
+		endpoints: make(map[string]*endpointStats),
+		rollbacks: make(map[string]int64),
+	}
+}
+
+// ObserveCanaryReject records one swap refused by the pre-promotion
+// canary.
+func (m *Metrics) ObserveCanaryReject() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.canaryRejects++
+}
+
+// CanaryRejects returns the canary refusal count.
+func (m *Metrics) CanaryRejects() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.canaryRejects
+}
+
+// ObserveRollback records one completed rollback, labeled by trigger
+// ("admin" or "auto").
+func (m *Metrics) ObserveRollback(trigger string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rollbacks[trigger]++
+}
+
+// Rollbacks returns the rollback count for a trigger.
+func (m *Metrics) Rollbacks(trigger string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rollbacks[trigger]
+}
+
+// ObservePersistError records one failed best-effort snapshot persist
+// (generation ring or -snapshot-out) after a successful swap.
+func (m *Metrics) ObservePersistError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistErrors++
+}
+
+// PersistErrors returns the failed-persist count.
+func (m *Metrics) PersistErrors() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.persistErrors
+}
+
+// ObserveScrub records one completed scrub cycle.
+func (m *Metrics) ObserveScrub(checked, quarantined, repaired int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scrubCycles++
+	m.scrubChecked += int64(checked)
+	m.scrubCorrupt += int64(quarantined)
+	m.scrubRepaired += int64(repaired)
+}
+
+// ScrubTotals returns the cumulative scrub counters.
+func (m *Metrics) ScrubTotals() (cycles, checked, quarantined, repaired int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scrubCycles, m.scrubChecked, m.scrubCorrupt, m.scrubRepaired
+}
+
+// ObserveProbeFailure records one failed post-scrub health probe.
+func (m *Metrics) ObserveProbeFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.probeFailures++
+}
+
+// ProbeFailures returns the failed-probe count.
+func (m *Metrics) ProbeFailures() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.probeFailures
 }
 
 // Observe records one served request.
@@ -251,6 +341,32 @@ func (m *Metrics) WriteTo(w io.Writer, snap *Snapshot, now time.Time) {
 		fmt.Fprintf(w, "# TYPE borgesd_snapshot_load_seconds gauge\n")
 		fmt.Fprintf(w, "borgesd_snapshot_load_seconds{mode=%q} %.9f\n", m.lastLoadMode, m.lastLoad.Seconds())
 	}
+	fmt.Fprintf(w, "# HELP borgesd_canary_rejects_total Snapshot swaps refused by the pre-promotion canary.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_canary_rejects_total counter\n")
+	fmt.Fprintf(w, "borgesd_canary_rejects_total %d\n", m.canaryRejects)
+	fmt.Fprintf(w, "# HELP borgesd_rollbacks_total Completed rollbacks to a previous verified generation, by trigger.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_rollbacks_total counter\n")
+	for _, trigger := range []string{"admin", "auto"} {
+		fmt.Fprintf(w, "borgesd_rollbacks_total{trigger=%q} %d\n", trigger, m.rollbacks[trigger])
+	}
+	fmt.Fprintf(w, "# HELP borgesd_snapshot_persist_errors_total Failed best-effort snapshot persists (generation ring or -snapshot-out) after a successful swap.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_snapshot_persist_errors_total counter\n")
+	fmt.Fprintf(w, "borgesd_snapshot_persist_errors_total %d\n", m.persistErrors)
+	fmt.Fprintf(w, "# HELP borgesd_scrub_cycles_total Completed background integrity scrub cycles.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_scrub_cycles_total counter\n")
+	fmt.Fprintf(w, "borgesd_scrub_cycles_total %d\n", m.scrubCycles)
+	fmt.Fprintf(w, "# HELP borgesd_scrub_checked_total Artifacts integrity-checked by the scrubber.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_scrub_checked_total counter\n")
+	fmt.Fprintf(w, "borgesd_scrub_checked_total %d\n", m.scrubChecked)
+	fmt.Fprintf(w, "# HELP borgesd_scrub_corrupt_total Corrupt artifacts found and quarantined by the scrubber.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_scrub_corrupt_total counter\n")
+	fmt.Fprintf(w, "borgesd_scrub_corrupt_total %d\n", m.scrubCorrupt)
+	fmt.Fprintf(w, "# HELP borgesd_scrub_repaired_total Corrupt artifacts rewritten from an authoritative copy by the scrubber.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_scrub_repaired_total counter\n")
+	fmt.Fprintf(w, "borgesd_scrub_repaired_total %d\n", m.scrubRepaired)
+	fmt.Fprintf(w, "# HELP borgesd_probe_failures_total Failed post-scrub health probes of the serving snapshot.\n")
+	fmt.Fprintf(w, "# TYPE borgesd_probe_failures_total counter\n")
+	fmt.Fprintf(w, "borgesd_probe_failures_total %d\n", m.probeFailures)
 	m.mu.Unlock()
 
 	if snap == nil {

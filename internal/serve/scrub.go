@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// ScrubResult is one scrub target's outcome for a single pass.
+type ScrubResult struct {
+	// Checked counts artifacts whose integrity was re-verified.
+	Checked int
+	// Quarantined counts artifacts found corrupt and moved aside
+	// (renamed to *.corrupt) this pass.
+	Quarantined int
+	// Repaired counts artifacts rewritten from an authoritative copy
+	// (a replica's last-good re-fetched from its distributor, a
+	// -snapshot-out file rewritten from the serving snapshot).
+	Repaired int
+	// Err reports a scrub pass that could not complete (distinct from
+	// finding corruption, which is the scrubber working).
+	Err error
+}
+
+// ScrubTarget is one store the background scrubber sweeps: the
+// generation ring, a -snapshot-out file, a replica's last-good
+// artifact, a cache's disk tier. Implementations must be safe to call
+// concurrently with serving traffic.
+type ScrubTarget interface {
+	// ScrubName labels the target in logs and metrics.
+	ScrubName() string
+	// Scrub performs one integrity pass.
+	Scrub(ctx context.Context) ScrubResult
+}
+
+// ScrubTargetFunc adapts a function to ScrubTarget.
+func ScrubTargetFunc(name string, fn func(ctx context.Context) ScrubResult) ScrubTarget {
+	return scrubFunc{name: name, fn: fn}
+}
+
+type scrubFunc struct {
+	name string
+	fn   func(ctx context.Context) ScrubResult
+}
+
+func (s scrubFunc) ScrubName() string                     { return s.name }
+func (s scrubFunc) Scrub(ctx context.Context) ScrubResult { return s.fn(ctx) }
+
+// ScrubSummary aggregates one full scrub cycle across every target,
+// plus the post-scrub health probe and any rollback it triggered.
+type ScrubSummary struct {
+	Checked     int
+	Quarantined int
+	Repaired    int
+	// ProbeErr is the serving-snapshot health probe's failure (nil when
+	// the probe passed or no probe ran).
+	ProbeErr error
+	// RolledBack reports that the failed probe triggered an automatic
+	// rollback to the newest verified generation.
+	RolledBack bool
+	// RollbackErr is why the automatic rollback itself failed (no ring,
+	// no verified generation, canary rejection of the target).
+	RollbackErr error
+}
+
+// scrubTargets assembles the full target list: the configured extras,
+// the generation ring, and the -snapshot-out file.
+func (s *Server) scrubTargets() []ScrubTarget {
+	targets := append([]ScrubTarget(nil), s.opts.ScrubTargets...)
+	if ring := s.opts.Generations; ring != nil {
+		targets = append(targets, ScrubTargetFunc("generations", func(context.Context) ScrubResult {
+			checked, quarantined := ring.Scrub()
+			return ScrubResult{Checked: checked, Quarantined: quarantined}
+		}))
+	}
+	if s.opts.SnapshotOut != "" {
+		targets = append(targets, ScrubTargetFunc("snapshot-out", s.scrubSnapshotOut))
+	}
+	return targets
+}
+
+// scrubSnapshotOut re-verifies the -snapshot-out artifact and, when it
+// is corrupt, quarantines it and rewrites it from the serving snapshot
+// — the file exists to make the next cold start cheap, and the serving
+// snapshot is the authoritative copy it mirrors. A missing file is not
+// corruption (persistence may have failed and been counted already).
+func (s *Server) scrubSnapshotOut(ctx context.Context) ScrubResult {
+	fsys := s.fs()
+	path := s.opts.SnapshotOut
+	if _, err := fsys.Stat(path); err != nil {
+		return ScrubResult{}
+	}
+	res := ScrubResult{Checked: 1}
+	if _, err := LoadSnapshotFileFS(fsys, path); err == nil {
+		return res
+	}
+	if err := fsys.Rename(path, path+".corrupt"); err == nil {
+		res.Quarantined = 1
+		s.logf(`{"event":"snapshot_out_quarantine","path":%q}`, path)
+	}
+	if _, err := WriteSnapshotFileFS(fsys, path, s.snap.Load()); err != nil {
+		s.metrics.ObservePersistError()
+		s.logf(`{"event":"snapshot_out_repair","ok":false,"error":%q}`, err.Error())
+		res.Err = err
+		return res
+	}
+	res.Repaired = 1
+	s.logf(`{"event":"snapshot_out_repair","ok":true,"path":%q}`, path)
+	return res
+}
+
+// ScrubOnce runs one full scrub cycle: every target is swept, the
+// serving snapshot is probed, and a failed probe triggers an automatic
+// rollback to the newest verified generation. Exposed so operators
+// (and deterministic tests) can force a cycle; the background loop
+// calls it on ScrubInterval.
+func (s *Server) ScrubOnce(ctx context.Context) ScrubSummary {
+	var sum ScrubSummary
+	for _, t := range s.scrubTargets() {
+		res := t.Scrub(ctx)
+		sum.Checked += res.Checked
+		sum.Quarantined += res.Quarantined
+		sum.Repaired += res.Repaired
+		if res.Err != nil {
+			s.logf(`{"event":"scrub","target":%q,"ok":false,"error":%q}`, t.ScrubName(), res.Err.Error())
+		} else if res.Quarantined > 0 || res.Repaired > 0 {
+			s.logf(`{"event":"scrub","target":%q,"checked":%d,"quarantined":%d,"repaired":%d}`,
+				t.ScrubName(), res.Checked, res.Quarantined, res.Repaired)
+		}
+	}
+	s.metrics.ObserveScrub(sum.Checked, sum.Quarantined, sum.Repaired)
+
+	sum.ProbeErr = s.probe()
+	if sum.ProbeErr == nil {
+		return sum
+	}
+	s.metrics.ObserveProbeFailure()
+	s.logf(`{"event":"health_probe","ok":false,"error":%q}`, sum.ProbeErr.Error())
+	if s.opts.Generations == nil {
+		sum.RollbackErr = ErrNoVerifiedGeneration
+		return sum
+	}
+	if _, _, err := s.Rollback(ctx, "auto"); err != nil {
+		sum.RollbackErr = err
+		s.logf(`{"event":"auto_rollback","ok":false,"error":%q}`, err.Error())
+	} else {
+		sum.RolledBack = true
+	}
+	return sum
+}
+
+// probe re-checks the serving snapshot's live invariants — the same
+// canary every candidate passed at promotion, or the caller's
+// HealthProbe override. A snapshot that passed its canary can still
+// fail here if the process's memory of it was corrupted or the
+// override knows something the canary does not (an operator-injected
+// failure in tests, an external consistency check in production).
+func (s *Server) probe() error {
+	if s.opts.HealthProbe != nil {
+		return s.opts.HealthProbe(s.snap.Load())
+	}
+	return canaryCheck(s.snap.Load(), nil, s.opts.Canary)
+}
+
+// scrubLoop drives periodic scrub cycles until ctx ends.
+func (s *Server) scrubLoop(ctx context.Context) {
+	t := time.NewTicker(s.opts.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.ScrubOnce(ctx)
+		}
+	}
+}

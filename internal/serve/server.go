@@ -20,6 +20,7 @@ import (
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/mapdiff"
+	"github.com/nu-aqualab/borges/internal/vfs"
 )
 
 // Source produces a fresh mapping for a (re)load: reading a JSONL file,
@@ -128,6 +129,37 @@ type Options struct {
 	// how the fleet layer exports borgesd_fleet_* without the serve
 	// package knowing about it.
 	ExtraMetrics func(io.Writer)
+	// Canary tunes the pre-promotion check gating every snapshot swap.
+	// The zero value is on with defaults; set Canary.Disable to promote
+	// unchecked.
+	Canary CanaryConfig
+	// Generations, when non-nil, records every published snapshot into
+	// an on-disk ring of verified artifacts, enables POST
+	// /admin/rollback, and exposes lineage in /v1/stats.
+	Generations *GenerationRing
+	// SnapshotOut, when non-empty, persists every published snapshot as
+	// a snapbin artifact at this path (the next cold start's
+	// -snapshot-in). Persistence is best-effort: a failed write is
+	// logged and counted (borgesd_snapshot_persist_errors_total) but
+	// never fails or blocks the swap.
+	SnapshotOut string
+	// FS is the filesystem SnapshotOut persistence and the snapshot-out
+	// scrub target use (nil = the real one). Chaos tests substitute a
+	// faultinject filesystem.
+	FS vfs.FS
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval the server re-verifies the generation ring, the
+	// SnapshotOut artifact, and every ScrubTargets entry, then probes
+	// the serving snapshot and auto-rolls back to the newest verified
+	// generation if the probe fails. 0 disables the loop (ScrubOnce
+	// still works on demand).
+	ScrubInterval time.Duration
+	// ScrubTargets adds caller-owned stores to the scrub cycle — the
+	// fleet replica registers its last-good artifact here.
+	ScrubTargets []ScrubTarget
+	// HealthProbe, when non-nil, replaces the default post-scrub probe
+	// (the canary re-run against the serving snapshot).
+	HealthProbe func(*Snapshot) error
 	// now overrides the clock in tests.
 	now func() time.Time
 	// testHold, when set, is called with the endpoint name after
@@ -204,6 +236,7 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/bulk", s.instrumentStreaming("bulk", admission.Bulk, s.handleBulk))
 	s.mux.HandleFunc("GET /v1/watch", s.instrumentStreaming("watch", admission.Critical, s.handleWatch))
 	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", admission.Critical, s.handleReload))
+	s.mux.HandleFunc("POST /admin/rollback", s.instrument("rollback", admission.Critical, s.handleRollback))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", admission.Critical, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.EnablePprof {
@@ -323,6 +356,16 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
+	if err == nil {
+		// The canary gates promotion: the candidate replays a
+		// deterministic sample of lookups and searches before it is ever
+		// reachable from a serving path. A hash-valid but logically
+		// poisoned artifact dies here, not in production traffic.
+		if cerr := canaryCheck(next, old, s.opts.Canary); cerr != nil {
+			s.metrics.ObserveCanaryReject()
+			err = cerr
+		}
+	}
 	if err != nil {
 		s.metrics.ObserveReload(false)
 		s.logf(`{"event":"reload","ok":false,"error":%q}`, err.Error())
@@ -342,6 +385,7 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 	if s.opts.OnSwap != nil {
 		s.opts.OnSwap(next)
 	}
+	s.persistSwap(next)
 	d := s.opts.now().Sub(start)
 	s.metrics.ObserveReload(true)
 	s.metrics.ObserveLoad(next.LoadMode(), d)
@@ -349,6 +393,61 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 		next.LoadMode(), next.ContentHash(), next.Health().Status,
 		next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta, d.Microseconds())
 	return next, nil
+}
+
+// persistSwap records the freshly published snapshot into the
+// generation ring and the SnapshotOut artifact. Both are durability,
+// not correctness: the swap already happened, so a failed write —
+// disk full, torn write, fsync error — is logged and counted, and the
+// server keeps serving. It runs with the reload latch held, like
+// OnSwap.
+func (s *Server) persistSwap(next *Snapshot) {
+	if ring := s.opts.Generations; ring != nil {
+		if gen, err := ring.Record(next, s.opts.now()); err != nil {
+			s.metrics.ObservePersistError()
+			s.logf(`{"event":"generation_record","ok":false,"error":%q}`, err.Error())
+		} else {
+			_ = gen
+		}
+	}
+	if s.opts.SnapshotOut != "" {
+		if _, err := WriteSnapshotFileFS(s.fs(), s.opts.SnapshotOut, next); err != nil {
+			s.metrics.ObservePersistError()
+			s.logf(`{"event":"snapshot_persist","ok":false,"path":%q,"error":%q}`, s.opts.SnapshotOut, err.Error())
+		} else {
+			s.logf(`{"event":"snapshot_persist","ok":true,"path":%q,"hash":%q}`, s.opts.SnapshotOut, next.ContentHash())
+		}
+	}
+}
+
+func (s *Server) fs() vfs.FS { return vfs.Or(s.opts.FS) }
+
+// Rollback swaps the serving snapshot back to the newest verified
+// generation whose hash differs from the one serving now. The target
+// is fully re-decoded and hash-verified on the way in, passes the same
+// canary as any other swap, and is recorded as a new generation —
+// lineage shows the rollback rather than silently rewriting history.
+// trigger labels the rollback metric ("admin" or "auto").
+func (s *Server) Rollback(ctx context.Context, trigger string) (*Snapshot, Generation, error) {
+	ring := s.opts.Generations
+	if ring == nil {
+		return nil, Generation{}, fmt.Errorf("serve: no generation ring configured")
+	}
+	var gen Generation
+	snap, err := s.swapWith(ctx, func(ctx context.Context, old *Snapshot) (*Snapshot, error) {
+		next, g, err := ring.PreviousVerified(old.ContentHash())
+		if err != nil {
+			return nil, err
+		}
+		gen = g
+		return next, nil
+	}, nil)
+	if err != nil {
+		return nil, Generation{}, err
+	}
+	s.metrics.ObserveRollback(trigger)
+	s.logf(`{"event":"rollback","trigger":%q,"seq":%d,"hash":%q}`, trigger, gen.Seq, gen.Hash)
+	return snap, gen, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -643,12 +742,28 @@ type bucketJSON struct {
 	Orgs int    `json:"orgs"`
 }
 
+// lineageJSON is the wire form of the generation ring's state in
+// /v1/stats: where the serving content could roll back to.
+type lineageJSON struct {
+	KeepGenerations int          `json:"keep_generations"`
+	Quarantined     int64        `json:"quarantined_total"`
+	Generations     []Generation `json:"generations"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	st := snap.Stats()
 	hist := make([]bucketJSON, len(st.SizeHistogram))
 	for i, b := range st.SizeHistogram {
 		hist[i] = bucketJSON{Size: b.Label(), Orgs: b.Orgs}
+	}
+	var lineage *lineageJSON
+	if ring := s.opts.Generations; ring != nil {
+		lineage = &lineageJSON{
+			KeepGenerations: ring.Keep(),
+			Quarantined:     ring.QuarantinedTotal(),
+			Generations:     ring.Generations(),
+		}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Orgs          int          `json:"orgs"`
@@ -663,6 +778,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Health        Health       `json:"health"`
 		LoadMode      string       `json:"load_mode"`
 		ContentHash   string       `json:"content_hash"`
+		Lineage       *lineageJSON `json:"lineage,omitempty"`
 	}{
 		Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
 		MultiASOrgs: st.MultiASOrgs, LargestOrg: st.LargestOrg,
@@ -672,6 +788,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Health:      snap.Health(),
 		LoadMode:    snap.LoadMode(),
 		ContentHash: snap.ContentHash(),
+		Lineage:     lineage,
 	})
 }
 
@@ -717,6 +834,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			// same delta.
 			status = http.StatusConflict
 		}
+		if errors.Is(err, ErrCanaryRejected) {
+			// The artifact decoded but failed live invariants; the same
+			// bytes will fail again — the caller needs a new artifact.
+			status = http.StatusUnprocessableEntity
+		}
 		writeError(w, status, "reload failed: %v", err)
 		return
 	}
@@ -731,6 +853,42 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}{
 		Status: "ok", Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
 		LoadMode: snap.LoadMode(), ContentHash: snap.ContentHash(),
+	})
+}
+
+// handleRollback serves POST /admin/rollback: swap the serving
+// snapshot back to the newest verified generation. 501 without a
+// generation ring, 409 when no other verified generation exists, 422
+// when the rollback target itself fails the canary.
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if s.opts.Generations == nil {
+		writeError(w, http.StatusNotImplemented, "no generation ring configured (-keep-generations)")
+		return
+	}
+	snap, gen, err := s.Rollback(r.Context(), "admin")
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNoVerifiedGeneration):
+			status = http.StatusConflict
+		case errors.Is(err, ErrCanaryRejected):
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "rollback failed: %v", err)
+		return
+	}
+	st := snap.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Status      string  `json:"status"`
+		Seq         uint64  `json:"generation"`
+		ContentHash string  `json:"content_hash"`
+		Orgs        int     `json:"orgs"`
+		ASNs        int     `json:"asns"`
+		Theta       float64 `json:"theta"`
+	}{
+		Status: "rolled-back", Seq: gen.Seq, ContentHash: snap.ContentHash(),
+		Orgs: st.Orgs, ASNs: st.ASNs, Theta: st.Theta,
 	})
 }
 
@@ -757,6 +915,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, s.snap.Load(), s.opts.now())
+	if ring := s.opts.Generations; ring != nil {
+		fmt.Fprintf(w, "# HELP borgesd_snapshot_generations Verified snapshot generations held by the rollback ring.\n")
+		fmt.Fprintf(w, "# TYPE borgesd_snapshot_generations gauge\n")
+		fmt.Fprintf(w, "borgesd_snapshot_generations %d\n", ring.Len())
+		fmt.Fprintf(w, "# HELP borgesd_generations_quarantined_total Ring artifacts quarantined as corrupt (renamed to .corrupt).\n")
+		fmt.Fprintf(w, "# TYPE borgesd_generations_quarantined_total counter\n")
+		fmt.Fprintf(w, "borgesd_generations_quarantined_total %d\n", ring.QuarantinedTotal())
+	}
 	s.watch.writeMetrics(w)
 	if s.admission != nil {
 		s.admission.WriteMetrics(w)
@@ -809,6 +975,12 @@ func (s *Server) ServeHandler(ctx context.Context, ln net.Listener, handler http
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	if s.opts.ScrubInterval > 0 {
+		// The scrubber shares the server's lifetime: it stops accepting
+		// work when the listener does. ScrubOnce remains callable for
+		// on-demand cycles regardless.
+		go s.scrubLoop(ctx)
+	}
 	s.logf(`{"event":"listening","addr":%q}`, ln.Addr().String())
 	select {
 	case <-ctx.Done():

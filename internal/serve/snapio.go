@@ -9,6 +9,7 @@ import (
 
 	"github.com/nu-aqualab/borges/internal/cluster"
 	"github.com/nu-aqualab/borges/internal/snapbin"
+	"github.com/nu-aqualab/borges/internal/vfs"
 )
 
 // This file bridges Snapshot and the snapbin binary artifact format:
@@ -128,6 +129,13 @@ func WriteSnapshotFile(path string, s *Snapshot) (string, error) {
 	return snapbin.WriteFile(path, s.image())
 }
 
+// WriteSnapshotFileFS is WriteSnapshotFile against an explicit
+// filesystem — the seam the generation ring and the disk-chaos suites
+// thread fault injection through.
+func WriteSnapshotFileFS(fsys vfs.FS, path string, s *Snapshot) (string, error) {
+	return snapbin.WriteFileFS(fsys, path, s.image())
+}
+
 // LoadSnapshot decodes a snapbin artifact from r into a serving
 // snapshot. The whole artifact is read into memory once; pre-rendered
 // bodies alias that buffer.
@@ -147,6 +155,17 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 // serving snapshot.
 func LoadSnapshotFile(path string) (*Snapshot, error) {
 	img, hash, err := snapbin.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotFromImage(img, hash)
+}
+
+// LoadSnapshotFileFS is LoadSnapshotFile against an explicit
+// filesystem. Every load fully re-verifies the artifact's content
+// hash, so a snapshot returned here is never served unverified.
+func LoadSnapshotFileFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	img, hash, err := snapbin.ReadFileFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}

@@ -60,6 +60,7 @@ import (
 
 	"github.com/nu-aqualab/borges/internal/asnum"
 	"github.com/nu-aqualab/borges/internal/cluster"
+	"github.com/nu-aqualab/borges/internal/vfs"
 )
 
 // Magic identifies a snapbin artifact; it is the first 8 bytes of
@@ -442,8 +443,17 @@ func Encode(w io.Writer, img *Image) (string, error) {
 // under the published name. The directory entry is fsynced after the
 // rename so the publish itself survives power loss.
 func WriteFile(path string, img *Image) (string, error) {
+	return WriteFileFS(vfs.OS, path, img)
+}
+
+// WriteFileFS is WriteFile against an explicit filesystem — the seam
+// the disk-chaos suites use to tear writes and fail fsyncs
+// deterministically. A faulted write never promotes: the rename only
+// happens after Encode, Sync, and Close all succeeded.
+func WriteFileFS(fsys vfs.FS, path string, img *Image) (string, error) {
+	fsys = vfs.Or(fsys)
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return "", err
 	}
@@ -451,7 +461,7 @@ func WriteFile(path string, img *Image) (string, error) {
 	defer func() {
 		if tmp != "" {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	hash, err := Encode(f, img)
@@ -464,14 +474,11 @@ func WriteFile(path string, img *Image) (string, error) {
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return "", err
 	}
 	tmp = "" // renamed; nothing to clean up
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = fsys.SyncDir(dir)
 	return hash, nil
 }
 
@@ -906,7 +913,13 @@ func crossCheck(img *Image) error {
 // ReadFile loads and decodes an artifact. The file is read once into
 // memory; the returned image's byte slices alias that buffer.
 func ReadFile(path string) (*Image, string, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(vfs.OS, path)
+}
+
+// ReadFileFS is ReadFile against an explicit filesystem, so scrubbers
+// and chaos tests observe exactly the bytes that filesystem serves.
+func ReadFileFS(fsys vfs.FS, path string) (*Image, string, error) {
+	data, err := vfs.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,0 +1,104 @@
+// Package vfs is the narrow filesystem seam the storage-integrity
+// layer threads through snapbin, the cache disk tier, the snapshot
+// generation ring, and fleet last-good I/O. Production code uses OS
+// (thin delegation to the os package); chaos tests substitute
+// faultinject.NewFS to inject short writes, fsync errors, bit flips,
+// and truncated reads deterministically.
+//
+// The interface is deliberately small: exactly the operations the
+// durable-artifact paths perform (atomic write-temp-sync-rename,
+// whole-file reads, appends with offsets, directory scans), nothing
+// speculative. os.File satisfies File directly.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the artifact paths use. Both random
+// access (ReaderAt/WriterAt for the cache log) and streaming
+// (Read/Write/Seek for snapbin encode/decode) are required, plus the
+// durability calls (Sync, Truncate).
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is a mutable filesystem rooted wherever its paths say. All paths
+// are passed through verbatim (absolute or process-relative), exactly
+// like the os package.
+type FS interface {
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp mirrors os.CreateTemp: pattern's last "*" is replaced
+	// by a random string; the file is created exclusively in dir.
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory entry at path, making a preceding
+	// rename durable. Filesystems that cannot sync directories report
+	// the error; callers treat it as best-effort.
+	SyncDir(path string) error
+}
+
+// OS is the production FS: direct delegation to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Or returns fsys if non-nil and OS otherwise — the one-liner every
+// Options struct with an optional FS field uses.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

@@ -1,0 +1,106 @@
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the full interface surface against the
+// real filesystem: the atomic write idiom (CreateTemp → Write → Sync →
+// Rename → SyncDir) followed by every read path the artifact layers
+// use.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+
+	f, err := OS.CreateTemp(dir, "artifact.bin.tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := OS.Rename(tmp, path); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+
+	rf, err := OS.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var at [5]byte
+	if _, err := rf.ReadAt(at[:], 6); err != nil || string(at[:]) != "world" {
+		t.Fatalf("ReadAt = %q, %v", at[:], err)
+	}
+	if _, err := rf.Seek(0, io.SeekStart); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	all, err := io.ReadAll(rf)
+	if err != nil || string(all) != "hello world" {
+		t.Fatalf("ReadAll = %q, %v", all, err)
+	}
+	rf.Close()
+
+	st, err := OS.Stat(path)
+	if err != nil || st.Size() != int64(len("hello world")) {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if err := OS.WriteFile(filepath.Join(sub, "x"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "x" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+
+	af, err := OS.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile append: %v", err)
+	}
+	if _, err := af.Write([]byte("!")); err != nil {
+		t.Fatalf("append Write: %v", err)
+	}
+	af.Close()
+	data, _ = OS.ReadFile(path)
+	if string(data) != "hello world!" {
+		t.Fatalf("after append = %q", data)
+	}
+
+	if err := OS.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := OS.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Stat after Remove: %v", err)
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != OS {
+		t.Fatal("Or(nil) should be OS")
+	}
+	if Or(OS) != OS {
+		t.Fatal("Or(OS) should be OS")
+	}
+}
