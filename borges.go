@@ -402,6 +402,15 @@ func MappingFileSource(path string) SnapshotSource { return serve.FileSource(pat
 // milliseconds) or a JSONL mapping (parsed and indexed from scratch).
 func SnapshotFileSource(path string) PreparedSnapshotSource { return serve.SnapshotFileSource(path) }
 
+// SnapshotFileSourceMapped is SnapshotFileSource with binary artifacts
+// loaded through a read-only memory mapping (borgesd -mmap): bodies
+// serve off the page cache and the heap holds only the index-sized
+// sections. Platforms or filesystems that cannot map fall back to the
+// buffered load.
+func SnapshotFileSourceMapped(path string) PreparedSnapshotSource {
+	return serve.SnapshotFileSourceMapped(path)
+}
+
 // MappingDeltaFileSource reloads mapping deltas from a JSONL delta
 // file written with WriteMappingDelta (borges-diff -delta).
 func MappingDeltaFileSource(path string) MappingDeltaSource { return serve.DeltaFileSource(path) }
@@ -425,6 +434,16 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) { return serve.LoadSnapshot(r)
 
 // LoadSnapshotFile decodes the binary snapshot artifact at path.
 func LoadSnapshotFile(path string) (*Snapshot, error) { return serve.LoadSnapshotFile(path) }
+
+// LoadSnapshotFileMapped decodes the binary snapshot artifact at path
+// through a read-only memory mapping. The content hash is verified
+// exactly as in LoadSnapshotFile, but pre-rendered response bodies
+// alias the mapping, so cold-start heap growth is O(index), not
+// O(file). The server unmaps only after the snapshot is swapped out
+// and every in-flight request that pinned it has finished.
+func LoadSnapshotFileMapped(path string) (*Snapshot, error) {
+	return serve.LoadSnapshotFileMapped(path)
+}
 
 // Storage integrity layer: generation ring, canary-gated swaps, and
 // background scrubbing.
@@ -540,6 +559,39 @@ type (
 // calibrated to the paper's July 2024 snapshot statistics. Scale 1.0 is
 // paper scale; ~0.05 generates fast test corpora.
 func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return synth.Generate(cfg) }
+
+// Corpus scale bounds, re-exported so CLIs can validate a -scale flag
+// with a clear message before committing to a multi-minute run.
+// Scales outside this range are rejected by the generator itself (the
+// ceiling keeps the synthetic ASN allocator far from the 32-bit ASN
+// wrap); MaxDatasetScale targets roughly 120 million synthetic ASNs.
+const (
+	MinDatasetScale = synth.MinScale
+	MaxDatasetScale = synth.MaxScale
+)
+
+// GenerateDatasetStream is the constant-memory form of GenerateDataset:
+// the corpus is produced in deterministic chunks of roughly chunkUnits
+// generator units each, and yield consumes and discards each chunk, so
+// peak memory tracks the chunk size rather than the corpus size.
+// Concatenating the chunks reproduces GenerateDataset's output exactly
+// for the same config. chunkUnits <= 0 yields one final chunk; a
+// non-nil yield error aborts generation and is returned.
+func GenerateDatasetStream(cfg DatasetConfig, chunkUnits int, yield func(*Dataset) error) error {
+	return synth.GenerateStream(cfg, chunkUnits, yield)
+}
+
+// CorpusStats summarizes a streamed corpus write.
+type CorpusStats = synth.CorpusStats
+
+// WriteDatasetStream generates the corpus for cfg and writes the five
+// standard corpus files (as2org.jsonl, peeringdb.json, apnic.csv,
+// asrank.csv, web.jsonl) into dir in constant memory: each chunk is
+// appended to the outputs as it is produced. The files parse to the
+// same snapshots GenerateDataset plus the buffered writers produce.
+func WriteDatasetStream(dir string, cfg DatasetConfig, chunkUnits int) (CorpusStats, error) {
+	return synth.WriteCorpusStream(dir, cfg, chunkUnits)
+}
 
 // Longitudinal analysis.
 type (

@@ -1,0 +1,105 @@
+// Command benchguard compares two benchmark JSON artifacts (the
+// BENCH_*.json files the bench suites emit) and fails when a selected
+// cell's ns/op regresses beyond a threshold against the committed
+// baseline. CI runs it after the bench smoke step so a cold-start or
+// lookup regression fails the build instead of landing silently.
+//
+// Usage:
+//
+//	benchguard -baseline internal/serve/BENCH_baseline.json \
+//	           -current internal/serve/BENCH_serve.json \
+//	           -match 'ColdStart|Lookup' -max-regress 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+)
+
+type benchFile struct {
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+type benchRecord struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func load(path string) (map[string]benchRecord, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchRecord, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH json")
+	currentPath := flag.String("current", "", "freshly produced BENCH json")
+	match := flag.String("match", ".", "regexp selecting benchmark names to compare")
+	maxRegress := flag.Float64("max-regress", 20, "maximum allowed ns/op regression, percent")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" {
+		log.Fatal("-baseline and -current are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		log.Fatalf("-match: %v", err)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	compared, failed := 0, 0
+	for name, base := range baseline {
+		if !re.MatchString(name) || base.NsPerOp <= 0 {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			// A cell missing from the fresh run means the benchmark was
+			// renamed or dropped; that must be a deliberate baseline
+			// update, not a silent pass.
+			fmt.Printf("MISSING  %-55s baseline %.0f ns/op, absent from current\n", name, base.NsPerOp)
+			failed++
+			continue
+		}
+		compared++
+		delta := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		status := "ok"
+		if delta > *maxRegress {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-8s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, base.NsPerOp, cur.NsPerOp, delta)
+	}
+	if compared == 0 && failed == 0 {
+		log.Fatalf("no baseline cells matched %q — guard is vacuous", *match)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d compared cells regressed beyond %.0f%% (or went missing)", failed, compared, *maxRegress)
+	}
+	fmt.Printf("benchguard: %d cells within %.0f%% of baseline\n", compared, *maxRegress)
+}

@@ -26,7 +26,33 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed (determines the whole corpus)")
 	scale := flag.Float64("scale", 1.0, "corpus scale; 1.0 reproduces the paper's snapshot sizes")
 	out := flag.String("out", "corpus", "output directory")
+	stream := flag.Bool("stream", false, "generate in constant memory: chunks are appended to the output files as they are produced instead of materializing the whole corpus first (use for -scale values targeting millions of ASNs)")
+	chunkUnits := flag.Int("chunk-units", 2048, "generator units per streamed chunk with -stream; smaller chunks lower peak memory")
 	flag.Parse()
+
+	// Bound -scale before generating anything: the generator rejects
+	// out-of-range values too, but the message here names the flag and
+	// fires before any files are created.
+	if *scale < borges.MinDatasetScale || *scale > borges.MaxDatasetScale {
+		log.Fatalf("-scale %g out of range [%g, %g] (the ceiling targets ~120M synthetic ASNs, safely below the 32-bit ASN space)",
+			*scale, borges.MinDatasetScale, borges.MaxDatasetScale)
+	}
+
+	if *stream {
+		stats, err := borges.WriteDatasetStream(*out, borges.DatasetConfig{Seed: *seed, Scale: *scale}, *chunkUnits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range []string{"as2org.jsonl", "peeringdb.json", "apnic.csv", "asrank.csv", "web.jsonl"} {
+			fmt.Println("wrote", filepath.Join(*out, name))
+		}
+		fmt.Printf("corpus: %d WHOIS ASNs in %d orgs, %d PeeringDB nets in %d orgs, %d APNIC records, %d ranked ASNs (%d streamed chunks)\n",
+			stats.WHOISASNs, stats.WHOISOrgs, stats.PDBNets, stats.PDBOrgs,
+			stats.APNICRecords, stats.RankedASNs, stats.Chunks)
+		fmt.Printf("web universe: %d simulated sites (web.jsonl; also regenerable with -seed %d -scale %g)\n",
+			stats.Sites, *seed, *scale)
+		return
+	}
 
 	ds, err := borges.GenerateDataset(borges.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {

@@ -52,7 +52,16 @@ func main() {
 	failFast := flag.Bool("fail-fast", false, "abort the run on the first error instead of quarantining and degrading")
 	reportPath := flag.String("report", "", "write the run's fault report (JSON) to this file ('-' = stderr)")
 	consolidateWorkers := flag.Int("consolidate-workers", 0, "workers for the sharded sibling-set consolidation (0 = GOMAXPROCS); output is identical at any count")
+	spillDir := flag.String("spill-dir", "", "spool sibling sets to shard files under this directory during consolidation, bounding peak memory at mega-scale corpora; output is identical to the in-memory build")
 	flag.Parse()
+
+	// Bound -scale up front with a readable message: the generator
+	// rejects out-of-range scales too, but only after flag typos have
+	// already cost a process start, and the bound here names the flag.
+	if *as2orgPath == "" && (*scale < borges.MinDatasetScale || *scale > borges.MaxDatasetScale) {
+		log.Fatalf("-scale %g out of range [%g, %g] (the ceiling targets ~120M synthetic ASNs, safely below the 32-bit ASN space)",
+			*scale, borges.MinDatasetScale, borges.MaxDatasetScale)
+	}
 
 	if *noCache && *cacheDir != "" {
 		log.Fatal("-no-cache and -cache-dir are mutually exclusive")
@@ -122,6 +131,7 @@ func main() {
 		BreakerThreshold:   *breakerThreshold,
 		FailFast:           *failFast,
 		ConsolidateWorkers: *consolidateWorkers,
+		SpillDir:           *spillDir,
 	}
 	if !*noCache {
 		store, err := borges.NewCache(borges.CacheOptions{Dir: *cacheDir})

@@ -92,6 +92,7 @@ func main() {
 	mapping := flag.String("mapping", "", "mapping JSONL file (from borges -format jsonl); reload re-reads it")
 	snapshotIn := flag.String("snapshot-in", "", "snapshot file to serve: a binary artifact (borges -format binary, borgesd -snapshot-out) or mapping JSONL, sniffed by magic; reload re-reads it")
 	snapshotOut := flag.String("snapshot-out", "", "write the initial snapshot as a binary artifact to this path, then keep serving")
+	mmapIn := flag.Bool("mmap", false, "memory-map binary -snapshot-in artifacts instead of buffering them: bodies serve off the page cache and cold-start heap stays O(index), not O(file); falls back to buffered loads where mapping is unavailable")
 	deltaIn := flag.String("delta-in", "", "mapping delta JSONL (borges-diff -delta); POST /admin/reload?mode=delta applies it to the serving snapshot")
 	seed := flag.Int64("seed", 1, "synthetic corpus seed (when -mapping is unset)")
 	scale := flag.Float64("scale", 0.05, "synthetic corpus scale (when -mapping is unset)")
@@ -229,6 +230,9 @@ func main() {
 			log.Fatal("-snapshot-in and -mapping are mutually exclusive")
 		}
 		source := borges.SnapshotFileSource(*snapshotIn)
+		if *mmapIn {
+			source = borges.SnapshotFileSourceMapped(*snapshotIn)
+		}
 		label = *snapshotIn
 		opts.Prepared = source
 		log.Printf("loading snapshot from %s", label)

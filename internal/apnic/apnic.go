@@ -171,10 +171,26 @@ func Parse(r io.Reader, date string) (*Table, error) {
 
 // Write serializes the table as CSV in deterministic (ASN, CC) order.
 func Write(w io.Writer, t *Table) error {
+	if err := WriteHeader(w); err != nil {
+		return err
+	}
+	return WriteRows(w, t)
+}
+
+// WriteHeader emits only the CSV header row, so a streaming producer
+// can write it once and then append WriteRows output chunk by chunk.
+func WriteHeader(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("apnic: write header: %w", err)
 	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRows emits only the data rows, in the table's sorted order.
+func WriteRows(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
 	for _, r := range t.Records() {
 		row := []string{
 			strconv.FormatUint(uint64(r.ASN), 10),

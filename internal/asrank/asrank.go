@@ -132,10 +132,26 @@ func Parse(rd io.Reader, date string) (*Ranking, error) {
 
 // Write serializes the ranking as CSV in rank order.
 func Write(w io.Writer, r *Ranking) error {
+	if err := WriteHeader(w); err != nil {
+		return err
+	}
+	return WriteRows(w, r)
+}
+
+// WriteHeader emits only the CSV header row, so a streaming producer
+// can write it once and then append WriteRows output chunk by chunk.
+func WriteHeader(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("asrank: write header: %w", err)
 	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRows emits only the data rows, in rank order.
+func WriteRows(w io.Writer, r *Ranking) error {
+	cw := csv.NewWriter(w)
 	for _, e := range r.Entries() {
 		row := []string{
 			strconv.Itoa(e.Rank),

@@ -187,6 +187,9 @@ type Builder struct {
 	universe   []asnum.ASN
 	inUniverse map[asnum.ASN]bool
 	sets       []SiblingSet
+	// spill, when non-nil, redirects Add to shard files on disk; see
+	// SpillToDisk in spill.go.
+	spill *spillState
 }
 
 // NewBuilder returns an empty Builder.
@@ -213,6 +216,10 @@ func (b *Builder) Add(s SiblingSet) {
 	if len(s.ASNs) == 0 {
 		return
 	}
+	if b.spill != nil {
+		b.spill.add(s)
+		return
+	}
 	b.sets = append(b.sets, s)
 }
 
@@ -227,6 +234,13 @@ func (b *Builder) AddAll(sets []SiblingSet) {
 // sequential union-find. The namer, if non-nil, assigns display names.
 // Build may be called repeatedly; each call reflects the current state.
 func (b *Builder) Build(namer Namer) *Mapping {
+	if b.spill != nil {
+		// The sets live on disk; consolidate through the spill reader.
+		// Build stays error-free for API compatibility — spill I/O
+		// errors are observable via BuildShardedChecked.
+		m, _ := b.BuildShardedChecked(namer, 1)
+		return m
+	}
 	uf := NewUnionFind()
 	for _, a := range b.universe {
 		uf.Add(a)
@@ -244,10 +258,27 @@ func (b *Builder) Build(namer Namer) *Mapping {
 // IDs, same WriteJSONL bytes — a property the shard_test suite asserts
 // over random inputs.
 func (b *Builder) BuildSharded(namer Namer, workers int) *Mapping {
+	m, _ := b.BuildShardedChecked(namer, workers)
+	return m
+}
+
+// BuildShardedChecked is BuildSharded with an error return: in
+// spill-to-disk mode (SpillToDisk) a sticky spill write error or a
+// shard-file read error surfaces here instead of being swallowed. The
+// in-memory path never errors. The result is byte-identical across
+// modes, shard sizes, and worker counts.
+func (b *Builder) BuildShardedChecked(namer Namer, workers int) (*Mapping, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return b.materialize(shardedComponents(b.sets, b.universe, workers), namer)
+	if b.spill != nil {
+		comps, err := b.spilledComponents(workers)
+		if err != nil {
+			return nil, err
+		}
+		return b.materialize(comps, namer), nil
+	}
+	return b.materialize(shardedComponents(b.sets, b.universe, workers), namer), nil
 }
 
 // materialize turns deterministic components into a Mapping: clusters,
@@ -284,12 +315,13 @@ func (b *Builder) materialize(comps [][]asnum.ASN, namer Namer) *Mapping {
 	}
 	// Replay feature provenance through the finished index: every set
 	// member landed in exactly one cluster, so the set's first ASN
-	// locates it.
-	for _, s := range b.sets {
-		if i := m.indexOf(s.ASNs[0]); i >= 0 {
-			m.Clusters[m.asnVals[i]].Features[s.Source] = true
+	// locates it. In spill mode the members are on disk, but the
+	// retained (first, source) residue is all this pass needs.
+	b.forEachProv(func(first asnum.ASN, src Feature) {
+		if i := m.indexOf(first); i >= 0 {
+			m.Clusters[m.asnVals[i]].Features[src] = true
 		}
-	}
+	})
 	if namer != nil {
 		// Intern display names: namers commonly re-derive the same
 		// string for many clusters (shared WHOIS org names), and the
@@ -322,6 +354,20 @@ func rebuildPages(m *Mapping) {
 	}
 	for p := 1; p < len(m.pages); p++ {
 		m.pages[p] += m.pages[p-1]
+	}
+}
+
+// forEachProv yields the (first member, source feature) residue of every
+// recorded set, whether the members live in memory or in spill shards.
+func (b *Builder) forEachProv(f func(first asnum.ASN, src Feature)) {
+	if b.spill != nil {
+		for _, p := range b.spill.prov {
+			f(p.first, p.src)
+		}
+		return
+	}
+	for _, s := range b.sets {
+		f(s.ASNs[0], s.Source)
 	}
 }
 

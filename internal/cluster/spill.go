@@ -1,0 +1,250 @@
+// Spill-to-disk ingestion: the constant-memory mode behind
+// Builder.SpillToDisk. Membership sets are appended to shard files under
+// a caller-owned directory instead of accumulating in b.sets, leaving
+// only the universe dictionary and an 8-byte provenance residue per set
+// in memory. Consolidation replays the shard files one at a time — each
+// file collapses into a private dense union-find whose frontier edges
+// merge into the global structure — so peak RSS is bounded by the
+// largest shard plus the output, not by the total set volume. The final
+// partition is a pure function of the union of all sets, and the
+// canonical component order is a pure function of the partition, so the
+// spilled build is byte-identical to the in-memory one at any shard
+// size and worker count (spill_test asserts this over random inputs).
+//
+// Shard file format (little-endian, one record per set):
+//
+//	[source u8][n u32][n x u32 member ASNs]
+//
+// All file I/O goes through internal/vfs, so the disk-chaos suite can
+// inject short writes, fsync errors, and bit flips into the spill dir;
+// I/O errors are sticky and surface from BuildShardedChecked.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/vfs"
+)
+
+// DefaultSpillShardBytes is the shard rotation threshold when
+// SpillToDisk is given shardBytes <= 0. 32 MiB keeps the per-shard
+// dictionary a few million entries at worst while amortizing file
+// open/close over hundreds of thousands of sets.
+const DefaultSpillShardBytes = 32 << 20
+
+// spillRecordHeader is the fixed prefix of one spill record: a feature
+// byte plus a u32 member count.
+const spillRecordHeader = 5
+
+// maxSpillSetLen bounds the member count a shard reader will allocate
+// for; a larger count means the shard bytes were corrupted (the writer
+// never produces sets this large).
+const maxSpillSetLen = 1 << 27
+
+// setProv is the in-memory residue of one spilled set: enough to replay
+// feature provenance after consolidation (every member of a set lands
+// in one cluster, so the first ASN locates it).
+type setProv struct {
+	first asnum.ASN
+	src   Feature
+}
+
+// spillState carries the Builder's spill mode: the open shard file, the
+// rotation budget, the provenance residue, and a sticky I/O error.
+type spillState struct {
+	fsys     vfs.FS
+	dir      string
+	maxBytes int64
+	cur      vfs.File
+	bw       *bufio.Writer
+	curBytes int64
+	files    []string
+	prov     []setProv
+	bytes    int64
+	scratch  []byte
+	err      error
+}
+
+// SpillToDisk switches the builder to spill-to-disk ingestion: every
+// subsequent Add appends the set to a shard file under dir (created if
+// absent) instead of retaining its members in memory. Shard files
+// rotate at shardBytes (DefaultSpillShardBytes when <= 0). The caller
+// owns dir and removes it after the build; fsys nil means the real
+// filesystem. SpillToDisk must be called before the first Add.
+//
+// Spill write errors are sticky: Add stays infallible, and the first
+// error surfaces from BuildShardedChecked.
+func (b *Builder) SpillToDisk(fsys vfs.FS, dir string, shardBytes int64) error {
+	if b.spill != nil {
+		return fmt.Errorf("cluster: spill already enabled (dir %s)", b.spill.dir)
+	}
+	if len(b.sets) > 0 {
+		return fmt.Errorf("cluster: SpillToDisk must precede the first Add (%d sets already buffered)", len(b.sets))
+	}
+	if shardBytes <= 0 {
+		shardBytes = DefaultSpillShardBytes
+	}
+	fsys = vfs.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: spill dir: %w", err)
+	}
+	b.spill = &spillState{fsys: fsys, dir: dir, maxBytes: shardBytes}
+	return nil
+}
+
+// Spilled reports whether the builder is in spill-to-disk mode.
+func (b *Builder) Spilled() bool { return b.spill != nil }
+
+// SpillStats returns the shard file count, spilled set count, and total
+// bytes written so far. Zero values when spill mode is off.
+func (b *Builder) SpillStats() (shards, sets int, bytes int64) {
+	if b.spill == nil {
+		return 0, 0, 0
+	}
+	return len(b.spill.files), len(b.spill.prov), b.spill.bytes
+}
+
+// add appends one set to the current shard file, rotating first when
+// the byte budget is spent. Errors are sticky.
+func (sp *spillState) add(s SiblingSet) {
+	if sp.err != nil {
+		return
+	}
+	if sp.cur == nil || sp.curBytes >= sp.maxBytes {
+		if err := sp.rotate(); err != nil {
+			sp.err = err
+			return
+		}
+	}
+	need := spillRecordHeader + 4*len(s.ASNs)
+	if cap(sp.scratch) < need {
+		sp.scratch = make([]byte, need)
+	}
+	buf := sp.scratch[:need]
+	buf[0] = byte(s.Source)
+	binary.LittleEndian.PutUint32(buf[1:spillRecordHeader], uint32(len(s.ASNs)))
+	for i, a := range s.ASNs {
+		binary.LittleEndian.PutUint32(buf[spillRecordHeader+4*i:], uint32(a))
+	}
+	if _, err := sp.bw.Write(buf); err != nil {
+		sp.err = fmt.Errorf("cluster: spill write: %w", err)
+		return
+	}
+	sp.curBytes += int64(need)
+	sp.bytes += int64(need)
+	sp.prov = append(sp.prov, setProv{first: s.ASNs[0], src: s.Source})
+}
+
+// rotate closes the current shard file and opens the next one.
+func (sp *spillState) rotate() error {
+	if err := sp.closeCurrent(); err != nil {
+		return err
+	}
+	name := filepath.Join(sp.dir, fmt.Sprintf("sets-%06d.spill", len(sp.files)))
+	f, err := sp.fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: spill shard: %w", err)
+	}
+	sp.cur = f
+	sp.bw = bufio.NewWriterSize(f, 1<<16)
+	sp.curBytes = 0
+	sp.files = append(sp.files, name)
+	return nil
+}
+
+// closeCurrent flushes and closes the open shard file, if any. Spill
+// data needs no fsync: a crash mid-build loses the build either way.
+func (sp *spillState) closeCurrent() error {
+	if sp.cur == nil {
+		return nil
+	}
+	f, bw := sp.cur, sp.bw
+	sp.cur, sp.bw = nil, nil
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: spill flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: spill close: %w", err)
+	}
+	return nil
+}
+
+// spilledComponents consolidates the shard files one at a time into a
+// global dense union-find and extracts canonically ordered components.
+// Peak memory is the global dictionary (output-sized) plus one shard's
+// local dictionary.
+func (b *Builder) spilledComponents(workers int) ([][]asnum.ASN, error) {
+	sp := b.spill
+	if sp.err != nil {
+		return nil, sp.err
+	}
+	if err := sp.closeCurrent(); err != nil {
+		sp.err = err
+		return nil, err
+	}
+	g := &shard{index: make(map[asnum.ASN]int32, len(b.universe))}
+	for _, a := range b.universe {
+		g.id(a)
+	}
+	for _, name := range sp.files {
+		if err := consolidateSpillFile(sp.fsys, name, g); err != nil {
+			sp.err = err
+			return nil, err
+		}
+	}
+	return denseComponents(g, workers), nil
+}
+
+// consolidateSpillFile replays one shard file into a private dense
+// union-find, then merges its frontier (one edge per non-root element)
+// into the global structure — the same merge BuildSharded's in-memory
+// workers use, so the resulting partition is identical.
+func consolidateSpillFile(fsys vfs.FS, name string, g *shard) error {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return fmt.Errorf("cluster: spill shard %s: %w", filepath.Base(name), err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	local := &shard{index: make(map[asnum.ASN]int32)}
+	var head [spillRecordHeader]byte
+	var raw []byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("cluster: spill shard %s: %w", filepath.Base(name), err)
+		}
+		n := int(binary.LittleEndian.Uint32(head[1:spillRecordHeader]))
+		if n == 0 || n > maxSpillSetLen {
+			return fmt.Errorf("cluster: spill shard %s: corrupt set length %d", filepath.Base(name), n)
+		}
+		if cap(raw) < 4*n {
+			raw = make([]byte, 4*n)
+		}
+		raw = raw[:4*n]
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return fmt.Errorf("cluster: spill shard %s: truncated set: %w", filepath.Base(name), err)
+		}
+		first := local.id(asnum.ASN(binary.LittleEndian.Uint32(raw)))
+		for i := 1; i < n; i++ {
+			local.dsu.union(first, local.id(asnum.ASN(binary.LittleEndian.Uint32(raw[4*i:]))))
+		}
+	}
+	for lid, a := range local.elems {
+		root := local.dsu.find(int32(lid))
+		ga := g.id(a)
+		if int32(lid) != root {
+			g.dsu.union(ga, g.id(local.elems[root]))
+		}
+	}
+	return nil
+}

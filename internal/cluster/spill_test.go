@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/nu-aqualab/borges/internal/asnum"
+	"github.com/nu-aqualab/borges/internal/faultinject"
+)
+
+// spillBuilder clones the in-memory builder's inputs into a fresh
+// builder running in spill-to-disk mode with a deliberately tiny shard
+// budget, so even small inputs rotate through several shard files.
+func spillBuilder(t testing.TB, universe []asnum.ASN, sets []SiblingSet, shardBytes int64) *Builder {
+	t.Helper()
+	b := NewBuilder()
+	if err := b.SpillToDisk(nil, t.TempDir(), shardBytes); err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+	b.AddUniverse(universe...)
+	b.AddAll(sets)
+	return b
+}
+
+// TestSpillEquivalenceQuick is the property the spill mode rests on:
+// for arbitrary sibling-set inputs, the spilled consolidation and the
+// in-memory sharded one export byte-identical JSONL at any worker
+// count and shard size.
+func TestSpillEquivalenceQuick(t *testing.T) {
+	f := func(rawSets [][]uint16, rawUniverse []uint16, workerSeed, shardSeed uint8) bool {
+		var universe []asnum.ASN
+		for _, u := range rawUniverse {
+			universe = append(universe, asnum.ASN(u))
+		}
+		var sets []SiblingSet
+		for i, raw := range rawSets {
+			if len(raw) == 0 {
+				continue
+			}
+			asns := make([]asnum.ASN, len(raw))
+			for j, a := range raw {
+				asns[j] = asnum.ASN(a)
+			}
+			sets = append(sets, SiblingSet{ASNs: asns, Source: Feature(i % NumFeatures)})
+		}
+		mem := NewBuilder()
+		mem.AddUniverse(universe...)
+		mem.AddAll(sets)
+		workers := int(workerSeed)%7 + 2 // 2..8
+		want := exportBytes(t, mem.BuildSharded(testNamer, workers))
+
+		shardBytes := int64(shardSeed)%512 + 16 // tiny: force rotation
+		sp := spillBuilder(t, universe, sets, shardBytes)
+		m, err := sp.BuildShardedChecked(testNamer, workers)
+		if err != nil {
+			t.Fatalf("BuildShardedChecked: %v", err)
+		}
+		return bytes.Equal(want, exportBytes(t, m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpillEquivalenceLarge repeats the byte-identity check on a fixed
+// large seeded instance: enough sets to rotate through many shard
+// files at a realistic record size, checked across worker counts, plus
+// repeated builds from one spilled builder (shard files are replayable).
+func TestSpillEquivalenceLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const n = 16384
+	var universe []asnum.ASN
+	for a := 1; a <= n; a++ {
+		universe = append(universe, asnum.ASN(a))
+	}
+	var sets []SiblingSet
+	for i := 0; i < 4*n; i++ {
+		size := rng.Intn(6) + 2
+		set := SiblingSet{Source: Feature(i % NumFeatures)}
+		base := rng.Intn(n) + 1
+		for j := 0; j < size; j++ {
+			a := base + rng.Intn(16) - 8
+			if rng.Intn(64) == 0 {
+				a = rng.Intn(n) + 1
+			}
+			a = min(max(a, 1), n)
+			set.ASNs = append(set.ASNs, asnum.ASN(a))
+		}
+		sets = append(sets, set)
+	}
+	mem := NewBuilder()
+	mem.AddUniverse(universe...)
+	mem.AddAll(sets)
+	want := exportBytes(t, mem.Build(testNamer))
+
+	sp := spillBuilder(t, universe, sets, 64<<10)
+	shards, spilled, _ := sp.SpillStats()
+	if shards < 4 {
+		t.Fatalf("expected >= 4 shard files at a 64 KiB budget, got %d", shards)
+	}
+	if spilled != len(sets) {
+		t.Fatalf("SpillStats sets = %d, want %d", spilled, len(sets))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		m, err := sp.BuildShardedChecked(testNamer, workers)
+		if err != nil {
+			t.Fatalf("BuildShardedChecked(workers=%d): %v", workers, err)
+		}
+		if !bytes.Equal(want, exportBytes(t, m)) {
+			t.Fatalf("spilled build (workers=%d) diverges from in-memory build", workers)
+		}
+	}
+	if !bytes.Equal(want, exportBytes(t, sp.Build(testNamer))) {
+		t.Fatal("spilled Build diverges from in-memory build")
+	}
+}
+
+// TestSpillFaultInjection drives the spill dir through the fault
+// filesystem: a short write on a shard file must surface as a sticky
+// error from BuildShardedChecked (never a silently truncated mapping),
+// and a truncated read of an intact shard must fail the same way.
+func TestSpillFaultInjection(t *testing.T) {
+	// 65 fixed-size records so the fault FS's half-size truncation tears
+	// mid-record rather than landing on a record boundary.
+	addSets := func(b *Builder) {
+		for i := 0; i < 65; i++ {
+			b.Add(SiblingSet{
+				ASNs:   []asnum.ASN{asnum.ASN(i + 1), asnum.ASN(i + 2), asnum.ASN(i + 3)},
+				Source: Feature(i % NumFeatures),
+			})
+		}
+	}
+
+	t.Run("short-write", func(t *testing.T) {
+		root := t.TempDir()
+		ffs := faultinject.NewFS(nil, root, faultinject.FSConfig{
+			Force: map[string]faultinject.FSKind{"sets-000000.spill": faultinject.FSKindShortWrite},
+		})
+		b := NewBuilder()
+		if err := b.SpillToDisk(ffs, root, 1<<20); err != nil {
+			t.Fatalf("SpillToDisk: %v", err)
+		}
+		addSets(b)
+		if _, err := b.BuildShardedChecked(nil, 2); !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("BuildShardedChecked error = %v, want short write", err)
+		}
+	})
+
+	t.Run("truncate-read", func(t *testing.T) {
+		root := t.TempDir()
+		ffs := faultinject.NewFS(nil, root, faultinject.FSConfig{
+			Force: map[string]faultinject.FSKind{"sets-000000.spill": faultinject.FSKindTruncateRead},
+		})
+		b := NewBuilder()
+		if err := b.SpillToDisk(ffs, root, 1<<20); err != nil {
+			t.Fatalf("SpillToDisk: %v", err)
+		}
+		addSets(b)
+		if _, err := b.BuildShardedChecked(nil, 2); err == nil {
+			t.Fatal("BuildShardedChecked succeeded reading a truncated shard")
+		}
+	})
+
+	t.Run("spill-dir-create-failure", func(t *testing.T) {
+		b := NewBuilder()
+		// A file where the spill dir should go: MkdirAll must fail and
+		// SpillToDisk must refuse up front.
+		root := t.TempDir()
+		blocked := filepath.Join(root, "occupied")
+		if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SpillToDisk(nil, filepath.Join(blocked, "spill"), 0); err == nil {
+			t.Fatal("SpillToDisk succeeded under an unwritable parent")
+		}
+	})
+}

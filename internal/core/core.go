@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -163,6 +164,13 @@ type Options struct {
 	// byte-identical to the sequential one at any worker count; lowering
 	// this only trades consolidation latency for less CPU contention.
 	ConsolidateWorkers int
+	// SpillDir, when non-empty, spools every sibling set to shard
+	// files under a run-private subdirectory of this directory instead
+	// of holding them in memory until consolidation, bounding peak RSS
+	// by the shard size rather than the set count. The resulting
+	// mapping is byte-identical to the in-memory build; the
+	// subdirectory is removed when the run finishes.
+	SpillDir string
 }
 
 // retryPolicy builds the run's shared retry policy, or nil when
@@ -332,6 +340,20 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 
 	opts.progress("universe: %d WHOIS ASNs in %d organizations", res.Stats.WHOISASNs, res.Stats.WHOISOrgs)
 	b := cluster.NewBuilder()
+	if opts.SpillDir != "" {
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: spill dir: %w", err)
+		}
+		dir, err := os.MkdirTemp(opts.SpillDir, "borges-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("core: spill dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		if err := b.SpillToDisk(nil, dir, 0); err != nil {
+			return nil, err
+		}
+		opts.progress("consolidation spilling sibling sets under %s", dir)
+	}
 	b.AddUniverse(in.WHOIS.ASNs()...)
 	res.Artifacts.OIDWSets = in.WHOIS.SiblingSets()
 	b.AddAll(res.Artifacts.OIDWSets)
@@ -442,7 +464,13 @@ func Run(ctx context.Context, in Inputs, opts Options) (*Result, error) {
 	b.AddAll(res.Artifacts.RRSets)
 	b.AddAll(res.Artifacts.FaviconSets)
 
-	res.Mapping = b.BuildSharded(namer(in), opts.ConsolidateWorkers)
+	// Checked build: in spill mode a sticky shard I/O error surfaces
+	// here instead of silently producing a partial mapping.
+	m, err := b.BuildShardedChecked(namer(in), opts.ConsolidateWorkers)
+	if err != nil {
+		return nil, err
+	}
+	res.Mapping = m
 	res.Report = buildReport(feats, nerOut, webOut, nerErr, webErr, opts.Crawler.Breakers, llmExec)
 	opts.progress("consolidated: %d networks in %d organizations",
 		res.Mapping.NumASNs(), res.Mapping.NumOrgs())

@@ -1,0 +1,17 @@
+// Package memprobe measures process peak memory (high-water RSS) for
+// the mega-scale benchmarks. On Linux it reads VmHWM from
+// /proc/self/status and can reset the kernel's high-water mark between
+// measured phases via /proc/self/clear_refs, so each phase reports its
+// own peak rather than the run's running maximum. Elsewhere both
+// operations report unsupported and callers fall back to Go-heap
+// accounting.
+package memprobe
+
+// PeakRSS returns the process's high-water resident set size in bytes.
+// ok is false when the platform cannot report it.
+func PeakRSS() (bytes int64, ok bool) { return peakRSS() }
+
+// ResetPeak zeroes the high-water mark so the next PeakRSS reflects
+// only allocations after this call. It reports whether the reset took
+// effect; when false, PeakRSS still reports the process-lifetime peak.
+func ResetPeak() bool { return resetPeak() }

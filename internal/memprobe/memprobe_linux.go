@@ -1,0 +1,40 @@
+//go:build linux
+
+package memprobe
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// peakRSS parses the VmHWM line of /proc/self/status, which the kernel
+// reports in kibibytes.
+func peakRSS() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}
+
+// resetPeak writes "5" to /proc/self/clear_refs, which resets VmHWM to
+// the current RSS (Linux >= 4.0). Some sandboxes mount /proc
+// read-only; the caller degrades to lifetime-peak reporting.
+func resetPeak() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package memprobe
+
+func peakRSS() (int64, bool) { return 0, false }
+
+func resetPeak() bool { return false }

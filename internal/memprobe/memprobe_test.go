@@ -1,0 +1,36 @@
+package memprobe
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSS(t *testing.T) {
+	rss, ok := PeakRSS()
+	if runtime.GOOS != "linux" {
+		if ok {
+			t.Fatalf("PeakRSS reported ok on %s", runtime.GOOS)
+		}
+		return
+	}
+	if !ok {
+		t.Skip("VmHWM unavailable (restricted /proc)")
+	}
+	if rss <= 0 {
+		t.Fatalf("peak RSS %d, want > 0", rss)
+	}
+	// A live Go process holds at least a few hundred KiB resident.
+	if rss < 100<<10 {
+		t.Fatalf("peak RSS %d implausibly small", rss)
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	if !ResetPeak() {
+		t.Skip("clear_refs unavailable (read-only /proc or non-Linux)")
+	}
+	rss, ok := PeakRSS()
+	if !ok || rss <= 0 {
+		t.Fatalf("PeakRSS after reset: %d, %v", rss, ok)
+	}
+}

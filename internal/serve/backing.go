@@ -1,0 +1,83 @@
+package serve
+
+import "sync/atomic"
+
+// mmapBacking refcounts the memory mapping a snapshot's pre-rendered
+// bodies alias. The mapping is created with one reference — the
+// "store" reference held on the snapshot's behalf while it is (or may
+// become) the serving snapshot — and each in-flight request that reads
+// body bytes holds one more via Pin/Unpin. munmap happens exactly when
+// the count drains to zero: after the swap that retires the snapshot
+// AND after the last request that pinned it finishes, never under a
+// reader's feet. Delta-patched snapshots that share body bytes with
+// their base acquire a reference on the base's backing, extending the
+// mapping's lifetime across the chain.
+//
+// Heap-backed snapshots have a nil backing; their Pin/Unpin reduce to
+// a nil check, preserving the zero-allocation lookup hot path.
+type mmapBacking struct {
+	refs  atomic.Int64
+	unmap func()
+}
+
+// newMmapBacking wraps an unmap function with the creation reference
+// already held.
+func newMmapBacking(unmap func()) *mmapBacking {
+	b := &mmapBacking{unmap: unmap}
+	b.refs.Store(1)
+	return b
+}
+
+// acquire takes a reference, failing if the count already drained to
+// zero (the mapping is gone or about to be).
+func (b *mmapBacking) acquire() bool {
+	for {
+		n := b.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if b.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference and unmaps on the last one.
+func (b *mmapBacking) release() {
+	if b.refs.Add(-1) == 0 {
+		b.unmap()
+	}
+}
+
+// Pin takes a read reference on the snapshot's backing for the
+// duration of a request that reads pre-rendered body bytes. It reports
+// false only when the snapshot was retired and its mapping drained —
+// the caller must re-load the current snapshot and retry. Heap-backed
+// snapshots always pin successfully at the cost of a nil check.
+func (s *Snapshot) Pin() bool {
+	if s.backing == nil {
+		return true
+	}
+	return s.backing.acquire()
+}
+
+// Unpin releases a successful Pin.
+func (s *Snapshot) Unpin() {
+	if s.backing != nil {
+		s.backing.release()
+	}
+}
+
+// retire releases the snapshot's creation reference, called exactly
+// once when the snapshot stops being reachable as a serving snapshot
+// (swapped out, or prepared and then rejected). The mapping unmaps
+// once in-flight pins drain.
+func (s *Snapshot) retire() {
+	if s.backing != nil {
+		s.backing.release()
+	}
+}
+
+// MemoryMapped reports whether the snapshot's pre-rendered bodies are
+// served from a memory-mapped artifact rather than the heap.
+func (s *Snapshot) MemoryMapped() bool { return s.backing != nil }

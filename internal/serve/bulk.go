@@ -65,8 +65,10 @@ var bulkWriterPool = sync.Pool{
 // emits a terminal error line and ends the response.
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	// Pin the snapshot for the whole request: consistency across a
-	// mid-request reload.
-	snap := s.snap.Load()
+	// mid-request reload, and — for mapped snapshots — a guarantee the
+	// backing stays mapped until the last line is written.
+	snap := s.pinnedSnapshot()
+	defer snap.Unpin()
 
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	br := bulkReaderPool.Get().(*bufio.Reader)

@@ -263,6 +263,15 @@ func (s *Snapshot) applyDeltaAt(d *mapdiff.Delta, now time.Time) (*Snapshot, err
 		health:     s.health,
 		loadMode:   LoadModeDelta,
 	}
+	// Unchanged survivors share body bytes with the base snapshot; if
+	// those bytes live in a memory mapping, the patched snapshot takes
+	// its own reference so the mapping outlives the base's retirement.
+	// The acquire cannot fail here: the caller holds the base as a live
+	// serving (or caller-owned) snapshot, so its creation reference is
+	// still up.
+	if s.backing != nil && s.backing.acquire() {
+		ns.backing = s.backing
+	}
 	ns.scratchPool.New = func() any {
 		return &searchScratch{bits: make([]uint64, (n+63)/64)}
 	}

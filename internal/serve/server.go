@@ -255,6 +255,20 @@ func NewServer(snap *Snapshot, opts Options) (*Server, error) {
 // Snapshot returns the currently served snapshot.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
+// pinnedSnapshot loads the serving snapshot with a read reference held
+// on its body backing (a nil check for heap-backed snapshots). The
+// retry loop terminates: Pin only fails after a snapshot was retired,
+// which happens strictly after its replacement was stored, so a
+// re-load observes the newer snapshot.
+func (s *Server) pinnedSnapshot() *Snapshot {
+	for {
+		snap := s.snap.Load()
+		if snap.Pin() {
+			return snap
+		}
+	}
+}
+
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
@@ -367,6 +381,11 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 		}
 	}
 	if err != nil {
+		// A candidate that was prepared but refused promotion (canary
+		// reject, late cancellation) releases its mapping now.
+		if next != nil && next != old {
+			next.retire()
+		}
 		s.metrics.ObserveReload(false)
 		s.logf(`{"event":"reload","ok":false,"error":%q}`, err.Error())
 		return nil, err
@@ -392,6 +411,13 @@ func (s *Server) swapWith(ctx context.Context, prepare func(ctx context.Context,
 	s.logf(`{"event":"reload","ok":true,"mode":%q,"hash":%q,"health":%q,"orgs":%d,"asns":%d,"theta":%.6f,"load_us":%d}`,
 		next.LoadMode(), next.ContentHash(), next.Health().Status,
 		next.Stats().Orgs, next.Stats().ASNs, next.Stats().Theta, d.Microseconds())
+	// The outgoing snapshot's store reference drops only after every
+	// post-swap consumer (watch fan-out, OnSwap, persistence) is done
+	// with it; if it was memory-mapped, munmap waits further for
+	// in-flight pinned requests to drain.
+	if old != next {
+		old.retire()
+	}
 	return next, nil
 }
 
@@ -643,7 +669,8 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid ASN %q", r.PathValue("asn"))
 		return
 	}
-	snap := s.snap.Load()
+	snap := s.pinnedSnapshot()
+	defer snap.Unpin()
 	bp := respBufPool.Get().(*[]byte)
 	body, ok := snap.AppendASBody((*bp)[:0], a)
 	if !ok {
@@ -666,7 +693,8 @@ func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid organization id %q", r.PathValue("id"))
 		return
 	}
-	snap := s.snap.Load()
+	snap := s.pinnedSnapshot()
+	defer snap.Unpin()
 	body := snap.OrgBody(id)
 	if body == nil {
 		writeError(w, http.StatusNotFound, "organization %d is not in the mapping", id)
@@ -924,6 +952,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "borgesd_generations_quarantined_total %d\n", ring.QuarantinedTotal())
 	}
 	s.watch.writeMetrics(w)
+	writeMemMetrics(w)
 	if s.admission != nil {
 		s.admission.WriteMetrics(w)
 	}

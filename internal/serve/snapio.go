@@ -172,6 +172,45 @@ func LoadSnapshotFileFS(fsys vfs.FS, path string) (*Snapshot, error) {
 	return snapshotFromImage(img, hash)
 }
 
+// LoadSnapshotFileMapped decodes the snapbin artifact at path through
+// a read-only memory mapping: the content hash is verified exactly as
+// in LoadSnapshotFile, but the pre-rendered bodies alias the mapping
+// and serve off the page cache, so the heap holds only the index-sized
+// sections. The returned snapshot carries a refcounted backing — the
+// server unmaps it only after the snapshot is swapped out and every
+// in-flight request that pinned it has finished. Platforms or files
+// that cannot map fall back to the buffered load behind the same
+// signature.
+func LoadSnapshotFileMapped(path string) (*Snapshot, error) {
+	img, hash, release, err := snapbin.ReadFileMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := snapshotFromImage(img, hash)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	if release != nil {
+		s.backing = newMmapBacking(release)
+	}
+	return s, nil
+}
+
+// LoadSnapshotFileMappedFS is LoadSnapshotFileMapped with a
+// filesystem seam: mmap necessarily bypasses a vfs wrapper, so any
+// filesystem other than the real one (fault-injection chaos, future
+// overlays) takes the buffered LoadSnapshotFileFS path instead —
+// fault coverage is preserved, and production gets the mapping.
+func LoadSnapshotFileMappedFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	if fsys != nil && fsys != vfs.OS {
+		return LoadSnapshotFileFS(fsys, path)
+	}
+	return LoadSnapshotFileMapped(path)
+}
+
 // PreparedSource produces a ready-made snapshot — one already built,
 // loaded from a binary artifact, or patched from a predecessor —
 // where Source produces a mapping for the server to index itself.
@@ -184,12 +223,24 @@ type PreparedSource func(ctx context.Context) (*Snapshot, error)
 // happens on every call, so an operator can swap a JSONL file for a
 // binary artifact between reloads without restarting.
 func SnapshotFileSource(path string) PreparedSource {
+	return snapshotFileSource(path, LoadSnapshotFile)
+}
+
+// SnapshotFileSourceMapped is SnapshotFileSource with the binary load
+// going through LoadSnapshotFileMapped — the -mmap serving mode, where
+// a multi-GB artifact cold-starts without copying its body sections
+// onto the heap. JSONL files still take the rebuild path.
+func SnapshotFileSourceMapped(path string) PreparedSource {
+	return snapshotFileSource(path, LoadSnapshotFileMapped)
+}
+
+func snapshotFileSource(path string, loadBinary func(string) (*Snapshot, error)) PreparedSource {
 	return func(ctx context.Context) (*Snapshot, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if snapbin.SniffFile(path) {
-			return LoadSnapshotFile(path)
+			return loadBinary(path)
 		}
 		f, err := os.Open(path)
 		if err != nil {

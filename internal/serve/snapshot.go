@@ -137,6 +137,11 @@ type Snapshot struct {
 	loadMode    string
 	contentHash string
 	hashOnce    sync.Once
+
+	// backing, when non-nil, refcounts the memory mapping that
+	// orgBodies/asTails alias (see backing.go). Nil for heap-backed
+	// snapshots.
+	backing *mmapBacking
 }
 
 // Load modes reported by /v1/stats and /admin/reload: how the serving

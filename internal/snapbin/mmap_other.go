@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package snapbin
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("snapbin: mmap unsupported on this platform")
+}

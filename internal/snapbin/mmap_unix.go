@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package snapbin
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates ReadFileMapped's zero-copy path; on platforms
+// without it the same interface falls back to a buffered read.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and returns the mapping plus
+// its unmap function. The mapping outlives f: closing the file does not
+// invalidate it, and neither does renaming or unlinking the path (the
+// inode stays alive until munmap), which is what lets the generation
+// ring scrub or prune an artifact a serving snapshot still maps.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -464,7 +464,10 @@ func WriteFileFS(fsys vfs.FS, path string, img *Image) (string, error) {
 			fsys.Remove(tmp)
 		}
 	}()
-	hash, err := Encode(f, img)
+	// The temp file is seekable, so the single-pass section writer
+	// applies: payloads stream once and the header is patched in place,
+	// instead of Encode's serialize-thrice dance.
+	hash, err := EncodeToFile(f, img)
 	if err != nil {
 		return "", err
 	}
@@ -559,77 +562,64 @@ func (r *reader) done() error {
 	return nil
 }
 
-// Decode parses an artifact held fully in memory and returns the
-// image plus its verified content hash. Pre-rendered bodies are
-// returned as zero-copy subslices of data, so the caller keeps data
-// alive for the image's lifetime — exactly the behaviour a loaded
-// snapshot wants, one backing array instead of a million small ones.
-func Decode(data []byte) (*Image, string, error) {
-	if len(data) < headerSize {
-		return nil, "", fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
-	}
-	if string(data[:8]) != Magic {
-		return nil, "", ErrBadMagic
-	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
-		return nil, "", fmt.Errorf("%w: file declares version %d, this build speaks %d", ErrVersion, v, Version)
-	}
-	count := binary.LittleEndian.Uint32(data[12:])
-	size := binary.LittleEndian.Uint64(data[16:])
-	if size > uint64(len(data)) {
-		return nil, "", fmt.Errorf("%w: header declares %d bytes, file has %d", ErrTruncated, size, len(data))
-	}
-	if size < uint64(len(data)) {
-		return nil, "", fmt.Errorf("%w: %d bytes beyond the declared size %d", ErrCorrupt, uint64(len(data))-size, size)
-	}
-	if int(count) != len(sectionIDs) {
-		return nil, "", fmt.Errorf("%w: %d sections declared, version %d has %d", ErrCorrupt, count, Version, len(sectionIDs))
-	}
-	tableEnd := uint64(headerSize) + uint64(sectionEntrySize)*uint64(count)
-	if tableEnd > size {
-		return nil, "", fmt.Errorf("%w: section table overruns file", ErrTruncated)
-	}
+// sectionSpan is one validated section-table entry.
+type sectionSpan struct {
+	id          uint32
+	off, length uint64
+}
 
-	type section struct {
-		id      uint32
-		payload []byte
+// parseHeader validates the fixed 64-byte header and returns the
+// declared section count, total size, and expected content hash.
+func parseHeader(head []byte) (count uint32, size uint64, wantSum []byte, err error) {
+	if string(head[:8]) != Magic {
+		return 0, 0, nil, ErrBadMagic
 	}
-	sections := make([]section, count)
-	next := tableEnd
-	for i := range sections {
-		entry := data[headerSize+sectionEntrySize*i:]
+	if v := binary.LittleEndian.Uint32(head[8:]); v != Version {
+		return 0, 0, nil, fmt.Errorf("%w: file declares version %d, this build speaks %d", ErrVersion, v, Version)
+	}
+	count = binary.LittleEndian.Uint32(head[12:])
+	size = binary.LittleEndian.Uint64(head[16:])
+	if int(count) != len(sectionIDs) {
+		return 0, 0, nil, fmt.Errorf("%w: %d sections declared, version %d has %d", ErrCorrupt, count, Version, len(sectionIDs))
+	}
+	return count, size, head[24:56:56], nil
+}
+
+// parseTable validates the section table against the contiguous-layout
+// invariants: canonical IDs in order, each offset the previous end, and
+// the last payload ending exactly at the declared size.
+func parseTable(table []byte, count uint32, size uint64) ([]sectionSpan, error) {
+	spans := make([]sectionSpan, count)
+	next := uint64(headerSize) + uint64(sectionEntrySize)*uint64(count)
+	for i := range spans {
+		entry := table[sectionEntrySize*i:]
 		id := binary.LittleEndian.Uint32(entry[0:])
 		off := binary.LittleEndian.Uint64(entry[4:])
 		length := binary.LittleEndian.Uint64(entry[12:])
 		if id != sectionIDs[i] {
-			return nil, "", fmt.Errorf("%w: section %d has id %d, want %d", ErrCorrupt, i, id, sectionIDs[i])
+			return nil, fmt.Errorf("%w: section %d has id %d, want %d", ErrCorrupt, i, id, sectionIDs[i])
 		}
 		if off != next || length > size-off {
-			return nil, "", fmt.Errorf("%w: section %d spans [%d,%d+%d) outside contiguous layout", ErrCorrupt, id, off, off, length)
+			return nil, fmt.Errorf("%w: section %d spans [%d,%d+%d) outside contiguous layout", ErrCorrupt, id, off, off, length)
 		}
-		sections[i] = section{id: id, payload: data[off : off+length : off+length]}
+		spans[i] = sectionSpan{id: id, off: off, length: length}
 		next = off + length
 	}
 	if next != size {
-		return nil, "", fmt.Errorf("%w: sections end at %d, file size is %d", ErrCorrupt, next, size)
+		return nil, fmt.Errorf("%w: sections end at %d, file size is %d", ErrCorrupt, next, size)
 	}
+	return spans, nil
+}
 
-	digest := sha256.New()
-	for _, s := range sections {
-		if s.id != secProvenance {
-			digest.Write(s.payload)
-		}
-	}
-	sum := digest.Sum(nil)
-	if string(sum) != string(data[24:56]) {
-		return nil, "", ErrHashMismatch
-	}
-
+// decodeSections runs every section decoder over its span of data and
+// cross-checks the result. The content hash must already have been
+// verified by the caller.
+func decodeSections(spans []sectionSpan, data []byte) (*Image, error) {
 	img := &Image{}
-	for _, s := range sections {
-		r := &reader{buf: s.payload, sec: s.id}
+	for _, sp := range spans {
+		r := &reader{buf: data[sp.off : sp.off+sp.length : sp.off+sp.length], sec: sp.id}
 		var err error
-		switch s.id {
+		switch sp.id {
 		case secProvenance:
 			err = readProvenance(r, img)
 		case secStats:
@@ -646,13 +636,61 @@ func Decode(data []byte) (*Image, string, error) {
 			img.ASTails, err = readBlobs(r)
 		}
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		if err := r.done(); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 	}
 	if err := crossCheck(img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Decode parses an artifact held fully in memory and returns the
+// image plus its verified content hash. Pre-rendered bodies are
+// returned as zero-copy subslices of data, so the caller keeps data
+// alive for the image's lifetime — exactly the behaviour a loaded
+// snapshot wants, one backing array instead of a million small ones.
+// When data is a memory-mapped file, the bodies serve straight off the
+// page cache and decoding allocates only the index-sized sections.
+func Decode(data []byte) (*Image, string, error) {
+	if len(data) < headerSize {
+		return nil, "", fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerSize)
+	}
+	count, size, wantSum, err := parseHeader(data[:headerSize])
+	if err != nil {
+		return nil, "", err
+	}
+	if size > uint64(len(data)) {
+		return nil, "", fmt.Errorf("%w: header declares %d bytes, file has %d", ErrTruncated, size, len(data))
+	}
+	if size < uint64(len(data)) {
+		return nil, "", fmt.Errorf("%w: %d bytes beyond the declared size %d", ErrCorrupt, uint64(len(data))-size, size)
+	}
+	tableEnd := uint64(headerSize) + uint64(sectionEntrySize)*uint64(count)
+	if tableEnd > size {
+		return nil, "", fmt.Errorf("%w: section table overruns file", ErrTruncated)
+	}
+	spans, err := parseTable(data[headerSize:tableEnd], count, size)
+	if err != nil {
+		return nil, "", err
+	}
+
+	digest := sha256.New()
+	for _, sp := range spans {
+		if sp.id != secProvenance {
+			digest.Write(data[sp.off : sp.off+sp.length])
+		}
+	}
+	sum := digest.Sum(nil)
+	if string(sum) != string(wantSum) {
+		return nil, "", ErrHashMismatch
+	}
+
+	img, err := decodeSections(spans, data)
+	if err != nil {
 		return nil, "", err
 	}
 	return img, hex.EncodeToString(sum), nil
@@ -918,12 +956,120 @@ func ReadFile(path string) (*Image, string, error) {
 
 // ReadFileFS is ReadFile against an explicit filesystem, so scrubbers
 // and chaos tests observe exactly the bytes that filesystem serves.
+// The verify pass is folded into the read: each section is hashed as
+// its bytes arrive (while they are cache-hot) instead of re-walking
+// the full buffer after the read, so the file is traversed once.
 func ReadFileFS(fsys vfs.FS, path string) (*Image, string, error) {
-	data, err := vfs.Or(fsys).ReadFile(path)
+	f, err := vfs.Or(fsys).Open(path)
 	if err != nil {
 		return nil, "", err
 	}
-	return Decode(data)
+	defer f.Close()
+	return readFrom(f)
+}
+
+// readFrom streams one artifact off an open file: header, table, then
+// each section payload read and digested in turn, followed by a single
+// decode pass over the assembled buffer.
+func readFrom(f vfs.File) (*Image, string, error) {
+	var head [headerSize]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, "", fmt.Errorf("%w: file shorter than the %d-byte header", ErrTruncated, headerSize)
+		}
+		return nil, "", err
+	}
+	count, size, wantSum, err := parseHeader(head[:])
+	if err != nil {
+		return nil, "", err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, "", err
+	}
+	// Validate the declared size against the real file before trusting
+	// it for an allocation: an adversarial header cannot make us
+	// allocate more than the bytes actually present.
+	actual := uint64(st.Size())
+	if size > actual {
+		return nil, "", fmt.Errorf("%w: header declares %d bytes, file has %d", ErrTruncated, size, actual)
+	}
+	if size < actual {
+		return nil, "", fmt.Errorf("%w: %d bytes beyond the declared size %d", ErrCorrupt, actual-size, size)
+	}
+	tableEnd := uint64(headerSize) + uint64(sectionEntrySize)*uint64(count)
+	if tableEnd > size {
+		return nil, "", fmt.Errorf("%w: section table overruns file", ErrTruncated)
+	}
+	data := make([]byte, size)
+	copy(data, head[:])
+	if _, err := io.ReadFull(f, data[headerSize:tableEnd]); err != nil {
+		return nil, "", fmt.Errorf("%w: section table: %v", ErrTruncated, err)
+	}
+	spans, err := parseTable(data[headerSize:tableEnd], count, size)
+	if err != nil {
+		return nil, "", err
+	}
+	digest := sha256.New()
+	for _, sp := range spans {
+		payload := data[sp.off : sp.off+sp.length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil, "", fmt.Errorf("%w: section %d: %v", ErrTruncated, sp.id, err)
+		}
+		if sp.id != secProvenance {
+			digest.Write(payload)
+		}
+	}
+	sum := digest.Sum(nil)
+	if string(sum) != string(wantSum) {
+		return nil, "", ErrHashMismatch
+	}
+	img, err := decodeSections(spans, data)
+	if err != nil {
+		return nil, "", err
+	}
+	return img, hex.EncodeToString(sum), nil
+}
+
+// ReadFileMapped loads an artifact through a read-only memory mapping:
+// the decode is the same verified path as ReadFile, but the
+// pre-rendered bodies alias the mapping, so the heap holds only the
+// index-sized sections and the kernel pages body bytes in on demand.
+// The returned release function unmaps the file and MUST NOT be called
+// while any byte slice of the image is still reachable; it is nil
+// whenever the image is heap-backed instead (platforms without mmap,
+// zero-length or unmappable files), in which case no cleanup is owed.
+func ReadFileMapped(path string) (*Image, string, func(), error) {
+	if !mmapSupported {
+		img, hash, err := ReadFile(path)
+		return img, hash, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if st.Size() < headerSize || int64(int(st.Size())) != st.Size() {
+		img, hash, err := ReadFile(path)
+		return img, hash, nil, err
+	}
+	data, unmap, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		// Filesystems that cannot map (or ran out of map areas) still
+		// serve the buffered path.
+		img, hash, err := ReadFile(path)
+		return img, hash, nil, err
+	}
+	img, hash, err := Decode(data)
+	if err != nil {
+		_ = unmap()
+		return nil, "", nil, err
+	}
+	return img, hash, func() { _ = unmap() }, nil
 }
 
 // SniffFile reports whether path starts with the snapbin magic — the

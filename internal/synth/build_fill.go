@@ -166,6 +166,7 @@ func (g *gen) buildMergeUnits() {
 				wMain: 0.3 + g.rng.Float64(), wSub: 0.3 + g.rng.Float64(),
 			})
 		}
+		g.maybeFlush()
 	}
 
 	// Assign the anonymous changed-population budgets exactly.
@@ -302,6 +303,7 @@ func (g *gen) buildClassifierCorpus() {
 		g.ds.Truth.registerIcon(icon, IconCompany)
 		g.sameOrgSites(nm, icon, sameBrandHosts(nm, size, g))
 		g.countSameBrand++
+		g.maybeFlush()
 	}
 	// Recoverable different-label groups (step 2, Claro-style).
 	for g.countDiffRecover < g.t.diffRecoverTotal {
@@ -318,6 +320,7 @@ func (g *gen) buildClassifierCorpus() {
 		}
 		g.sameOrgSites(nm, icon, hosts)
 		g.countDiffRecover++
+		g.maybeFlush()
 	}
 	// Unrecoverable company groups (DE-CIX style natural FNs).
 	for g.countDiffUnrecover < g.t.diffUnrecoverable {
@@ -330,6 +333,7 @@ func (g *gen) buildClassifierCorpus() {
 			g.host("www." + nmB + ".net"),
 		})
 		g.countDiffUnrecover++
+		g.maybeFlush()
 	}
 	// Framework default-icon groups: unrelated sites, shared icon.
 	fwKeys := make([]string, 0, len(simllm.FrameworkNames))
@@ -351,6 +355,7 @@ func (g *gen) buildClassifierCorpus() {
 			g.singletonNet(nm, "", "", "https://"+h+"/")
 		}
 		g.countFramework++
+		g.maybeFlush()
 	}
 	// The step-1 false positive: a white-label telecom portal whose
 	// deployments share both the (framework) icon and a brand label.
@@ -365,6 +370,7 @@ func (g *gen) buildClassifierCorpus() {
 		g.ds.Web.AddSite(h2, icon)
 		g.singletonNet(nm+"-a", "", "", "https://"+h1+"/")
 		g.singletonNet(nm+"-b", "", "", "https://"+h2+"/")
+		g.maybeFlush()
 	}
 }
 
@@ -471,6 +477,7 @@ func (g *gen) buildFill() {
 		nm := g.company(idx)
 		idx++
 		g.singletonNet(nm, "", "", "https://"+p.host+"/")
+		g.maybeFlush()
 	}
 
 	// URL-duplicate pairs: two nets of one org report one website.
@@ -490,6 +497,7 @@ func (g *gen) buildFill() {
 		g.addNet(p, a1, title(nm), "", "", "https://"+h+"/")
 		g.addNet(p, a2, title(nm)+" II", "", "", "https://"+h+"/")
 		g.countDupURLs++
+		g.maybeFlush()
 	}
 
 	// Same-organization sibling-text records (no merge effect; they
@@ -530,6 +538,7 @@ func (g *gen) buildFill() {
 		g.ds.Truth.NERSiblings[asns[0]] = append([]asnum.ASN(nil), sibs...)
 		g.ds.Truth.NERKind[asns[0]] = RecordSiblingText
 		g.countSibling++
+		g.maybeFlush()
 	}
 
 	// Hard false negatives: true siblings phrased as bare numbers.
@@ -547,6 +556,7 @@ func (g *gen) buildFill() {
 		g.ds.Truth.NERSiblings[a1] = []asnum.ASN{a2}
 		g.ds.Truth.NERKind[a1] = RecordHardFN
 		g.countHardFN++
+		g.maybeFlush()
 	}
 
 	// Hard false positives: explicit-but-wrong sibling claims.
@@ -564,6 +574,7 @@ func (g *gen) buildFill() {
 		g.addNet(p, claimer, title(nm), "", hardFPNotes(victim, g.rng), "")
 		g.ds.Truth.NERKind[claimer] = RecordHardFP
 		g.countHardFP++
+		g.maybeFlush()
 	}
 
 	// Numeric noise records.
@@ -586,6 +597,7 @@ func (g *gen) buildFill() {
 		a := g.singletonNet(nm, aka, notes, g.maybeSite(nm, idx))
 		g.ds.Truth.NERKind[a] = RecordNoiseText
 		g.countNumericNoise++
+		g.maybeFlush()
 	}
 
 	// Non-numeric text records.
@@ -594,6 +606,7 @@ func (g *gen) buildFill() {
 		idx++
 		a := g.singletonNet(nm, "", nonNumericText(g.rng), g.maybeSite(nm, idx))
 		g.ds.Truth.NERKind[a] = RecordNonNumeric
+		g.maybeFlush()
 	}
 
 	// Website fill, including the unreachable share.
@@ -609,19 +622,21 @@ func (g *gen) buildFill() {
 			g.ds.Web.AddSite(h, g.siteIcon(h))
 		}
 		g.singletonNet(nm, "", "", "https://"+h+"/")
+		g.maybeFlush()
 	}
 
 	// PeeringDB net fill: plain networks.
-	for g.ds.PDB.NumNets() < g.t.pdbNets {
+	for g.numNets() < g.t.pdbNets {
 		nm := g.company(idx)
 		idx++
 		g.singletonNet(nm, "", "", "")
+		g.maybeFlush()
 	}
 
 	// WHOIS fill: multi-AS filler organizations consume the remaining
 	// (ASNs − orgs) surplus, then singletons pad the org count.
-	remASNs := g.t.whoisASNs - g.ds.WHOIS.NumASNs()
-	remOrgs := g.t.whoisOrgs - g.ds.WHOIS.NumOrgs()
+	remASNs := g.t.whoisASNs - g.cumWHOISASNs
+	remOrgs := g.t.whoisOrgs - g.cumWHOISOrgs
 	extras := remASNs - remOrgs
 	for extras > 0 && remOrgs > 1 {
 		size := 2
@@ -645,8 +660,9 @@ func (g *gen) buildFill() {
 		g.named.plainOrgs = append(g.named.plainOrgs, plainOrg{asn: asns[0], cc: cc})
 		extras -= size - 1
 		remOrgs--
+		g.maybeFlush()
 	}
-	for g.ds.WHOIS.NumOrgs() < g.t.whoisOrgs {
+	for g.cumWHOISOrgs < g.t.whoisOrgs {
 		nm := fmt.Sprintf("tail%d", idx)
 		idx++
 		a := g.alloc()
@@ -656,6 +672,7 @@ func (g *gen) buildFill() {
 		g.ds.Truth.addOrg(&TrueOrg{Key: "t:" + nm, Name: title(nm),
 			ASNs: []asnum.ASN{a}, WHOISOrgs: []string{oid}, Countries: []string{cc}})
 		g.named.plainOrgs = append(g.named.plainOrgs, plainOrg{asn: a, cc: cc})
+		g.maybeFlush()
 	}
 
 	g.fillUnchangedUsers()
@@ -694,11 +711,15 @@ func (g *gen) fillUnchangedUsers() {
 		}
 		given += u
 		g.users(g.named.plainOrgs[i].asn, g.named.plainOrgs[i].cc, u)
+		g.maybeFlush()
 	}
 }
 
 // buildRanking materialises AS-Rank: named wants first, then unit
-// tiers, then unranked singletons pad to the ranking size.
+// tiers, then unranked singletons pad to the ranking size. It walks
+// the retained cross-chunk ASN list — not the live snapshot, which in
+// streaming mode holds only the current chunk — sorted to match what
+// WHOIS.ASNs() returns on the fully assembled dataset.
 func (g *gen) buildRanking() {
 	ranked := make(map[asnum.ASN]bool)
 	for _, p := range g.named.pendingRanks {
@@ -712,10 +733,13 @@ func (g *gen) buildRanking() {
 		}
 		if err := g.ds.ASRank.Add(asrank.Entry{Rank: r, ASN: p.asn, ConeSize: cone}); err == nil {
 			ranked[p.asn] = true
+			g.cumRank++
+			g.maybeFlush()
 		}
 	}
-	for _, a := range g.ds.WHOIS.ASNs() {
-		if g.ds.ASRank.Len() >= g.t.rankSize {
+	asnum.Sort(g.allWHOIS)
+	for _, a := range g.allWHOIS {
+		if g.cumRank >= g.t.rankSize {
 			break
 		}
 		if ranked[a] {
@@ -728,6 +752,8 @@ func (g *gen) buildRanking() {
 		}
 		if err := g.ds.ASRank.Add(asrank.Entry{Rank: r, ASN: a, ConeSize: cone}); err == nil {
 			ranked[a] = true
+			g.cumRank++
+			g.maybeFlush()
 		}
 	}
 }

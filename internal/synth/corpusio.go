@@ -1,0 +1,244 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/nu-aqualab/borges/internal/apnic"
+	"github.com/nu-aqualab/borges/internal/asrank"
+	"github.com/nu-aqualab/borges/internal/websim"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// CorpusStats summarizes a streamed corpus write.
+type CorpusStats struct {
+	WHOISASNs    int
+	WHOISOrgs    int
+	PDBNets      int
+	PDBOrgs      int
+	APNICRecords int
+	RankedASNs   int
+	Sites        int
+	Chunks       int
+}
+
+// WriteCorpusStream generates the corpus for cfg with GenerateStream
+// and writes the five standard corpus files (as2org.jsonl,
+// peeringdb.json, apnic.csv, asrank.csv, web.jsonl) into dir without
+// ever materializing the full dataset: each chunk is appended to the
+// output files and discarded, so peak memory tracks the chunk size,
+// not the corpus size. Record classes that must stay contiguous in
+// the final layout (WHOIS AS records after all organizations, and the
+// PeeringDB net table after the org table) are spooled to temp files
+// in dir and stitched in at the end. The streamed files parse to
+// snapshots identical to what Generate + the buffered writers
+// produce; chunkUnits <= 0 degrades to a single chunk.
+func WriteCorpusStream(dir string, cfg Config, chunkUnits int) (CorpusStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CorpusStats{}, fmt.Errorf("synth: corpus dir: %w", err)
+	}
+	c, err := newCorpusStream(dir)
+	if err != nil {
+		return CorpusStats{}, err
+	}
+	defer c.cleanup()
+	if err := GenerateStream(cfg, chunkUnits, c.consume); err != nil {
+		return CorpusStats{}, err
+	}
+	if err := c.finish(); err != nil {
+		return CorpusStats{}, err
+	}
+	return c.stats, nil
+}
+
+// corpusStream holds the open output files of one streamed corpus
+// write: five destination files plus two spools for the record
+// classes whose canonical position is after content that is still
+// streaming in.
+type corpusStream struct {
+	dir                               string
+	as2org, pdb, apnicF, asrankF, web *os.File
+	asnSpool, netSpool                *os.File
+	wroteOrg, wroteNet                bool
+	siteHosts                         map[uint64]struct{}
+	date                              string
+	stats                             CorpusStats
+	done                              bool
+}
+
+func newCorpusStream(dir string) (*corpusStream, error) {
+	c := &corpusStream{dir: dir, siteHosts: make(map[uint64]struct{})}
+	var firstErr error
+	try := func(name string) *os.File {
+		if firstErr != nil {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			firstErr = err
+		}
+		return f
+	}
+	c.as2org = try("as2org.jsonl")
+	c.pdb = try("peeringdb.json")
+	c.apnicF = try("apnic.csv")
+	c.asrankF = try("asrank.csv")
+	c.web = try("web.jsonl")
+	c.asnSpool = try(".as2org.asn.spool")
+	c.netSpool = try(".peeringdb.net.spool")
+	if firstErr != nil {
+		c.cleanup()
+		return nil, fmt.Errorf("synth: corpus stream: %w", firstErr)
+	}
+	// Headers and prologues are written once, before the first chunk.
+	if err := apnic.WriteHeader(c.apnicF); err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	if err := asrank.WriteHeader(c.asrankF); err != nil {
+		c.cleanup()
+		return nil, err
+	}
+	if _, err := c.pdb.WriteString(`{"org":{"data":[`); err != nil {
+		c.cleanup()
+		return nil, fmt.Errorf("synth: corpus stream: %w", err)
+	}
+	return c, nil
+}
+
+// consume appends one generated chunk to the corpus files.
+func (c *corpusStream) consume(ds *Dataset) error {
+	c.stats.Chunks++
+	if c.date == "" {
+		c.date = ds.PDB.Date
+	}
+	if err := whois.WriteOrgs(c.as2org, ds.WHOIS); err != nil {
+		return err
+	}
+	if err := whois.WriteASNs(c.asnSpool, ds.WHOIS); err != nil {
+		return err
+	}
+	for _, o := range ds.PDB.Orgs() {
+		if err := writeJSONElem(c.pdb, o, &c.wroteOrg); err != nil {
+			return err
+		}
+	}
+	for _, n := range ds.PDB.Nets() {
+		if err := writeJSONElem(c.netSpool, n, &c.wroteNet); err != nil {
+			return err
+		}
+	}
+	if err := apnic.WriteRows(c.apnicF, ds.APNIC); err != nil {
+		return err
+	}
+	if err := asrank.WriteRows(c.asrankF, ds.ASRank); err != nil {
+		return err
+	}
+	if err := websim.WriteManifest(c.web, ds.Web); err != nil {
+		return err
+	}
+	c.stats.WHOISASNs += ds.WHOIS.NumASNs()
+	c.stats.WHOISOrgs += ds.WHOIS.NumOrgs()
+	c.stats.PDBNets += ds.PDB.NumNets()
+	c.stats.PDBOrgs += ds.PDB.NumOrgs()
+	c.stats.APNICRecords += ds.APNIC.Len()
+	c.stats.RankedASNs += ds.ASRank.Len()
+	// A host can recur across chunks when a later generation phase
+	// enriches a site created earlier; AddManifest merges the content
+	// on read, so only the counter needs deduplication. An FNV-64a
+	// hash per host (8 bytes) is the writer's only cross-chunk state.
+	for _, h := range ds.Web.Hosts() {
+		k := hashHost(h)
+		if _, seen := c.siteHosts[k]; !seen {
+			c.siteHosts[k] = struct{}{}
+			c.stats.Sites++
+		}
+	}
+	return nil
+}
+
+// hashHost is FNV-64a.
+func hashHost(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// writeJSONElem appends one comma-separated JSON array element.
+func writeJSONElem(w io.Writer, v any, wroteAny *bool) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("synth: corpus stream: %w", err)
+	}
+	if *wroteAny {
+		if _, err := w.Write([]byte{','}); err != nil {
+			return fmt.Errorf("synth: corpus stream: %w", err)
+		}
+	}
+	*wroteAny = true
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("synth: corpus stream: %w", err)
+	}
+	return nil
+}
+
+// finish stitches the spooled record classes into their canonical
+// positions, closes everything, and removes the spools.
+func (c *corpusStream) finish() error {
+	appendSpool := func(dst *os.File, spool *os.File) error {
+		if _, err := spool.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		_, err := io.Copy(dst, spool)
+		return err
+	}
+	if err := appendSpool(c.as2org, c.asnSpool); err != nil {
+		return fmt.Errorf("synth: corpus stream: stitch AS records: %w", err)
+	}
+	if _, err := c.pdb.WriteString(`]},"net":{"data":[`); err != nil {
+		return fmt.Errorf("synth: corpus stream: %w", err)
+	}
+	if err := appendSpool(c.pdb, c.netSpool); err != nil {
+		return fmt.Errorf("synth: corpus stream: stitch nets: %w", err)
+	}
+	if _, err := c.pdb.WriteString(`]},"meta":{"generated":` + strconv.Quote(c.date) + "}}\n"); err != nil {
+		return fmt.Errorf("synth: corpus stream: %w", err)
+	}
+	c.done = true
+	for _, f := range []*os.File{c.as2org, c.pdb, c.apnicF, c.asrankF, c.web, c.asnSpool, c.netSpool} {
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("synth: corpus stream: %w", err)
+		}
+	}
+	os.Remove(c.asnSpool.Name())
+	os.Remove(c.netSpool.Name())
+	return nil
+}
+
+// cleanup closes whatever is still open after a failed write; the
+// destination files are left behind (possibly truncated) for the
+// caller to inspect or remove, but the spools are always deleted.
+func (c *corpusStream) cleanup() {
+	if c.done {
+		return
+	}
+	c.done = true
+	for _, f := range []*os.File{c.as2org, c.pdb, c.apnicF, c.asrankF, c.web} {
+		if f != nil {
+			f.Close()
+		}
+	}
+	for _, f := range []*os.File{c.asnSpool, c.netSpool} {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}
+}

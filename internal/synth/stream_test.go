@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/nu-aqualab/borges/internal/apnic"
+	"github.com/nu-aqualab/borges/internal/asrank"
+	"github.com/nu-aqualab/borges/internal/peeringdb"
+	"github.com/nu-aqualab/borges/internal/websim"
+	"github.com/nu-aqualab/borges/internal/whois"
+)
+
+// serializeDataset renders every container through its deterministic
+// writer — the byte-level fingerprint the stream equivalence tests
+// compare. Two datasets with identical fingerprints are served, built,
+// and evaluated identically everywhere downstream.
+func serializeDataset(t *testing.T, ds *Dataset) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	buf := &bytes.Buffer{}
+	write := func(name string, err error) {
+		if err != nil {
+			t.Fatalf("serializing %s: %v", name, err)
+		}
+		out[name] = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+	}
+	write("whois", whois.Write(buf, ds.WHOIS))
+	write("peeringdb", peeringdb.Write(buf, ds.PDB))
+	write("web", websim.WriteManifest(buf, ds.Web))
+	write("apnic", apnic.Write(buf, ds.APNIC))
+	write("asrank", asrank.Write(buf, ds.ASRank))
+	return out
+}
+
+// mergeStream runs GenerateStream at the given chunk size and merges
+// every chunk, reporting how many chunks were yielded.
+func mergeStream(t *testing.T, cfg Config, chunkUnits int) (*Dataset, int) {
+	t.Helper()
+	merged := newChunk(cfg)
+	chunks := 0
+	err := GenerateStream(cfg, chunkUnits, func(ds *Dataset) error {
+		chunks++
+		MergeChunk(merged, ds)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("GenerateStream(chunk=%d): %v", chunkUnits, err)
+	}
+	return merged, chunks
+}
+
+// TestGenerateStreamEquivalence: the merged stream must be
+// byte-identical (per container, through the deterministic writers) to
+// the buffered Generate output, at every chunk size — including sizes
+// small enough to force hundreds of flushes.
+func TestGenerateStreamEquivalence(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 0.01}
+	ref, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want := serializeDataset(t, ref)
+
+	for _, chunkUnits := range []int{0, 1, 3, 17, 256, 1 << 20} {
+		t.Run(fmt.Sprintf("chunk=%d", chunkUnits), func(t *testing.T) {
+			merged, chunks := mergeStream(t, cfg, chunkUnits)
+			if chunkUnits == 1 && chunks < 100 {
+				t.Fatalf("chunk size 1 produced only %d chunks; flushing is not happening", chunks)
+			}
+			if chunkUnits == 0 && chunks != 1 {
+				t.Fatalf("chunk size 0 must yield exactly one chunk, got %d", chunks)
+			}
+			got := serializeDataset(t, merged)
+			for name, w := range want {
+				if !bytes.Equal(w, got[name]) {
+					t.Errorf("%s diverged from buffered Generate (%d vs %d bytes)",
+						name, len(w), len(got[name]))
+				}
+			}
+			if !reflect.DeepEqual(ref.Truth, merged.Truth) {
+				t.Error("ground truth diverged from buffered Generate")
+			}
+		})
+	}
+}
+
+// TestGenerateStreamSeeds: equivalence must hold across seeds and
+// scales, not just one lucky configuration.
+func TestGenerateStreamSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := Config{Seed: seed, Scale: 0.008}
+		ref, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(seed=%d): %v", seed, err)
+		}
+		want := serializeDataset(t, ref)
+		merged, _ := mergeStream(t, cfg, 7+int(seed)*13)
+		got := serializeDataset(t, merged)
+		for name, w := range want {
+			if !bytes.Equal(w, got[name]) {
+				t.Errorf("seed %d: %s diverged", seed, name)
+			}
+		}
+	}
+}
+
+// TestGenerateStreamYieldError: a failing yield aborts generation and
+// surfaces the error.
+func TestGenerateStreamYieldError(t *testing.T) {
+	wantErr := fmt.Errorf("sink full")
+	calls := 0
+	err := GenerateStream(Config{Seed: 1, Scale: 0.008}, 1, func(*Dataset) error {
+		calls++
+		if calls == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("got err %v, want %v", err, wantErr)
+	}
+	if calls != 3 {
+		t.Fatalf("yield called %d times after error, want 3", calls)
+	}
+}
+
+// TestGenerateScaleBounds: the documented scale bounds are enforced
+// with a clear error, and in-range values (including the raised
+// mega-scale ceiling) are accepted by validation.
+func TestGenerateScaleBounds(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Scale: MaxScale + 1}); err == nil {
+		t.Fatal("scale above MaxScale accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, Scale: MinScale / 2}); err == nil {
+		t.Fatal("scale below MinScale accepted")
+	}
+	// Validation-only check at MaxScale: newGen must accept it (the
+	// full build at 1024× is a benchmark-tier workload, not a test).
+	if _, err := newGen(Config{Seed: 1, Scale: MaxScale}); err != nil {
+		t.Fatalf("MaxScale rejected: %v", err)
+	}
+}

@@ -40,6 +40,16 @@ type Config struct {
 	Scale float64
 }
 
+// Scale bounds. MinScale keeps every quota at least 1; MaxScale is
+// bounded by the 32-bit ASN space: the allocator starts at 200000 and
+// at MaxScale the WHOIS population (~120M ASNs) still leaves the
+// uint32 counter far from wrapping. All intermediate quota arithmetic
+// is float64/int64 and safe well past this bound.
+const (
+	MinScale = 0.005
+	MaxScale = 1024.0
+)
+
 // Dataset is a complete generated corpus.
 type Dataset struct {
 	Config Config
@@ -154,39 +164,63 @@ type gen struct {
 
 	// named carries bookkeeping shared across build phases.
 	named namedState
+
+	// Streaming state. When emit is set, the working dataset is
+	// yielded and replaced with a fresh chunk every chunkUnits
+	// generation units. Because the flushed snapshots reset, quota
+	// loops read the cumulative counters below instead of the live
+	// dataset, and the ranking phase replays the retained ASN list
+	// instead of WHOIS.ASNs().
+	emit         func(*Dataset) error
+	chunkUnits   int
+	unitsInChunk int
+
+	cumWHOISOrgs int
+	cumWHOISASNs int
+	cumRank      int
+	allWHOIS     []asnum.ASN
 }
 
-// Generate builds a corpus.
-func Generate(cfg Config) (*Dataset, error) {
+// newChunk returns an empty dataset slice carrying the run's config and
+// snapshot dates.
+func newChunk(cfg Config) *Dataset {
+	return &Dataset{
+		Config: cfg,
+		WHOIS:  whois.NewSnapshot("20240701"),
+		PDB:    peeringdb.NewSnapshot("20240724"),
+		Web:    websim.New(),
+		APNIC:  apnic.NewTable("20240701"),
+		ASRank: asrank.NewRanking("20240701"),
+		Truth:  newGroundTruth(),
+	}
+}
+
+func newGen(cfg Config) (*gen, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
-	if cfg.Scale < 0.005 || cfg.Scale > 4 {
-		return nil, fmt.Errorf("synth: scale %v out of range [0.005, 4]", cfg.Scale)
+	if cfg.Scale < MinScale || cfg.Scale > MaxScale {
+		return nil, fmt.Errorf("synth: scale %v out of range [%v, %v]", cfg.Scale, MinScale, MaxScale)
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	g := &gen{
-		cfg: cfg,
-		t:   scaled(cfg),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		ds: &Dataset{
-			Config: cfg,
-			WHOIS:  whois.NewSnapshot("20240701"),
-			PDB:    peeringdb.NewSnapshot("20240724"),
-			Web:    websim.New(),
-			APNIC:  apnic.NewTable("20240701"),
-			ASRank: asrank.NewRanking("20240701"),
-			Truth:  newGroundTruth(),
-		},
+	return &gen{
+		cfg:       cfg,
+		t:         scaled(cfg),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		ds:        newChunk(cfg),
 		used:      make(map[asnum.ASN]bool),
 		nextASN:   200000,
 		nextPDBO:  1,
 		nextPDBN:  1,
 		hostUsed:  make(map[string]bool),
 		rankTaken: make(map[int]bool),
-	}
+	}, nil
+}
+
+// run executes the build phases in their fixed order.
+func (g *gen) run() {
 	g.buildConglomerates()
 	g.buildHypergiants()
 	g.buildSpecials()
@@ -194,7 +228,129 @@ func Generate(cfg Config) (*Dataset, error) {
 	g.buildClassifierCorpus()
 	g.buildFill()
 	g.buildRanking()
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) (*Dataset, error) {
+	g, err := newGen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.run()
 	return g.ds, nil
+}
+
+// emitAbort unwinds generation when a yield returns an error.
+type emitAbort struct{ err error }
+
+// GenerateStream builds the exact corpus Generate builds — same seed,
+// same records, same pseudo-random draws — but yields it as a sequence
+// of partial Dataset chunks of roughly chunkUnits generation units
+// each, so peak memory is bounded by the chunk size instead of the
+// corpus size. Every record lands in exactly one chunk; merging the
+// chunks (MergeChunk) reproduces Generate's output record for record
+// at any chunk size. chunkUnits <= 0 yields the whole corpus as a
+// single chunk. A yield error aborts generation and is returned.
+//
+// Flushes only happen at whole-unit boundaries in the anonymous fill
+// phases: the named builders mutate records they created earlier in
+// the same phase (setNetText), so their output always shares a chunk.
+func GenerateStream(cfg Config, chunkUnits int, yield func(*Dataset) error) (err error) {
+	if yield == nil {
+		return fmt.Errorf("synth: GenerateStream requires a yield function")
+	}
+	g, gerr := newGen(cfg)
+	if gerr != nil {
+		return gerr
+	}
+	g.emit = yield
+	g.chunkUnits = chunkUnits
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(emitAbort)
+			if !ok {
+				panic(r)
+			}
+			err = a.err
+		}
+	}()
+	g.run()
+	g.flush()
+	return nil
+}
+
+// maybeFlush marks one completed generation unit and flushes the
+// working chunk when it reaches the configured size. A unit is one
+// self-contained record group (an org with its nets, sites, and truth
+// entries) — nothing generated later mutates it, so the chunk boundary
+// is always safe.
+func (g *gen) maybeFlush() {
+	if g.emit == nil || g.chunkUnits <= 0 {
+		return
+	}
+	g.unitsInChunk++
+	if g.unitsInChunk >= g.chunkUnits {
+		g.flush()
+	}
+}
+
+// flush yields the working chunk and starts a fresh one.
+func (g *gen) flush() {
+	if g.emit == nil {
+		return
+	}
+	ds := g.ds
+	g.ds = newChunk(g.cfg)
+	g.unitsInChunk = 0
+	if err := g.emit(ds); err != nil {
+		panic(emitAbort{err})
+	}
+}
+
+// MergeChunk folds a streamed chunk into dst, in yield order. The
+// result of merging every chunk of a GenerateStream run is
+// record-for-record identical to the Generate dataset for the same
+// config: each container's deterministic Write ordering makes the
+// serialized forms byte-identical.
+func MergeChunk(dst, src *Dataset) {
+	for _, id := range src.WHOIS.OrgIDs() {
+		dst.WHOIS.AddOrg(*src.WHOIS.Org(id))
+	}
+	for _, id := range src.WHOIS.OrgIDs() {
+		for _, a := range src.WHOIS.Members(id) {
+			dst.WHOIS.AddAS(*src.WHOIS.AS(a))
+		}
+	}
+	for _, o := range src.PDB.Orgs() {
+		dst.PDB.AddOrg(*o)
+	}
+	for _, n := range src.PDB.Nets() {
+		dst.PDB.AddNet(*n)
+	}
+	for _, m := range src.Web.Export() {
+		dst.Web.AddManifest(m)
+	}
+	for _, r := range src.APNIC.Records() {
+		dst.APNIC.Add(r)
+	}
+	for _, e := range src.ASRank.Entries() {
+		// Ranks and ASNs are globally unique across chunks by
+		// construction; an error here would mean a generator bug, and
+		// the dropped entry surfaces in the equivalence checks.
+		_ = dst.ASRank.Add(e)
+	}
+	for _, o := range src.Truth.Orgs() {
+		dst.Truth.addOrg(o)
+	}
+	for a, sibs := range src.Truth.NERSiblings {
+		dst.Truth.NERSiblings[a] = sibs
+	}
+	for a, k := range src.Truth.NERKind {
+		dst.Truth.NERKind[a] = k
+	}
+	for h, k := range src.Truth.iconKind {
+		dst.Truth.iconKind[h] = k
+	}
 }
 
 // ---- allocation helpers ----
@@ -253,13 +409,23 @@ func (g *gen) rank(want int) int {
 	return want
 }
 
-// addWHOIS registers an org and its ASNs.
+// addWHOIS registers an org and its ASNs. The cumulative counters and
+// the retained ASN list survive chunk flushes; the quota loops and the
+// ranking phase read them instead of the (possibly reset) snapshot.
 func (g *gen) addWHOIS(orgID, name, country string, asns []asnum.ASN) {
 	g.ds.WHOIS.AddOrg(whois.Org{ID: orgID, Name: name, Country: country, Source: rirFor(country)})
 	for _, a := range asns {
 		g.ds.WHOIS.AddAS(whois.ASRecord{ASN: a, OrgID: orgID, Name: name, Source: rirFor(country)})
 	}
+	g.cumWHOISOrgs++
+	g.cumWHOISASNs += len(asns)
+	g.allWHOIS = append(g.allWHOIS, asns...)
 }
+
+// numNets is the cumulative PeeringDB net count: every net takes a
+// fresh ID from pdbNetID, so the counter is the count (setNetText
+// replaces an existing ID and does not change it).
+func (g *gen) numNets() int { return g.nextPDBN - 1 }
 
 func rirFor(cc string) string {
 	switch cc {

@@ -21,7 +21,7 @@ func TestGenerateConfigValidation(t *testing.T) {
 	if _, err := Generate(Config{Scale: 0.0001}); err == nil {
 		t.Error("tiny scale should fail")
 	}
-	if _, err := Generate(Config{Scale: 100}); err == nil {
+	if _, err := Generate(Config{Scale: MaxScale * 2}); err == nil {
 		t.Error("huge scale should fail")
 	}
 	// Defaults are applied without error at a small explicit scale.

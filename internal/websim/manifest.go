@@ -62,6 +62,29 @@ func (u *Universe) Export() []SiteManifest {
 	return out
 }
 
+// AddManifest replays one exported site into the universe — the
+// inverse of one Export element, used both by ReadManifest and when
+// merging streamed corpus chunks.
+func (u *Universe) AddManifest(m SiteManifest) error {
+	if m.Host == "" {
+		return fmt.Errorf("websim: site without host")
+	}
+	u.AddSite(m.Host, m.Favicon)
+	for _, pg := range m.Pages {
+		if PageKind(pg.Kind) > KindServerError {
+			return fmt.Errorf("websim: unknown page kind %d", pg.Kind)
+		}
+		u.SetPage(m.Host, pg.Path, Page{
+			Kind: PageKind(pg.Kind), Target: pg.Target,
+			Status: pg.Status, Title: pg.Title, Body: pg.Body,
+		})
+	}
+	if m.Down {
+		u.SetDown(m.Host, true)
+	}
+	return nil
+}
+
 // WriteManifest serializes the universe as JSON lines.
 func WriteManifest(w io.Writer, u *Universe) error {
 	bw := bufio.NewWriter(w)
@@ -90,21 +113,8 @@ func ReadManifest(r io.Reader) (*Universe, error) {
 		if err := json.Unmarshal([]byte(text), &m); err != nil {
 			return nil, fmt.Errorf("websim: line %d: %w", line, err)
 		}
-		if m.Host == "" {
-			return nil, fmt.Errorf("websim: line %d: site without host", line)
-		}
-		u.AddSite(m.Host, m.Favicon)
-		for _, pg := range m.Pages {
-			if PageKind(pg.Kind) > KindServerError {
-				return nil, fmt.Errorf("websim: line %d: unknown page kind %d", line, pg.Kind)
-			}
-			u.SetPage(m.Host, pg.Path, Page{
-				Kind: PageKind(pg.Kind), Target: pg.Target,
-				Status: pg.Status, Title: pg.Title, Body: pg.Body,
-			})
-		}
-		if m.Down {
-			u.SetDown(m.Host, true)
+		if err := u.AddManifest(m); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -97,7 +97,18 @@ func (u *Universe) NumSites() int {
 	return len(u.sites)
 }
 
-// Hosts returns whether host exists in the universe.
+// Hosts returns every registered host, in no particular order.
+func (u *Universe) Hosts() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]string, 0, len(u.sites))
+	for h := range u.sites {
+		out = append(out, h)
+	}
+	return out
+}
+
+// HasHost returns whether host exists in the universe.
 func (u *Universe) HasHost(host string) bool {
 	u.mu.RLock()
 	defer u.mu.RUnlock()

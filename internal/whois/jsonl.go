@@ -75,6 +75,17 @@ func Parse(r io.Reader, date string) (*Snapshot, error) {
 // organizations first, then AS records, both in sorted order for
 // deterministic output.
 func Write(w io.Writer, s *Snapshot) error {
+	if err := WriteOrgs(w, s); err != nil {
+		return err
+	}
+	return WriteASNs(w, s)
+}
+
+// WriteOrgs serializes only the organization records, in sorted order.
+// Together with WriteASNs it lets a streaming producer append each
+// record class separately (organizations inline, AS records spooled)
+// and still end up with the canonical organizations-first layout.
+func WriteOrgs(w io.Writer, s *Snapshot) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, id := range s.OrgIDs() {
@@ -84,6 +95,13 @@ func Write(w io.Writer, s *Snapshot) error {
 			return fmt.Errorf("whois: write org %s: %w", id, err)
 		}
 	}
+	return bw.Flush()
+}
+
+// WriteASNs serializes only the AS records, in sorted order.
+func WriteASNs(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
 	for _, a := range s.ASNs() {
 		r := s.AS(a)
 		if err := enc.Encode(record{Type: "ASN",
